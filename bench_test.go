@@ -1,0 +1,224 @@
+// Benchmarks regenerating the paper's evaluation artifacts at a reduced
+// scale (use cmd/simevo-bench for full tables):
+//
+//	BenchmarkProfileShare  — Section 4 operator profile (serial engine)
+//	BenchmarkTable1*       — Type I vs serial (slowdown, flat in p)
+//	BenchmarkTable2*       — Type II wire+power (fixed vs random rows)
+//	BenchmarkTable3*       — Type II wire+power+delay
+//	BenchmarkTable4*       — Type III retry-threshold sweep
+//
+// Each benchmark reports the paper-relevant quantities as custom metrics:
+// virtual seconds of cluster time (virt-s/op), achieved quality (mu), and
+// for parallel runs the speedup against a serial run of the same scale.
+package simevo_test
+
+import (
+	"testing"
+
+	"simevo"
+)
+
+const benchSeed = 2006
+
+func benchConfig(obj simevo.Objectives, iters int) simevo.Config {
+	cfg := simevo.DefaultConfig(obj)
+	cfg.MaxIters = iters
+	cfg.Seed = benchSeed
+	return cfg
+}
+
+func serialBaseline(b *testing.B, ckt *simevo.Circuit, cfg simevo.Config) *simevo.SerialResult {
+	b.Helper()
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := placer.RunSerial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkProfileShare regenerates the Section 4 profiling result: the
+// fraction of serial runtime spent in the Allocation operator (the paper
+// reports ~98%). Reported as alloc-share.
+func BenchmarkProfileShare(b *testing.B) {
+	ckt := simevo.MustBenchmark("s1196")
+	for i := 0; i < b.N; i++ {
+		res := serialBaseline(b, ckt, benchConfig(simevo.WirePower, 60))
+		_, _, alloc := res.Profile.Shares()
+		b.ReportMetric(alloc, "alloc-share")
+	}
+}
+
+// --- Table 1: Type I ---
+
+func benchTable1(b *testing.B, procs int) {
+	ckt := simevo.MustBenchmark("s1196")
+	cfg := benchConfig(simevo.WirePower, 60)
+	serial := serialBaseline(b, ckt, cfg)
+	net := simevo.FastEthernet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placer, err := simevo.NewPlacer(ckt, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := placer.RunTypeI(simevo.ParallelOptions{Procs: procs, Net: &net})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BestMu != serial.BestMu {
+			b.Fatalf("Type I diverged from serial: %v vs %v", res.BestMu, serial.BestMu)
+		}
+		b.ReportMetric(res.VirtualTime.Seconds(), "virt-s/op")
+		b.ReportMetric(res.VirtualTime.Seconds()/serial.Runtime.Seconds(), "slowdown")
+	}
+}
+
+func BenchmarkTable1_TypeI_p2(b *testing.B) { benchTable1(b, 2) }
+func BenchmarkTable1_TypeI_p3(b *testing.B) { benchTable1(b, 3) }
+func BenchmarkTable1_TypeI_p5(b *testing.B) { benchTable1(b, 5) }
+
+// --- Tables 2 and 3: Type II ---
+
+func benchTable2(b *testing.B, obj simevo.Objectives, procs int, pattern simevo.RowPattern) {
+	ckt := simevo.MustBenchmark("s1238")
+	iters := 70
+	if obj == simevo.WirePowerDelay {
+		iters = 50
+	}
+	serial := serialBaseline(b, ckt, benchConfig(obj, iters))
+	parCfg := benchConfig(obj, iters+iters/7*(procs-2))
+	net := simevo.FastEthernet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placer, err := simevo.NewPlacer(ckt, parCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := placer.RunTypeII(simevo.ParallelOptions{
+			Procs:    procs,
+			Net:      &net,
+			Pattern:  pattern,
+			TargetMu: serial.BestMu,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := res.VirtualTime
+		if res.ReachedTarget {
+			t = res.TimeToTarget
+		}
+		b.ReportMetric(t.Seconds(), "virt-s/op")
+		b.ReportMetric(serial.Runtime.Seconds()/t.Seconds(), "speedup")
+		b.ReportMetric(res.BestMu/serial.BestMu, "quality-frac")
+	}
+}
+
+func BenchmarkTable2_Fixed_p2(b *testing.B) {
+	benchTable2(b, simevo.WirePower, 2, simevo.FixedRows())
+}
+func BenchmarkTable2_Fixed_p5(b *testing.B) {
+	benchTable2(b, simevo.WirePower, 5, simevo.FixedRows())
+}
+func BenchmarkTable2_Random_p2(b *testing.B) {
+	benchTable2(b, simevo.WirePower, 2, simevo.RandomRows(benchSeed))
+}
+func BenchmarkTable2_Random_p5(b *testing.B) {
+	benchTable2(b, simevo.WirePower, 5, simevo.RandomRows(benchSeed))
+}
+
+func BenchmarkTable3_Fixed_p3(b *testing.B) {
+	benchTable2(b, simevo.WirePowerDelay, 3, simevo.FixedRows())
+}
+func BenchmarkTable3_Random_p3(b *testing.B) {
+	benchTable2(b, simevo.WirePowerDelay, 3, simevo.RandomRows(benchSeed))
+}
+
+// --- Table 4: Type III ---
+
+func benchTable4(b *testing.B, procs, retry int) {
+	ckt := simevo.MustBenchmark("s1494")
+	cfg := benchConfig(simevo.WirePower, 50)
+	serial := serialBaseline(b, ckt, cfg)
+	net := simevo.FastEthernet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placer, err := simevo.NewPlacer(ckt, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := placer.RunTypeIII(simevo.ParallelOptions{Procs: procs, Net: &net, Retry: retry})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VirtualTime.Seconds(), "virt-s/op")
+		b.ReportMetric(res.VirtualTime.Seconds()/serial.Runtime.Seconds(), "time-ratio")
+		b.ReportMetric(res.BestMu/serial.BestMu, "quality-frac")
+	}
+}
+
+func BenchmarkTable4_Retry5_p3(b *testing.B)  { benchTable4(b, 3, 5) }
+func BenchmarkTable4_Retry20_p3(b *testing.B) { benchTable4(b, 3, 20) }
+func BenchmarkTable4_Retry20_p5(b *testing.B) { benchTable4(b, 5, 20) }
+
+// --- engine micro-benchmarks ---
+
+// BenchmarkSerialIteration measures one full SimE iteration (evaluation +
+// selection + allocation) on the paper's smallest circuit.
+func BenchmarkSerialIteration(b *testing.B) {
+	ckt := simevo.MustBenchmark("s1238")
+	cfg := benchConfig(simevo.WirePower, b.N+1)
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Run exactly b.N iterations through the public API.
+	cfg.MaxIters = b.N
+	placer2, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := placer2.RunSerial(); err != nil {
+		b.Fatal(err)
+	}
+	_ = placer
+}
+
+// BenchmarkThreeObjectiveIteration includes the timing-analysis substrate.
+func BenchmarkThreeObjectiveIteration(b *testing.B) {
+	ckt := simevo.MustBenchmark("s1238")
+	cfg := benchConfig(simevo.WirePowerDelay, b.N)
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := placer.RunSerial(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProblemSetup measures the placement-independent precomputation
+// (activities, levelization, μ normalization).
+func BenchmarkProblemSetup(b *testing.B) {
+	ckt := simevo.MustBenchmark("s1196")
+	cfg := benchConfig(simevo.WirePower, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := simevo.NewPlacer(ckt, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitGeneration measures synthetic benchmark synthesis.
+func BenchmarkCircuitGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := simevo.Benchmark("s1196"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// circuitgen generates synthetic ISCAS-89-equivalent circuits and dumps
+// them in .bench format, or prints the statistics of catalog/benchmark
+// files.
+//
+// Usage:
+//
+//	circuitgen -ckt s1196 -o s1196.bench     # dump a catalog circuit
+//	circuitgen -stats s1196                  # print its statistics
+//	circuitgen -gates 800 -dff 40 -o my.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simevo"
+)
+
+func main() {
+	ckt := flag.String("ckt", "", "catalog circuit to dump (s1196, s1238, s1488, s1494, s3330)")
+	statsOf := flag.String("stats", "", "print statistics of a catalog circuit or .bench file")
+	out := flag.String("o", "", "output .bench path (default stdout)")
+	gates := flag.Int("gates", 0, "custom generation: combinational gate count")
+	dff := flag.Int("dff", 0, "custom generation: flip-flop count")
+	pis := flag.Int("pi", 8, "custom generation: primary inputs")
+	pos := flag.Int("po", 8, "custom generation: primary outputs")
+	depth := flag.Int("depth", 12, "custom generation: logic depth")
+	seed := flag.Uint64("seed", 1, "custom generation: seed")
+	flag.Parse()
+
+	switch {
+	case *statsOf != "":
+		c, err := load(*statsOf)
+		fatal(err)
+		fmt.Println(c.Stats())
+	case *ckt != "":
+		c, err := simevo.Benchmark(*ckt)
+		fatal(err)
+		fatal(dump(c, *out))
+	case *gates > 0:
+		c, err := simevo.Generate(simevo.GenerateParams{
+			Name: "custom", Gates: *gates, DFFs: *dff, PIs: *pis, POs: *pos,
+			Depth: *depth, Seed: *seed,
+		})
+		fatal(err)
+		fatal(dump(c, *out))
+	default:
+		fmt.Fprintln(os.Stderr, "circuitgen: nothing to do; see -h")
+		os.Exit(2)
+	}
+}
+
+func load(name string) (*simevo.Circuit, error) {
+	for _, n := range simevo.BenchmarkNames() {
+		if n == name {
+			return simevo.Benchmark(name)
+		}
+	}
+	return simevo.LoadBenchFile(name)
+}
+
+func dump(c *simevo.Circuit, path string) error {
+	if path == "" {
+		return c.WriteBench(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteBench(f)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "circuitgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// simevo-bench regenerates the paper's evaluation artifacts (the Section 4
+// profile and Tables 1-4) on the simulated cluster.
+//
+// Usage:
+//
+//	simevo-bench                 # all experiments, quick scale (iters/10)
+//	simevo-bench -table 2       # only Table 2
+//	simevo-bench -scale paper   # full paper-scale iteration counts
+//	simevo-bench -scale tiny    # smoke scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simevo/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", `experiment to run: "profile", "1".."4", "compare", or "all"`)
+	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "paper":
+		sc = experiments.PaperScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	case "tiny":
+		sc = experiments.TinyScale()
+	default:
+		fmt.Fprintf(os.Stderr, "simevo-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var err error
+	switch *table {
+	case "profile":
+		err = experiments.Profile(sc, os.Stdout)
+	case "1":
+		err = experiments.Table1(sc, os.Stdout)
+	case "2":
+		err = experiments.Table2(sc, os.Stdout)
+	case "3":
+		err = experiments.Table3(sc, os.Stdout)
+	case "4":
+		err = experiments.Table4(sc, os.Stdout)
+	case "compare":
+		err = experiments.Comparison(sc, os.Stdout)
+	case "all":
+		err = experiments.All(sc, os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "simevo-bench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// simevo-profile regenerates the paper's Section 4 experiment: the share
+// of serial runtime spent in each SimE operator, for the two-objective and
+// three-objective versions of the algorithm.
+//
+// Usage:
+//
+//	simevo-profile -ckt s1196 -iters 350
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simevo"
+)
+
+func main() {
+	ckt := flag.String("ckt", "s1196", "benchmark circuit")
+	iters := flag.Int("iters", 350, "SimE iterations")
+	seed := flag.Uint64("seed", 2006, "random seed")
+	flag.Parse()
+
+	circuit, err := simevo.Benchmark(*ckt)
+	fatal(err)
+
+	fmt.Printf("%s: %d cells — operator runtime shares (paper Section 4: allocation ~98%%)\n",
+		circuit.Name(), circuit.NumCells())
+	for _, obj := range []simevo.Objectives{simevo.WirePower, simevo.WirePowerDelay} {
+		cfg := simevo.DefaultConfig(obj)
+		cfg.MaxIters = *iters
+		cfg.Seed = *seed
+		placer, err := simevo.NewPlacer(circuit, cfg)
+		fatal(err)
+		res, err := placer.RunSerial()
+		fatal(err)
+		e, s, a := res.Profile.Shares()
+		fmt.Printf("%-18s alloc %5.1f%%  eval %5.1f%%  select %5.1f%%  (total %.2fs, μ=%.3f)\n",
+			obj, a*100, e*100, s*100, res.Profile.Total().Seconds(), res.BestMu)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simevo-profile: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// simevo-run places one benchmark circuit with a chosen strategy and
+// prints the resulting quality, costs, and runtime.
+//
+// Usage:
+//
+//	simevo-run -ckt s1196 -strategy serial -iters 350
+//	simevo-run -ckt s3330 -strategy type2 -procs 4 -pattern random -objectives wpd
+//	simevo-run -ckt s1238 -strategy type3 -procs 4 -retry 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simevo"
+)
+
+func main() {
+	ckt := flag.String("ckt", "s1196", "benchmark circuit ("+strings.Join(simevo.BenchmarkNames(), ", ")+") or a .bench file path")
+	strategy := flag.String("strategy", "serial", "serial | type1 | type2 | type3")
+	objectives := flag.String("objectives", "wp", "wp (wirelength+power) | wpd (+delay)")
+	iters := flag.Int("iters", 350, "SimE iterations")
+	seed := flag.Uint64("seed", 2006, "random seed")
+	procs := flag.Int("procs", 3, "cluster size for parallel strategies")
+	pattern := flag.String("pattern", "fixed", "type2 row pattern: fixed | random")
+	retry := flag.Int("retry", 100, "type3 retry threshold")
+	ideal := flag.Bool("ideal-net", false, "use a zero-cost interconnect instead of fast Ethernet")
+	flag.Parse()
+
+	circuit, err := loadCircuit(*ckt)
+	fatal(err)
+
+	var obj simevo.Objectives
+	switch *objectives {
+	case "wp":
+		obj = simevo.WirePower
+	case "wpd":
+		obj = simevo.WirePowerDelay
+	default:
+		fatal(fmt.Errorf("unknown objectives %q", *objectives))
+	}
+
+	cfg := simevo.DefaultConfig(obj)
+	cfg.MaxIters = *iters
+	cfg.Seed = *seed
+	placer, err := simevo.NewPlacer(circuit, cfg)
+	fatal(err)
+
+	net := simevo.FastEthernet()
+	if *ideal {
+		net = simevo.IdealNet()
+	}
+	opt := simevo.ParallelOptions{Procs: *procs, Net: &net, Retry: *retry}
+	if *pattern == "random" {
+		opt.Pattern = simevo.RandomRows(*seed)
+	} else {
+		opt.Pattern = simevo.FixedRows()
+	}
+
+	fmt.Printf("circuit %s: %d cells, %d nets; objectives %s; %d iterations\n",
+		circuit.Name(), circuit.NumCells(), circuit.NumNets(), obj, *iters)
+	init := placer.InitialCosts()
+	fmt.Printf("initial costs: wire %.0f  power %.1f  delay %.1f\n", init.Wire, init.Power, init.Delay)
+
+	switch *strategy {
+	case "serial":
+		res, err := placer.RunSerial()
+		fatal(err)
+		report(res.BestMu, res.BestCosts, res.Runtime.Seconds())
+		fmt.Printf("profile: %s\n", res.Profile)
+		fmt.Printf("%s\n", simevo.EstimateCongestion(res.Best, 0))
+		fmt.Printf("%s\n", simevo.ComputeRowStats(res.Best))
+		for name, wl := range simevo.WirelengthByEstimator(res.Best) {
+			fmt.Printf("wirelength[%s] = %.0f\n", name, wl)
+		}
+	case "type1":
+		res, err := placer.RunTypeI(opt)
+		fatal(err)
+		report(res.BestMu, res.BestCosts, res.VirtualTime.Seconds())
+	case "type2":
+		res, err := placer.RunTypeII(opt)
+		fatal(err)
+		report(res.BestMu, res.BestCosts, res.VirtualTime.Seconds())
+	case "type3":
+		res, err := placer.RunTypeIII(opt)
+		fatal(err)
+		report(res.BestMu, res.BestCosts, res.VirtualTime.Seconds())
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+}
+
+func loadCircuit(name string) (*simevo.Circuit, error) {
+	for _, n := range simevo.BenchmarkNames() {
+		if n == name {
+			return simevo.Benchmark(name)
+		}
+	}
+	return simevo.LoadBenchFile(name)
+}
+
+func report(mu float64, costs simevo.Costs, seconds float64) {
+	fmt.Printf("best μ(s) = %.3f\n", mu)
+	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f\n", costs.Wire, costs.Power, costs.Delay)
+	fmt.Printf("runtime: %.2f s\n", seconds)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simevo-run: %v\n", err)
+		os.Exit(1)
+	}
+}

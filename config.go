@@ -1,0 +1,64 @@
+package simevo
+
+import (
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/mpi"
+	"simevo/internal/parallel"
+)
+
+// Objectives selects the cost terms to optimize.
+type Objectives = fuzzy.Objectives
+
+// Objective constants. The paper evaluates WirePower (Tables 1-2) and
+// WirePowerDelay (Table 3).
+const (
+	Wire           = fuzzy.Wire
+	Power          = fuzzy.Power
+	Delay          = fuzzy.Delay
+	WirePower      = fuzzy.WirePower
+	WirePowerDelay = fuzzy.WirePowerDelay
+)
+
+// Costs carries raw objective costs (wirelength, power, delay).
+type Costs = fuzzy.Costs
+
+// Config parameterizes a SimE run; see core.Config for field documentation.
+type Config = core.Config
+
+// DefaultConfig returns paper-aligned defaults for an objective set.
+func DefaultConfig(obj Objectives) Config { return core.DefaultConfig(obj) }
+
+// Result reports a serial run; see core.Result.
+type Result = core.Result
+
+// Profile reports operator time shares (the paper's Section 4 experiment).
+type Profile = core.Profile
+
+// NetModel is the cluster interconnect cost model; see mpi.NetModel.
+type NetModel = mpi.NetModel
+
+// FastEthernet models the paper's MPICH-over-100Mbit interconnect.
+func FastEthernet() NetModel { return mpi.FastEthernet() }
+
+// IdealNet models a zero-cost interconnect (shared-memory ablation).
+func IdealNet() NetModel { return mpi.Ideal() }
+
+// ParallelOptions configures a parallel run; see parallel.Options.
+type ParallelOptions = parallel.Options
+
+// ParallelResult reports a parallel run; see parallel.Result.
+type ParallelResult = parallel.Result
+
+// RankStats is per-rank virtual-time accounting; see mpi.RankStats.
+type RankStats = mpi.RankStats
+
+// RowPattern assigns placement rows to ranks in Type II runs.
+type RowPattern = parallel.RowPattern
+
+// FixedRows returns the Kling-Banerjee alternating row pattern.
+func FixedRows() RowPattern { return parallel.FixedPattern{} }
+
+// RandomRows returns the random-permutation row pattern with its own
+// deterministic stream.
+func RandomRows(seed uint64) RowPattern { return parallel.NewRandomPattern(seed) }

@@ -1,0 +1,55 @@
+package simevo_test
+
+import (
+	"fmt"
+
+	"simevo"
+)
+
+// ExampleNewPlacer places a small synthetic circuit and reports whether the
+// optimizer improved on the initial solution.
+func ExampleNewPlacer() {
+	ckt, err := simevo.Generate(simevo.GenerateParams{
+		Name: "demo", Gates: 80, DFFs: 4, PIs: 6, POs: 6, Depth: 8, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := simevo.DefaultConfig(simevo.WirePower)
+	cfg.MaxIters = 40
+	cfg.Seed = 7
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := placer.RunSerial()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("improved:", res.BestCosts.Wire < placer.InitialCosts().Wire)
+	fmt.Println("quality in range:", res.BestMu > 0 && res.BestMu <= 1)
+	// Output:
+	// improved: true
+	// quality in range: true
+}
+
+// ExampleBenchmark lists the paper's test cases.
+func ExampleBenchmark() {
+	for _, name := range simevo.BenchmarkNames() {
+		ckt, err := simevo.Benchmark(name)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: %d cells\n", name, ckt.NumCells())
+	}
+	// Output:
+	// s1196: 561 cells
+	// s1238: 540 cells
+	// s1488: 667 cells
+	// s1494: 661 cells
+	// s3330: 1561 cells
+}

@@ -1,0 +1,71 @@
+// Cluster: Type II (domain decomposition) placement on the simulated
+// MPI cluster, sweeping the processor count and reporting the virtual-time
+// speedup — a miniature of the paper's Table 2 for one circuit.
+//
+// The cluster is simulated in virtual time: each rank's real compute is
+// measured while it exclusively holds the CPU, and message passing is
+// charged per a fast-Ethernet LogP model, so the reported times are what a
+// wall clock would show on the paper's 8-node Pentium-4 cluster fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simevo"
+)
+
+func main() {
+	ckt, err := simevo.Benchmark("s1494")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := simevo.DefaultConfig(simevo.WirePower)
+	cfg.MaxIters = 300
+	cfg.Seed = 2006
+
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	serial, err := placer.RunSerial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: serial SimE  μ=%.3f  time=%.2fs\n\n",
+		ckt.Name(), serial.BestMu, serial.Runtime.Seconds())
+
+	net := simevo.FastEthernet()
+	fmt.Println("p   pattern  μ(s)    time(s)  speedup  quality%")
+	for _, pattern := range []simevo.RowPattern{simevo.FixedRows(), simevo.RandomRows(2006)} {
+		for p := 2; p <= 5; p++ {
+			// The paper adds iterations as processors are added, because
+			// the decomposed search needs more of them to converge.
+			cfg2 := cfg
+			cfg2.MaxIters = 350 + 50*(p-2)
+			placer2, err := simevo.NewPlacer(ckt, cfg2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := placer2.RunTypeII(simevo.ParallelOptions{
+				Procs:    p,
+				Net:      &net,
+				Pattern:  pattern,
+				TargetMu: serial.BestMu,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := res.VirtualTime
+			if res.ReachedTarget {
+				t = res.TimeToTarget
+			}
+			fmt.Printf("%d   %-7s  %.3f  %7.2f  %6.2fx   %5.1f%%\n",
+				p, pattern.Name(), res.BestMu, t.Seconds(),
+				serial.Runtime.Seconds()/t.Seconds(),
+				100*res.BestMu/serial.BestMu)
+		}
+	}
+}

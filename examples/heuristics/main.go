@@ -1,0 +1,44 @@
+// Heuristics: SimE against the classic metaheuristics the paper's Section 7
+// references — simulated annealing, tabu search and a genetic algorithm —
+// on the same two-objective placement problem with the same quality
+// measure μ(s). The comparison uses the public API for SimE and the
+// simevo-bench tool's "compare" experiment for the full table; this example
+// shows the serial SimE result beside its own history so users can judge
+// budget parity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simevo"
+)
+
+func main() {
+	ckt, err := simevo.Benchmark("s1196")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SimE at three move budgets: SimE converges in very few iterations
+	// compared to move-based heuristics because every iteration relocates
+	// a whole population of badly-placed cells at once.
+	for _, iters := range []int{50, 150, 400} {
+		cfg := simevo.DefaultConfig(simevo.WirePower)
+		cfg.MaxIters = iters
+		cfg.Seed = 2006
+		placer, err := simevo.NewPlacer(ckt, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := placer.RunSerial()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SimE %4d iterations: μ=%.3f  wire %.0f  (%.2fs, best at iter %d)\n",
+			iters, res.BestMu, res.BestCosts.Wire, res.Runtime.Seconds(), res.BestIter)
+	}
+
+	fmt.Println("\nfor the full cross-heuristic table (SA, TS, GA, serial and parallel):")
+	fmt.Println("  go run ./cmd/simevo-bench -table compare -scale tiny")
+}

@@ -1,0 +1,41 @@
+// Quickstart: place one benchmark circuit with serial SimE and print the
+// solution quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simevo"
+)
+
+func main() {
+	// Load one of the paper's ISCAS-89 test cases (synthetic equivalent).
+	ckt, err := simevo.Benchmark("s1196")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize wirelength and power for 200 iterations.
+	cfg := simevo.DefaultConfig(simevo.WirePower)
+	cfg.MaxIters = 200
+	cfg.Seed = 42
+
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := placer.RunSerial()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	init := placer.InitialCosts()
+	fmt.Printf("circuit: %s (%d cells, %d nets)\n", ckt.Name(), ckt.NumCells(), ckt.NumNets())
+	fmt.Printf("initial wirelength: %.0f   final: %.0f  (%.2fx better)\n",
+		init.Wire, res.BestCosts.Wire, init.Wire/res.BestCosts.Wire)
+	fmt.Printf("initial power:      %.1f   final: %.1f  (%.2fx better)\n",
+		init.Power, res.BestCosts.Power, init.Power/res.BestCosts.Power)
+	fmt.Printf("solution quality μ(s) = %.3f after %d iterations (%.2f s)\n",
+		res.BestMu, res.Iters, res.Runtime.Seconds())
+}

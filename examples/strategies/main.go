@@ -1,0 +1,76 @@
+// Strategies: run all three of the paper's parallelization strategies on
+// the same circuit and compare them — a one-screen summary of the paper's
+// conclusions.
+//
+//   - Type I distributes only the evaluation step; communication overhead
+//     and duplicated computation make it slower than serial.
+//   - Type II divides the dominant allocation step across row domains and
+//     is the only strategy with real speedup.
+//   - Type III runs cooperating independent searches; no workload division
+//     means serial-like runtimes, but quality can edge past serial.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simevo"
+)
+
+func main() {
+	ckt, err := simevo.Benchmark("s1238")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := simevo.DefaultConfig(simevo.WirePower)
+	cfg.MaxIters = 250
+	cfg.Seed = 2006
+
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	serial, err := placer.RunSerial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d cells, %d iterations, objectives %s\n\n",
+		ckt.Name(), ckt.NumCells(), cfg.MaxIters, cfg.Objectives)
+	fmt.Printf("%-22s  μ=%.3f  time=%6.2fs  (baseline)\n",
+		"serial", serial.BestMu, serial.Runtime.Seconds())
+
+	net := simevo.FastEthernet()
+	const p = 4
+
+	t1, err := placer.RunTypeI(simevo.ParallelOptions{Procs: p, Net: &net})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Type I (low-level)", t1, serial)
+
+	t2, err := placer.RunTypeII(simevo.ParallelOptions{
+		Procs: p, Net: &net, Pattern: simevo.RandomRows(2006),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Type II (random rows)", t2, serial)
+
+	t3, err := placer.RunTypeIII(simevo.ParallelOptions{Procs: p, Net: &net, Retry: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Type III (retry 100)", t3, serial)
+
+	fmt.Println("\npaper's conclusion: only Type II divides the allocation workload;")
+	fmt.Println("Type I pays communication for ~1% of the work; Type III matches serial")
+	fmt.Println("runtime because cooperating searches do not divide work at all.")
+}
+
+func show(name string, res *simevo.ParallelResult, serial *simevo.SerialResult) {
+	speedup := serial.Runtime.Seconds() / res.VirtualTime.Seconds()
+	fmt.Printf("%-22s  μ=%.3f  time=%6.2fs  speedup %.2fx\n",
+		name, res.BestMu, res.VirtualTime.Seconds(), speedup)
+}

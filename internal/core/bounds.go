@@ -1,0 +1,70 @@
+package core
+
+import (
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/power"
+	"simevo/internal/rng"
+	"simevo/internal/timing"
+	"simevo/internal/wire"
+)
+
+// refStream is the RNG stream of the canonical initial placement. The
+// serial engine (and the master rank of every parallel strategy) uses the
+// same stream, so all strategies are normalized against — and start from —
+// the same solution, exactly as the paper's runs do ("All runs were
+// performed using the same starting solution").
+const refStream = 0
+
+// referenceCosts evaluates the objective costs of the canonical initial
+// placement. μ(s) memberships are then expressed as improvement over this
+// reference: the per-objective lower bound is Ref_j / Goal_j, so membership
+// is 0 at the initial cost and reaches 1 when the cost has improved by the
+// goal factor. This keeps μ comparable across serial and parallel runs (the
+// paper reports parallel quality as a percentage of serial μ) and puts
+// converged solutions in the 0.5-0.8 band the paper's tables show.
+func referenceCosts(ckt *netlist.Circuit, cfg *Config) (fuzzy.Costs, error) {
+	rnd := rng.NewStream(cfg.Seed, refStream)
+	place := layout.NewRandom(ckt, cfg.NumRows, rnd)
+	ev := wire.NewEvaluator(ckt, cfg.WireEstimator)
+	lengths := ev.Lengths(place, nil)
+
+	var ref fuzzy.Costs
+	ref.Wire = wire.Total(lengths)
+
+	acts, err := power.Activities(ckt, cfg.PowerConfig)
+	if err != nil {
+		return fuzzy.Costs{}, err
+	}
+	ref.Power = power.Cost(lengths, acts)
+
+	if cfg.Objectives.Has(fuzzy.Delay) {
+		lv, err := ckt.Levelize()
+		if err != nil {
+			return fuzzy.Costs{}, err
+		}
+		a, err := timing.Analyze(ckt, lv, lengths, cfg.TimingModel)
+		if err != nil {
+			return fuzzy.Costs{}, err
+		}
+		ref.Delay = a.MaxDelay
+	}
+	return ref, nil
+}
+
+// lowerBoundsFromReference converts reference costs into the normalization
+// bounds used by fuzzy.Ratio.
+func lowerBoundsFromReference(ref fuzzy.Costs, goals fuzzy.Goals) fuzzy.Costs {
+	div := func(c, g float64) float64 {
+		if g <= 1 {
+			return c
+		}
+		return c / g
+	}
+	return fuzzy.Costs{
+		Wire:  div(ref.Wire, goals.Wire.Goal),
+		Power: div(ref.Power, goals.Power.Goal),
+		Delay: div(ref.Delay, goals.Delay.Goal),
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/gen"
+)
+
+// TestImprovementFactorsOnBenchmark checks the μ normalization assumptions
+// on a real catalog circuit: a converged three-objective run must improve
+// every objective substantially from the initial placement, landing μ in
+// the band the paper's tables report. Skipped in -short runs.
+func TestImprovementFactorsOnBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration test")
+	}
+	ckt, err := gen.Benchmark("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(fuzzy.WirePowerDelay)
+	cfg.MaxIters = 150
+	cfg.Seed = 7
+	p, err := NewProblem(ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewEngine(0)
+	res := e.Run()
+
+	impWire := p.Ref.Wire / res.BestCosts.Wire
+	impPower := p.Ref.Power / res.BestCosts.Power
+	impDelay := p.Ref.Delay / res.BestCosts.Delay
+	t.Logf("improvements: wire %.2fx power %.2fx delay %.2fx, μ=%.3f (best at iter %d)",
+		impWire, impPower, impDelay, res.BestMu, res.BestIter)
+
+	if impWire < 1.5 || impPower < 1.5 {
+		t.Errorf("wire/power improvement too small: %.2f / %.2f", impWire, impPower)
+	}
+	if impDelay < 1.2 {
+		t.Errorf("delay improvement too small: %.2f", impDelay)
+	}
+	if res.BestMu < 0.30 || res.BestMu > 0.95 {
+		t.Errorf("converged μ = %.3f outside plausible band", res.BestMu)
+	}
+}

@@ -1,0 +1,144 @@
+// Package core implements the Simulated Evolution (SimE) metaheuristic for
+// multiobjective standard-cell placement — the serial algorithm of the
+// paper's Figure 1 and the engine shared by all three parallel strategies.
+//
+// One SimE iteration runs three operators over the current placement Φ:
+//
+//	Evaluation: per-cell goodness g_i = O_i / C_i in [0,1], where C_i is the
+//	  cell's actual cost and O_i a lower-bound estimate of its optimal cost,
+//	  aggregated over the active objectives (wirelength, power, delay).
+//	Selection: each cell joins the selection set S with probability
+//	  1 − min(g_i + B, 1); the bias B defaults to 0, the "biasless"
+//	  selection of Sait-Khan 2003 [9].
+//	Allocation: "sorted individual best fit" — S is sorted (worst goodness
+//	  first), the selected cells are removed, and each is placed into the
+//	  best remaining vacated slot by trial evaluation of its incident nets.
+//
+// Allocation dominates runtime (the paper's profiling reports ~98%), which
+// is what the Type II strategy parallelizes.
+package core
+
+import (
+	"fmt"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/power"
+	"simevo/internal/timing"
+	"simevo/internal/wire"
+)
+
+// Config parameterizes a SimE run.
+type Config struct {
+	// Objectives selects the active cost terms. The paper evaluates
+	// fuzzy.WirePower (Tables 1-2) and fuzzy.WirePowerDelay (Table 3).
+	Objectives fuzzy.Objectives
+
+	// Bias is the selection bias B of Figure 1. 0 (default) reproduces the
+	// biasless selection function of [9]. Negative values select more
+	// cells, positive fewer.
+	Bias float64
+
+	// MaxIters bounds the number of iterations of Run.
+	MaxIters int
+
+	// StopAfterNoImprove terminates Run early after this many consecutive
+	// iterations without a best-μ improvement (0 disables).
+	StopAfterNoImprove int
+
+	// TargetMu terminates Run once the best solution quality reaches this
+	// value (0 disables). Used for quality-normalized timing runs.
+	TargetMu float64
+
+	// Alpha is the width-constraint ratio: Width − w_avg ≤ Alpha · w_avg.
+	Alpha float64
+
+	// Beta is the OWA aggregation weight β (fuzzy AND strength).
+	Beta float64
+
+	// Goals are the fuzzy membership goal ratios for μ(s).
+	Goals fuzzy.Goals
+
+	// NumRows overrides the row count (0 = layout.DefaultNumRows).
+	NumRows int
+
+	// Seed drives all stochastic decisions; runs are reproducible.
+	Seed uint64
+
+	// WireEstimator selects the net-length model (default wire.Steiner,
+	// as in the paper).
+	WireEstimator wire.Estimator
+
+	// TimingModel parameterizes the delay substrate.
+	TimingModel timing.Model
+
+	// PowerConfig parameterizes switching-activity estimation.
+	PowerConfig power.Config
+
+	// KPaths is the number of near-critical paths tracked per iteration
+	// for reporting (the delay cost itself is the STA maximum).
+	KPaths int
+
+	// AllocOrder selects the allocation processing order of the selection
+	// set (default WorstFirst). The paper's Section 7 proposes using a
+	// different allocation function per Type III thread to diversify the
+	// cooperating searches; parallel.Options.Diversify uses these orders.
+	AllocOrder AllocOrder
+}
+
+// AllocOrder enumerates allocation processing orders for the selection set.
+type AllocOrder uint8
+
+// Allocation orders. WorstFirst is the classic sorted-individual-best-fit
+// ("sort the elements of S", worst goodness first); BestFirst reverses it;
+// WidestFirst packs wide cells before narrow ones.
+const (
+	WorstFirst AllocOrder = iota
+	BestFirst
+	WidestFirst
+)
+
+// DefaultConfig returns the paper-aligned defaults for the given objective
+// set.
+func DefaultConfig(obj fuzzy.Objectives) Config {
+	return Config{
+		Objectives:    obj,
+		Bias:          0,
+		MaxIters:      350,
+		Alpha:         0.10,
+		Beta:          0.70,
+		Goals:         fuzzy.DefaultGoals(),
+		WireEstimator: wire.Steiner,
+		TimingModel:   timing.DefaultModel(),
+		PowerConfig:   power.DefaultConfig(),
+		KPaths:        8,
+	}
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	if c.Objectives.Count() == 0 {
+		return fmt.Errorf("core: no objectives selected")
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("core: MaxIters must be positive, got %d", c.MaxIters)
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.10
+	}
+	if c.Beta < 0 || c.Beta > 1 {
+		return fmt.Errorf("core: Beta %v out of [0,1]", c.Beta)
+	}
+	if c.Goals.Wire.Goal <= 1 || c.Goals.Power.Goal <= 1 || c.Goals.Delay.Goal <= 1 {
+		return fmt.Errorf("core: membership goals must exceed 1")
+	}
+	if c.KPaths <= 0 {
+		c.KPaths = 8
+	}
+	if c.PowerConfig.MaxIters == 0 {
+		c.PowerConfig = power.DefaultConfig()
+	}
+	if c.TimingModel.Base == nil {
+		c.TimingModel = timing.DefaultModel()
+	}
+	return nil
+}

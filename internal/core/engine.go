@@ -1,0 +1,556 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/power"
+	"simevo/internal/rng"
+	"simevo/internal/timing"
+	"simevo/internal/wire"
+)
+
+// Engine is one SimE search: a placement plus the operator state. Engines
+// are not safe for concurrent use; the parallel strategies give each rank
+// its own engine (sharing the immutable Problem).
+type Engine struct {
+	prob  *Problem
+	place *layout.Placement
+	rnd   *rng.R
+
+	ev       *wire.Evaluator
+	lengths  []float64
+	analysis *timing.Analysis // nil unless Delay is active
+	netCrit  []float64        // per-net timing criticality for allocation
+
+	goodness   []float64 // per cell id
+	domain     []netlist.CellID
+	allocOrder AllocOrder
+	mu         float64
+	costs      fuzzy.Costs
+
+	best      *layout.Placement
+	bestMu    float64
+	bestCosts fuzzy.Costs
+	bestIter  int
+
+	iter      int
+	noImprove int
+	profile   Profile
+	muTrace   []float64
+
+	// scratch buffers
+	selected []netlist.CellID
+	netsBuf  []netlist.NetID
+	goodsBuf []float64 // per-objective goodness scratch (cellGoodness)
+	goodsOut []float64 // per-domain goodness scratch (Step)
+	vacRef   []layout.SlotRef
+	vacX     []float64
+	vacY     []float64
+	vacRow   []int32
+	vacUsed  []bool
+	rowW     []int
+}
+
+func (e *Engine) init() {
+	ckt := e.prob.Ckt
+	e.ev = wire.NewEvaluator(ckt, e.prob.Cfg.WireEstimator)
+	e.goodness = make([]float64, len(ckt.Cells))
+	e.domain = append([]netlist.CellID(nil), ckt.Movable()...)
+	e.allocOrder = e.prob.Cfg.AllocOrder
+	if e.prob.Cfg.Objectives.Has(fuzzy.Delay) {
+		e.netCrit = make([]float64, ckt.NumNets())
+	}
+	e.bestMu = -1
+}
+
+// SetAllocOrder overrides the allocation processing order for this engine
+// (Type III search diversification; the shared Problem stays untouched).
+func (e *Engine) SetAllocOrder(o AllocOrder) { e.allocOrder = o }
+
+// Problem returns the shared problem description.
+func (e *Engine) Problem() *Problem { return e.prob }
+
+// Placement returns the engine's current placement (live object).
+func (e *Engine) Placement() *layout.Placement { return e.place }
+
+// Mu returns μ(s) of the solution at the last evaluation.
+func (e *Engine) Mu() float64 { return e.mu }
+
+// Costs returns the raw objective costs at the last evaluation.
+func (e *Engine) Costs() fuzzy.Costs { return e.costs }
+
+// Iter returns the number of completed iterations.
+func (e *Engine) Iter() int { return e.iter }
+
+// BestMu returns the best μ(s) observed so far (-1 before any evaluation).
+func (e *Engine) BestMu() float64 { return e.bestMu }
+
+// BestPlacement returns a snapshot of the best solution found (nil before
+// any evaluation). The returned placement is owned by the engine; Clone it
+// before mutation.
+func (e *Engine) BestPlacement() *layout.Placement { return e.best }
+
+// Goodness returns the last evaluated goodness of a cell.
+func (e *Engine) Goodness(id netlist.CellID) float64 { return e.goodness[id] }
+
+// MuTrace returns μ(s) after every evaluation so far.
+func (e *Engine) MuTrace() []float64 { return e.muTrace }
+
+// SetDomain restricts evaluation, selection and allocation to the given
+// cells (Type II domain decomposition). Pass nil to restore the full
+// movable set. The engine copies and sorts the list.
+func (e *Engine) SetDomain(cells []netlist.CellID) {
+	if cells == nil {
+		e.domain = append(e.domain[:0], e.prob.Ckt.Movable()...)
+		return
+	}
+	e.domain = append(e.domain[:0], cells...)
+	sort.Slice(e.domain, func(i, j int) bool { return e.domain[i] < e.domain[j] })
+}
+
+// DomainFromRows restricts the domain to all cells currently placed in the
+// given rows.
+func (e *Engine) DomainFromRows(rows []int) {
+	var cells []netlist.CellID
+	for _, r := range rows {
+		cells = append(cells, e.place.Row(r)...)
+	}
+	e.SetDomain(cells)
+}
+
+// AdoptPlacement replaces the current placement (Type III solution
+// exchange). The adopted placement is cloned.
+func (e *Engine) AdoptPlacement(p *layout.Placement) {
+	e.place = p.Clone()
+	e.place.Recompute()
+}
+
+// SetPlacement replaces the current placement, taking ownership (no clone).
+// Used by the parallel slaves after decoding a broadcast placement.
+func (e *Engine) SetPlacement(p *layout.Placement) {
+	e.place = p
+	if e.place.Dirty() {
+		e.place.Recompute()
+	}
+}
+
+// EvaluateCosts refreshes net lengths, objective costs, timing analysis
+// (when delay is active) and μ(s), and updates the best-solution tracking.
+// It does not touch per-cell goodness.
+func (e *Engine) EvaluateCosts() {
+	if e.place.Dirty() {
+		e.place.Recompute()
+	}
+	cfg := &e.prob.Cfg
+	e.lengths = e.ev.Lengths(e.place, e.lengths)
+	e.costs.Wire = wire.Total(e.lengths)
+	e.costs.Power = power.Cost(e.lengths, e.prob.Acts)
+	if cfg.Objectives.Has(fuzzy.Delay) {
+		a, err := timing.Analyze(e.prob.Ckt, e.prob.Lv, e.lengths, cfg.TimingModel)
+		if err != nil {
+			// Analyze only fails on a length/net count mismatch, which the
+			// engine construction rules out.
+			panic("core: timing analysis failed: " + err.Error())
+		}
+		e.analysis = a
+		e.costs.Delay = a.MaxDelay
+		e.updateNetCrit()
+	}
+	ratios := fuzzy.Ratio(e.costs, e.prob.Lower)
+	e.mu = fuzzy.Eval(cfg.Objectives, ratios, cfg.Goals, e.prob.OWA, e.place.WidthViolation(cfg.Alpha))
+	e.muTrace = append(e.muTrace, e.mu)
+
+	if e.mu > e.bestMu {
+		e.bestMu = e.mu
+		e.bestCosts = e.costs
+		e.bestIter = e.iter
+		e.best = e.place.Clone()
+		e.noImprove = 0
+	} else {
+		e.noImprove++
+	}
+}
+
+// updateNetCrit caches per-net timing criticality: the worst endpoint
+// criticality of the net, used to weight allocation trials toward shrinking
+// nets on near-critical paths.
+func (e *Engine) updateNetCrit() {
+	ckt := e.prob.Ckt
+	for i := range ckt.Nets {
+		net := &ckt.Nets[i]
+		c := e.analysis.Criticality(net.Driver)
+		for _, s := range net.Sinks {
+			if sc := e.analysis.Criticality(s); sc > c {
+				c = sc
+			}
+		}
+		e.netCrit[i] = c
+	}
+}
+
+// ComputeGoodness evaluates the goodness of the given cells into the
+// engine's goodness table. EvaluateCosts must have run for the current
+// placement. Returning the values in cell order supports the Type I
+// master/slave protocol.
+func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float64 {
+	if cap(dst) < len(cells) {
+		dst = make([]float64, len(cells))
+	}
+	dst = dst[:len(cells)]
+	for i, id := range cells {
+		g := e.cellGoodness(id)
+		e.goodness[id] = g
+		dst[i] = g
+	}
+	return dst
+}
+
+// SetGoodness installs externally computed goodness values (Type I master
+// after gathering slave results).
+func (e *Engine) SetGoodness(cells []netlist.CellID, vals []float64) {
+	for i, id := range cells {
+		e.goodness[id] = vals[i]
+	}
+}
+
+// cellGoodness computes g_i = O_i / C_i aggregated over active objectives.
+//
+// Wirelength: C = Σ current lengths of the cell's nets; O = Σ over the same
+// nets of the length with the cell optimally placed — the net over the
+// remaining pins plus the minimal attachment span (half the cell's width
+// plus half the nearest remaining cell's width, which a 2-pin net needs to
+// be non-zero). Power: the same sums weighted by switching activity.
+// Delay: 1 − timing criticality (slack-based).
+func (e *Engine) cellGoodness(id netlist.CellID) float64 {
+	cfg := &e.prob.Cfg
+	ckt := e.prob.Ckt
+	e.netsBuf = e.netsBuf[:0]
+	e.netsBuf = ckt.CellNets(id, e.netsBuf)
+
+	var cw, ow, cp, op float64
+	for _, n := range e.netsBuf {
+		l := e.lengths[n]
+		opt := e.ev.NetLengthExcluding(n, id, e.place) + e.minAttach(n, id)
+		if opt > l {
+			opt = l // clamp: O_i may not exceed the achieved cost
+		}
+		cw += l
+		ow += opt
+		act := e.prob.Acts[n]
+		cp += l * act
+		op += opt * act
+	}
+
+	e.goodsBuf = e.goodsBuf[:0]
+	if cfg.Objectives.Has(fuzzy.Wire) {
+		e.goodsBuf = append(e.goodsBuf, ratio01(ow, cw))
+	}
+	if cfg.Objectives.Has(fuzzy.Power) {
+		e.goodsBuf = append(e.goodsBuf, ratio01(op, cp))
+	}
+	if cfg.Objectives.Has(fuzzy.Delay) {
+		e.goodsBuf = append(e.goodsBuf, 1-e.analysis.Criticality(id))
+	}
+	return e.prob.OWA.Aggregate(e.goodsBuf...)
+}
+
+// minAttach returns the minimal center-to-center span cell id needs to
+// reach the closest other cell of the net: half its own width plus half
+// the narrowest other pin's width (pads count as width 0 plus clearance,
+// already in the net lower bound; here they contribute 0).
+func (e *Engine) minAttach(n netlist.NetID, id netlist.CellID) float64 {
+	ckt := e.prob.Ckt
+	net := &ckt.Nets[n]
+	minOther := -1
+	consider := func(c netlist.CellID) {
+		if c == id {
+			return
+		}
+		w := ckt.Cells[c].Width
+		if minOther < 0 || w < minOther {
+			minOther = w
+		}
+	}
+	consider(net.Driver)
+	for _, s := range net.Sinks {
+		consider(s)
+	}
+	if minOther < 0 {
+		return 0
+	}
+	return float64(ckt.Cells[id].Width+minOther) / 2
+}
+
+func ratio01(o, c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	r := o / c
+	if r > 1 {
+		return 1
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// selectCells runs the Selection operator of Figure 1 over the domain:
+// cell i joins S when Random > min(g_i + B, 1). The domain is iterated in
+// sorted cell order so that the random stream is reproducible.
+func (e *Engine) selectCells() []netlist.CellID {
+	e.selected = e.selected[:0]
+	bias := e.prob.Cfg.Bias
+	for _, id := range e.domain {
+		threshold := e.goodness[id] + bias
+		if threshold > 1 {
+			threshold = 1
+		}
+		if e.rnd.Float64() > threshold {
+			e.selected = append(e.selected, id)
+		}
+	}
+	// Sort the elements of S (Figure 1). The classic order is worst
+	// goodness first; alternative orders diversify Type III threads.
+	less := func(a, b netlist.CellID) bool {
+		if e.goodness[a] != e.goodness[b] {
+			return e.goodness[a] < e.goodness[b]
+		}
+		return a < b
+	}
+	switch e.allocOrder {
+	case BestFirst:
+		less = func(a, b netlist.CellID) bool {
+			if e.goodness[a] != e.goodness[b] {
+				return e.goodness[a] > e.goodness[b]
+			}
+			return a < b
+		}
+	case WidestFirst:
+		ckt := e.prob.Ckt
+		less = func(a, b netlist.CellID) bool {
+			if ckt.Cells[a].Width != ckt.Cells[b].Width {
+				return ckt.Cells[a].Width > ckt.Cells[b].Width
+			}
+			return a < b
+		}
+	}
+	sort.Slice(e.selected, func(i, j int) bool { return less(e.selected[i], e.selected[j]) })
+	return e.selected
+}
+
+// allocate runs the sorted-individual-best-fit Allocation: the selected
+// cells are removed (their slots become the vacancy pool) and each cell, in
+// sorted order, takes the vacancy minimizing its trial cost. The trial cost
+// is the sum of the cell's net lengths with the cell at the vacancy,
+// weighted per net by the active objectives (1 for wirelength, the
+// switching activity for power, the timing criticality for delay), times a
+// penalty when the move would violate the width constraint.
+func (e *Engine) allocate(sel []netlist.CellID) {
+	if len(sel) == 0 {
+		return
+	}
+	ckt := e.prob.Ckt
+	cfg := &e.prob.Cfg
+
+	// Capture vacancies and prospective row widths.
+	n := len(sel)
+	e.vacRef = resizeRefs(e.vacRef, n)
+	e.vacX = resizeF64(e.vacX, n)
+	e.vacY = resizeF64(e.vacY, n)
+	e.vacRow = resizeI32(e.vacRow, n)
+	e.vacUsed = resizeBool(e.vacUsed, n)
+	if cap(e.rowW) < e.place.NumRows() {
+		e.rowW = make([]int, e.place.NumRows())
+	}
+	e.rowW = e.rowW[:e.place.NumRows()]
+	for r := range e.rowW {
+		e.rowW[r] = e.place.RowWidth(r)
+	}
+	for i, id := range sel {
+		e.vacX[i], e.vacY[i] = e.place.Coord(id)
+		ref := e.place.RemoveToHole(id)
+		e.vacRef[i] = ref
+		e.vacRow[i] = ref.Row
+		e.vacUsed[i] = false
+		e.rowW[ref.Row] -= ckt.Cells[id].Width
+	}
+
+	avg := e.place.AvgRowWidth()
+	limit := (1 + cfg.Alpha) * avg
+
+	for _, id := range sel {
+		w := ckt.Cells[id].Width
+		// First pass: best width-feasible vacancy. The width bound is a
+		// hard constraint (Section 2), so infeasible vacancies are only
+		// considered in the fallback pass, by smallest violation.
+		best, bestScore := -1, 0.0
+		for v := 0; v < n; v++ {
+			if e.vacUsed[v] || float64(e.rowW[e.vacRow[v]]+w) > limit {
+				continue
+			}
+			score := e.trialCost(id, e.vacX[v], e.vacY[v])
+			if best < 0 || score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+		if best < 0 {
+			bestViol := 0.0
+			for v := 0; v < n; v++ {
+				if e.vacUsed[v] {
+					continue
+				}
+				viol := float64(e.rowW[e.vacRow[v]]+w) - limit
+				if best < 0 || viol < bestViol {
+					best, bestViol = v, viol
+				}
+			}
+		}
+		e.place.FillHole(e.vacRef[best], id)
+		e.place.SetCoordHint(id, e.vacX[best], e.vacY[best])
+		e.vacUsed[best] = true
+		e.rowW[e.vacRow[best]] += w
+	}
+	e.place.Recompute()
+}
+
+// trialCost scores a candidate location for a cell (lower is better).
+func (e *Engine) trialCost(id netlist.CellID, x, y float64) float64 {
+	cfg := &e.prob.Cfg
+	e.netsBuf = e.netsBuf[:0]
+	e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf)
+	cost := 0.0
+	for _, n := range e.netsBuf {
+		l := e.ev.NetLengthWithCellAt(n, id, x, y, e.place)
+		w := 0.0
+		if cfg.Objectives.Has(fuzzy.Wire) {
+			w += 1
+		}
+		if cfg.Objectives.Has(fuzzy.Power) {
+			w += e.prob.Acts[n]
+		}
+		if cfg.Objectives.Has(fuzzy.Delay) {
+			w += e.netCrit[n]
+		}
+		cost += l * w
+	}
+	return cost
+}
+
+// Step executes one full SimE iteration (Evaluation, Selection, Allocation)
+// and returns its statistics.
+func (e *Engine) Step() IterStats {
+	t0 := time.Now()
+	e.EvaluateCosts()
+	e.goodsOut = e.ComputeGoodness(e.domain, e.goodsOut)
+	e.profile.Eval += time.Since(t0)
+	return e.SelectAndAllocate()
+}
+
+// SelectAndAllocate runs the Selection and Allocation operators on the
+// already-evaluated solution. The Type I master calls this directly after
+// installing the goodness values gathered from the slaves; Step uses it for
+// the serial path, so both follow the identical trajectory.
+func (e *Engine) SelectAndAllocate() IterStats {
+	t1 := time.Now()
+	sel := e.selectCells()
+	t2 := time.Now()
+	e.profile.Select += t2.Sub(t1)
+
+	stats := e.currentStats(len(sel))
+	e.allocate(sel)
+	e.profile.Alloc += time.Since(t2)
+
+	e.iter++
+	return stats
+}
+
+func (e *Engine) currentStats(selected int) IterStats {
+	sum := 0.0
+	for _, id := range e.domain {
+		sum += e.goodness[id]
+	}
+	avg := 0.0
+	if len(e.domain) > 0 {
+		avg = sum / float64(len(e.domain))
+	}
+	return IterStats{
+		Iter:     e.iter,
+		Mu:       e.mu,
+		Costs:    e.costs,
+		Selected: selected,
+		AvgGood:  avg,
+		WidthOK:  e.place.WidthOK(e.prob.Cfg.Alpha),
+	}
+}
+
+// Run executes the SimE main loop until MaxIters, the no-improvement stop,
+// or the target quality is reached, then evaluates the final placement and
+// returns the result.
+func (e *Engine) Run() *Result {
+	cfg := &e.prob.Cfg
+	for e.iter < cfg.MaxIters {
+		e.Step()
+		if cfg.TargetMu > 0 && e.bestMu >= cfg.TargetMu {
+			break
+		}
+		if cfg.StopAfterNoImprove > 0 && e.noImprove >= cfg.StopAfterNoImprove {
+			break
+		}
+	}
+	// The last allocation has not been evaluated yet.
+	t0 := time.Now()
+	e.EvaluateCosts()
+	e.profile.Eval += time.Since(t0)
+	return e.result()
+}
+
+func (e *Engine) result() *Result {
+	return &Result{
+		Best:      e.best,
+		BestMu:    e.bestMu,
+		BestCosts: e.bestCosts,
+		BestIter:  e.bestIter,
+		Iters:     e.iter,
+		Profile:   e.profile,
+		MuTrace:   e.muTrace,
+	}
+}
+
+// Result snapshots the current run state without running further.
+func (e *Engine) Result() *Result { return e.result() }
+
+// Profile returns the accumulated operator timings.
+func (e *Engine) Profile() Profile { return e.profile }
+
+func resizeRefs(s []layout.SlotRef, n int) []layout.SlotRef {
+	if cap(s) < n {
+		return make([]layout.SlotRef, n)
+	}
+	return s[:n]
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

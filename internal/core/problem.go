@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/power"
+	"simevo/internal/rng"
+)
+
+// Problem bundles a circuit with the placement-independent data every SimE
+// engine needs: switching activities, levelization, per-net and
+// per-objective lower bounds, and the validated configuration. In the
+// paper's cluster each MPI process computes this once at startup; here the
+// parallel strategies share one Problem across ranks.
+type Problem struct {
+	Ckt *netlist.Circuit
+	Cfg Config
+
+	Lv   *netlist.Levels
+	Acts []float64 // per-net switching activity S_i
+	// Ref holds the objective costs of the canonical initial placement;
+	// Lower = Ref / goal factors normalizes the fuzzy memberships.
+	Ref   fuzzy.Costs
+	Lower fuzzy.Costs
+	OWA   fuzzy.OWA
+}
+
+// NewProblem validates the configuration and precomputes the shared data.
+func NewProblem(ckt *netlist.Circuit, cfg Config) (*Problem, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lv, err := ckt.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	acts, err := power.Activities(ckt, cfg.PowerConfig)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		Ckt: ckt, Cfg: cfg, Lv: lv, Acts: acts,
+		OWA: fuzzy.OWA{Beta: cfg.Beta},
+	}
+	p.Ref, err = referenceCosts(ckt, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.Ref.Wire <= 0 || p.Ref.Power <= 0 {
+		return nil, fmt.Errorf("core: degenerate reference costs %+v", p.Ref)
+	}
+	p.Lower = lowerBoundsFromReference(p.Ref, cfg.Goals)
+	return p, nil
+}
+
+// NewEngine creates an engine with a fresh random initial placement drawn
+// from the problem seed combined with the given stream (rank) number.
+func (p *Problem) NewEngine(stream uint64) *Engine {
+	rnd := rng.NewStream(p.Cfg.Seed, stream)
+	place := layout.NewRandom(p.Ckt, p.Cfg.NumRows, rnd)
+	return p.EngineFrom(place, rnd)
+}
+
+// EngineFromReference creates an engine that starts from the canonical
+// initial placement (the one μ is normalized against) but draws its random
+// decisions from the given stream. The paper's Type III experiments run
+// every thread "using the same starting solution but with different
+// randomization seeds" — this is that construction.
+func (p *Problem) EngineFromReference(stream uint64) *Engine {
+	refRnd := rng.NewStream(p.Cfg.Seed, refStream)
+	place := layout.NewRandom(p.Ckt, p.Cfg.NumRows, refRnd)
+	return p.EngineFrom(place, rng.NewStream(p.Cfg.Seed, stream))
+}
+
+// EngineFrom wraps an existing placement (takes ownership) with a SimE
+// engine using the supplied generator.
+func (p *Problem) EngineFrom(place *layout.Placement, rnd *rng.R) *Engine {
+	e := &Engine{
+		prob:  p,
+		place: place,
+		rnd:   rnd,
+	}
+	e.init()
+	return e
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/metaheur"
+	"simevo/internal/parallel"
+	"simevo/internal/stats"
+)
+
+type parallelResult = parallel.Result
+
+// runTypeII4 runs a p=4 random-pattern Type II placement against a quality
+// target.
+func runTypeII4(prob *core.Problem, sc Scale, target float64) (*parallelResult, error) {
+	return parallel.RunTypeII(prob, parallel.Options{
+		Procs:    4,
+		Net:      &sc.Net,
+		Pattern:  parallel.NewRandomPattern(sc.Seed),
+		TargetMu: target,
+	})
+}
+
+// Comparison runs the Section 7 cross-heuristic experiment: SimE against
+// the SA, TS and GA baselines (serial and parallel) on the same
+// two-objective problem with comparable move budgets, reporting μ(s) and
+// runtime. The paper's qualitative claims: cooperative parallel search
+// suits SA (and GA), Type I candidate-list division suits TS, while SimE
+// profits from Type II domain decomposition.
+func Comparison(sc Scale, w io.Writer) error {
+	tb := stats.NewTable(
+		fmt.Sprintf("Section 7 comparison — heuristics on wire+power (%s scale)", sc.Label),
+		"Ckt", "Heuristic", "mu(s)", "Time", "Notes")
+
+	for _, name := range sc.Circuits {
+		iters := sc.serialIters2()
+		prob, err := sc.problem(name, fuzzy.WirePower, iters)
+		if err != nil {
+			return err
+		}
+		n := prob.Ckt.NumMovable()
+		// Budget parity: SimE evaluates ~n cells and reallocates ~n/3 per
+		// iteration; give the move-based heuristics n moves per SimE
+		// iteration and the GA an equivalent number of full evaluations.
+		moves := iters * n
+		gaPop := 24
+		gaGens := max(5, moves/(gaPop*n/8))
+
+		serial, serialTime := runSerial(prob)
+		tb.AddRow(name, "SimE serial", f3(serial.BestMu), stats.Seconds(serialTime), "baseline")
+
+		if res, err := parallel2(sc, name, serial.BestMu); err != nil {
+			return err
+		} else {
+			t := res.VirtualTime
+			note := "Type II p=4 random"
+			if res.ReachedTarget {
+				t = res.TimeToTarget
+				note += " (time to serial mu)"
+			}
+			tb.AddRow("", "SimE Type II", f3(res.BestMu), stats.Seconds(t), note)
+		}
+
+		sa, err := metaheur.RunSA(prob, metaheur.SAConfig{Moves: moves, Seed: sc.Seed})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "SA serial", f3(sa.BestMu), stats.Seconds(sa.Runtime), fmt.Sprintf("%d moves", sa.Moves))
+
+		psa, err := metaheur.RunParallelSA(prob, metaheur.ParallelSAConfig{
+			SA: metaheur.SAConfig{Moves: moves, Seed: sc.Seed}, Procs: 4, Net: &sc.Net,
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "SA parallel", f3(psa.BestMu), stats.Seconds(psa.VirtualTime), "AMMC p=4")
+
+		tsIters := max(10, moves/64)
+		ts, err := metaheur.RunTS(prob, metaheur.TSConfig{Iters: tsIters, Seed: sc.Seed})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "TS serial", f3(ts.BestMu), stats.Seconds(ts.Runtime), fmt.Sprintf("%d iters", tsIters))
+
+		pts, err := metaheur.RunParallelTS(prob, metaheur.ParallelTSConfig{
+			TS: metaheur.TSConfig{Iters: tsIters, Seed: sc.Seed}, Procs: 4, Net: &sc.Net,
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "TS parallel", f3(pts.BestMu), stats.Seconds(pts.VirtualTime), "Type I p=4")
+
+		ga, err := metaheur.RunGA(prob, metaheur.GAConfig{Pop: gaPop, Generations: gaGens, Seed: sc.Seed})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "GA serial", f3(ga.BestMu), stats.Seconds(ga.Runtime), fmt.Sprintf("%d gens", gaGens))
+
+		pga, err := metaheur.RunParallelGA(prob, metaheur.ParallelGAConfig{
+			GA:    metaheur.GAConfig{Pop: gaPop, Generations: gaGens, Seed: sc.Seed},
+			Procs: 4, Net: &sc.Net,
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("", "GA parallel", f3(pga.BestMu), stats.Seconds(pga.VirtualTime), "islands p=4")
+	}
+	_, err := fmt.Fprintln(w, tb)
+	return err
+}
+
+func parallel2(sc Scale, name string, target float64) (*parallelResult, error) {
+	prob, err := sc.problem(name, fuzzy.WirePower, sc.parIters2(4))
+	if err != nil {
+		return nil, err
+	}
+	return runTypeII4(prob, sc, target)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

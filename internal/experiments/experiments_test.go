@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeScale is even smaller than TinyScale: single circuit, minimal
+// iterations, so the whole harness runs in seconds.
+func smokeScale() Scale {
+	s := TinyScale()
+	s.Label = "smoke"
+	s.Div = 200
+	s.Circuits = []string{"s1238"}
+	s.T4Circuits = []string{"s1238"}
+	s.Procs = []int{2, 3}
+	s.T4Procs = []int{3}
+	s.Retries = []int{3}
+	return s
+}
+
+func TestScalesWellFormed(t *testing.T) {
+	for _, sc := range []Scale{PaperScale(), QuickScale(), TinyScale()} {
+		if sc.Div < 1 {
+			t.Fatalf("%s: bad Div", sc.Label)
+		}
+		if len(sc.Circuits) == 0 || len(sc.Procs) == 0 || len(sc.Retries) == 0 {
+			t.Fatalf("%s: empty experiment lists", sc.Label)
+		}
+	}
+	p := PaperScale()
+	if p.serialIters2() != 3500 || p.serialIters3() != 5000 || p.t3Iters() != 2500 {
+		t.Fatal("paper serial iteration counts wrong")
+	}
+	if p.parIters2(2) != 4000 || p.parIters2(5) != 5500 {
+		t.Fatalf("paper Table 2 parallel iterations wrong: %d, %d", p.parIters2(2), p.parIters2(5))
+	}
+	if p.parIters3(2) != 6000 || p.parIters3(5) != 9000 {
+		t.Fatalf("paper Table 3 parallel iterations wrong: %d, %d", p.parIters3(2), p.parIters3(5))
+	}
+}
+
+func TestProfileSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Profile(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Section 4", "wire+power", "wire+power+delay", "Alloc%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "s1238", "540", "p=2", "p=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "s1238", "F p=2", "R p=3", "mu(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Table3(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 3") {
+		t.Fatalf("table 3 output malformed:\n%s", sb.String())
+	}
+}
+
+func TestComparisonSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Comparison(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SimE serial", "SA parallel", "TS parallel", "GA parallel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Table4(smokeScale(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 4", "s1238", "Retry", "p=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 4 output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMembershipShape(t *testing.T) {
+	m := Membership{Goal: 3}
+	cases := []struct{ x, want float64 }{
+		{0.5, 1}, {1, 1}, {2, 0.5}, {3, 0}, {10, 0},
+	}
+	for _, tc := range cases {
+		if got := m.Eval(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestMembershipMonotoneDecreasing(t *testing.T) {
+	m := Membership{Goal: 2.5}
+	prop := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return m.Eval(a) >= m.Eval(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipNaN(t *testing.T) {
+	m := Membership{Goal: 2}
+	if got := m.Eval(math.NaN()); got != 0 {
+		t.Fatalf("Eval(NaN) = %v, want 0", got)
+	}
+}
+
+func TestOWAExtremes(t *testing.T) {
+	vals := []float64{0.2, 0.6, 1.0}
+	if got := (OWA{Beta: 1}).Aggregate(vals...); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("pure-min OWA = %v, want 0.2", got)
+	}
+	if got := (OWA{Beta: 0}).Aggregate(vals...); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("pure-mean OWA = %v, want 0.6", got)
+	}
+	mid := (OWA{Beta: 0.5}).Aggregate(vals...)
+	if math.Abs(mid-0.4) > 1e-12 {
+		t.Fatalf("OWA(0.5) = %v, want 0.4", mid)
+	}
+}
+
+func TestOWABetweenMinAndMean(t *testing.T) {
+	prop := func(beta float64, raw []float64) bool {
+		beta = math.Mod(math.Abs(beta), 1)
+		if len(raw) == 0 {
+			return (OWA{Beta: beta}).Aggregate() == 0
+		}
+		vals := make([]float64, len(raw))
+		min, sum := math.Inf(1), 0.0
+		for i, v := range raw {
+			vals[i] = math.Mod(math.Abs(v), 1)
+			if vals[i] < min {
+				min = vals[i]
+			}
+			sum += vals[i]
+		}
+		mean := sum / float64(len(vals))
+		got := (OWA{Beta: beta}).Aggregate(vals...)
+		return got >= min-1e-9 && got <= mean+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOWAMonotone(t *testing.T) {
+	// Raising any membership must not lower the aggregate.
+	o := OWA{Beta: 0.7}
+	base := o.Aggregate(0.3, 0.5, 0.7)
+	up := o.Aggregate(0.4, 0.5, 0.7)
+	if up < base {
+		t.Fatalf("OWA decreased when a membership rose: %v -> %v", base, up)
+	}
+}
+
+func TestObjectivesSet(t *testing.T) {
+	if !WirePower.Has(Wire) || !WirePower.Has(Power) || WirePower.Has(Delay) {
+		t.Fatal("WirePower bits wrong")
+	}
+	if WirePowerDelay.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", WirePowerDelay.Count())
+	}
+	if WirePower.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", WirePower.Count())
+	}
+	if WirePower.String() != "wire+power" {
+		t.Fatalf("String = %q", WirePower.String())
+	}
+	if WirePowerDelay.String() != "wire+power+delay" {
+		t.Fatalf("String = %q", WirePowerDelay.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := Ratio(Costs{Wire: 20, Power: 6, Delay: 9}, Costs{Wire: 10, Power: 3, Delay: 3})
+	if r.Wire != 2 || r.Power != 2 || r.Delay != 3 {
+		t.Fatalf("Ratio = %+v", r)
+	}
+	// Zero lower bound degenerates to ratio 1.
+	r = Ratio(Costs{Wire: 5}, Costs{})
+	if r.Wire != 1 || r.Power != 1 || r.Delay != 1 {
+		t.Fatalf("zero-bound Ratio = %+v, want all 1", r)
+	}
+}
+
+func TestEvalPerfectSolution(t *testing.T) {
+	mu := Eval(WirePowerDelay, Costs{Wire: 1, Power: 1, Delay: 1}, DefaultGoals(), OWA{Beta: 0.7}, 0)
+	if mu != 1 {
+		t.Fatalf("μ at lower bounds = %v, want 1", mu)
+	}
+}
+
+func TestEvalUsesOnlyActiveObjectives(t *testing.T) {
+	goals := DefaultGoals()
+	owa := OWA{Beta: 0.7}
+	// Terrible delay ratio must not affect the two-objective score.
+	r := Costs{Wire: 1.2, Power: 1.2, Delay: 1000}
+	mu2 := Eval(WirePower, r, goals, owa, 0)
+	r.Delay = 1
+	mu2b := Eval(WirePower, r, goals, owa, 0)
+	if mu2 != mu2b {
+		t.Fatalf("inactive delay objective affected μ: %v vs %v", mu2, mu2b)
+	}
+	mu3 := Eval(WirePowerDelay, Costs{Wire: 1.2, Power: 1.2, Delay: 1000}, goals, owa, 0)
+	if mu3 >= mu2 {
+		t.Fatalf("bad delay should hurt three-objective μ: %v vs %v", mu3, mu2)
+	}
+}
+
+func TestEvalWidthPenalty(t *testing.T) {
+	goals := DefaultGoals()
+	owa := OWA{Beta: 0.7}
+	r := Costs{Wire: 1.5, Power: 1.5, Delay: 1.5}
+	ok := Eval(WirePowerDelay, r, goals, owa, 0)
+	bad := Eval(WirePowerDelay, r, goals, owa, 0.5)
+	if bad >= ok {
+		t.Fatalf("width violation did not lower μ: %v vs %v", bad, ok)
+	}
+	if want := ok / 1.5; math.Abs(bad-want) > 1e-12 {
+		t.Fatalf("penalty μ = %v, want %v", bad, want)
+	}
+}
+
+func TestEvalRange(t *testing.T) {
+	prop := func(w, p, d, viol float64) bool {
+		r := Costs{
+			Wire:  1 + math.Mod(math.Abs(w), 10),
+			Power: 1 + math.Mod(math.Abs(p), 10),
+			Delay: 1 + math.Mod(math.Abs(d), 10),
+		}
+		v := math.Mod(math.Abs(viol), 2)
+		mu := Eval(WirePowerDelay, r, DefaultGoals(), OWA{Beta: 0.7}, v)
+		return mu >= 0 && mu <= 1 && !math.IsNaN(mu)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalMonotoneInCost(t *testing.T) {
+	goals := DefaultGoals()
+	owa := OWA{Beta: 0.7}
+	prev := math.Inf(1)
+	for x := 1.0; x <= 5.0; x += 0.25 {
+		mu := Eval(WirePowerDelay, Costs{Wire: x, Power: x, Delay: x}, goals, owa, 0)
+		if mu > prev+1e-12 {
+			t.Fatalf("μ increased as all costs worsened at x=%v", x)
+		}
+		prev = mu
+	}
+}

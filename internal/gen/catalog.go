@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"simevo/internal/netlist"
+)
+
+// The catalog reproduces the five ISCAS-89 test cases of the paper's
+// evaluation (Tables 1-4). Movable cell counts match the paper's "Cells"
+// column exactly; PI/PO/DFF counts and depth follow the published ISCAS-89
+// characteristics. Gates = Cells - DFFs.
+//
+//	Ckt    Cells (paper Table 1)
+//	s1196  561
+//	s1238  540
+//	s1488  667
+//	s1494  661
+//	s3330  1561
+var catalog = map[string]Params{
+	"s1196": {Name: "s1196", Gates: 561 - 18, DFFs: 18, PIs: 14, POs: 14, Depth: 24, Seed: 0x1196},
+	"s1238": {Name: "s1238", Gates: 540 - 18, DFFs: 18, PIs: 14, POs: 14, Depth: 22, Seed: 0x1238},
+	"s1488": {Name: "s1488", Gates: 667 - 6, DFFs: 6, PIs: 8, POs: 19, Depth: 17, Seed: 0x1488},
+	"s1494": {Name: "s1494", Gates: 661 - 6, DFFs: 6, PIs: 8, POs: 19, Depth: 17, Seed: 0x1494},
+	"s3330": {Name: "s3330", Gates: 1561 - 132, DFFs: 132, PIs: 40, POs: 73, Depth: 14, Seed: 0x3330},
+}
+
+// Catalog returns the names of the available benchmark circuits in
+// deterministic order.
+func Catalog() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CatalogParams returns the generation parameters for a named benchmark.
+func CatalogParams(name string) (Params, error) {
+	p, ok := catalog[name]
+	if !ok {
+		return Params{}, fmt.Errorf("gen: unknown benchmark %q (have %v)", name, Catalog())
+	}
+	return p, nil
+}
+
+// Benchmark generates the named catalog circuit. Generation is deterministic:
+// repeated calls return structurally identical circuits.
+func Benchmark(name string) (*netlist.Circuit, error) {
+	p, err := CatalogParams(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p)
+}

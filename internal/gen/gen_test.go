@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simevo/internal/netlist"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	ckt, err := Generate(Params{Name: "t", Gates: 50, DFFs: 5, PIs: 4, POs: 4, Depth: 6, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	st := netlist.ComputeStats(ckt)
+	if st.Cells != 55 {
+		t.Fatalf("Cells = %d, want 55", st.Cells)
+	}
+	if st.Gates != 50 || st.DFFs != 5 {
+		t.Fatalf("Gates/DFFs = %d/%d, want 50/5", st.Gates, st.DFFs)
+	}
+	if st.PIs != 4 || st.POs != 4 {
+		t.Fatalf("PIs/POs = %d/%d, want 4/4", st.PIs, st.POs)
+	}
+	if st.Depth < 6 {
+		t.Fatalf("Depth = %d, want >= 6 (DFF data paths may extend it)", st.Depth)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "d", Gates: 100, DFFs: 8, PIs: 6, POs: 6, Depth: 8, Seed: 7}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb strings.Builder
+	if err := netlist.WriteBench(&sa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteBench(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Fatal("same-seed generation produced different circuits")
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	p := Params{Name: "d", Gates: 100, DFFs: 8, PIs: 6, POs: 6, Depth: 8, Seed: 7}
+	q := p
+	q.Seed = 8
+	a, _ := Generate(p)
+	b, _ := Generate(q)
+	var sa, sb strings.Builder
+	netlist.WriteBench(&sa, a)
+	netlist.WriteBench(&sb, b)
+	if sa.String() == sb.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	// Generate already calls Validate via Build; re-validate defensively and
+	// check round-trip through the .bench format.
+	ckt, err := Generate(Params{Name: "v", Gates: 200, DFFs: 12, PIs: 8, POs: 8, Depth: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var sb strings.Builder
+	if err := netlist.WriteBench(&sb, ckt); err != nil {
+		t.Fatal(err)
+	}
+	ckt2, err := netlist.ParseBench("v2", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	s1, s2 := netlist.ComputeStats(ckt), netlist.ComputeStats(ckt2)
+	s1.Name, s2.Name = "", ""
+	if s1 != s2 {
+		t.Fatalf("bench round-trip changed stats:\n  %+v\n  %+v", s1, s2)
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(Params{Name: "bad", Gates: 3, Depth: 10, PIs: 2, POs: 2, Seed: 1}); err == nil {
+		t.Fatal("gates < depth accepted")
+	}
+	if _, err := Generate(Params{Name: "bad", Gates: 0, PIs: 2, POs: 2, Seed: 1}); err == nil {
+		t.Fatal("zero gates accepted")
+	}
+}
+
+func TestGeneratePropertyValid(t *testing.T) {
+	// Property: any sane parameter set yields a structurally valid circuit
+	// with the requested cell counts.
+	prop := func(seed uint64, gRaw, dRaw, piRaw, poRaw uint8) bool {
+		gates := 20 + int(gRaw)%200
+		dffs := int(dRaw) % 16
+		pis := 2 + int(piRaw)%12
+		pos := 2 + int(poRaw)%12
+		ckt, err := Generate(Params{
+			Name: "prop", Gates: gates, DFFs: dffs, PIs: pis, POs: pos,
+			Depth: 8, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		st := netlist.ComputeStats(ckt)
+		return st.Gates == gates && st.DFFs == dffs && st.PIs == pis && st.POs == pos
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := Catalog()
+	want := []string{"s1196", "s1238", "s1488", "s1494", "s3330"}
+	if len(names) != len(want) {
+		t.Fatalf("Catalog = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Catalog[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestCatalogCellCountsMatchPaper(t *testing.T) {
+	// Movable cell counts must match the paper's Table 1 "Cells" column.
+	want := map[string]int{
+		"s1196": 561, "s1238": 540, "s1488": 667, "s1494": 661, "s3330": 1561,
+	}
+	for name, cells := range want {
+		ckt, err := Benchmark(name)
+		if err != nil {
+			t.Fatalf("Benchmark(%s): %v", name, err)
+		}
+		if got := ckt.NumMovable(); got != cells {
+			t.Errorf("%s movable cells = %d, want %d (paper Table 1)", name, got, cells)
+		}
+	}
+}
+
+func TestBenchmarkUnknown(t *testing.T) {
+	if _, err := Benchmark("s9999"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFaninDistributionRespected(t *testing.T) {
+	// With a point-mass fan-in distribution, every gate must have that
+	// exact fan-in (modulo 1-input gates forced by gate typing).
+	ckt, err := Generate(Params{
+		Name: "f3", Gates: 150, DFFs: 0, PIs: 6, POs: 6, Depth: 6,
+		FaninDist: []float64{0, 0, 1}, // always fan-in 3
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ckt.Cells {
+		c := &ckt.Cells[i]
+		if c.IsPad() || c.Type == netlist.DFF {
+			continue
+		}
+		if len(c.In) != 3 {
+			t.Fatalf("gate %s fan-in = %d, want 3", c.Name, len(c.In))
+		}
+	}
+}
+
+func TestEveryNetHasSinkOrIsDeepSignal(t *testing.T) {
+	// Structural sanity: the vast majority of nets should have sinks (POs
+	// and DFF inputs absorb deep signals). A few dangling nets are
+	// tolerable, as in real benchmarks, but not more than 20%.
+	ckt, err := Benchmark("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dangling := 0
+	for i := range ckt.Nets {
+		if len(ckt.Nets[i].Sinks) == 0 {
+			dangling++
+		}
+	}
+	if frac := float64(dangling) / float64(len(ckt.Nets)); frac > 0.20 {
+		t.Fatalf("%.1f%% of nets dangling, want <= 20%%", frac*100)
+	}
+}

@@ -1,0 +1,168 @@
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"simevo/internal/netlist"
+)
+
+// Wire formats used by the parallel strategies to ship placements between
+// ranks. All values are little-endian int32. A full placement is:
+//
+//	numRows, then per row: count, cellID...
+//
+// A row subset is:
+//
+//	numEntries, then per entry: rowIndex, count, cellID...
+//
+// Sizes are what the network model charges for, so the encoding is kept
+// close to what the paper's C/MPI implementation would have sent (4 bytes
+// per cell reference).
+
+// Encode serializes the full slot assignment.
+func (p *Placement) Encode() []byte {
+	n := 1 + p.numRows
+	for r := range p.rows {
+		n += len(p.rows[r])
+	}
+	buf := make([]byte, 0, 4*n)
+	buf = appendI32(buf, int32(p.numRows))
+	for r := range p.rows {
+		buf = appendI32(buf, int32(len(p.rows[r])))
+		for _, id := range p.rows[r] {
+			buf = appendI32(buf, int32(id))
+		}
+	}
+	return buf
+}
+
+// DecodePlacement reconstructs a placement of ckt from Encode output.
+func DecodePlacement(ckt *netlist.Circuit, data []byte) (*Placement, error) {
+	p, _, err := DecodePlacementPrefix(ckt, data)
+	return p, err
+}
+
+// DecodePlacementPrefix decodes a placement from the front of data and
+// returns the unconsumed remainder, for messages that append further
+// payload after the placement.
+func DecodePlacementPrefix(ckt *netlist.Circuit, data []byte) (*Placement, []byte, error) {
+	d := decoder{data: data}
+	numRows, err := d.i32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if numRows <= 0 || numRows > 1<<20 {
+		return nil, nil, fmt.Errorf("layout: decoded row count %d out of range", numRows)
+	}
+	p := New(ckt, int(numRows))
+	for r := 0; r < int(numRows); r++ {
+		count, err := d.i32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if count < 0 || int(count) > len(ckt.Cells) {
+			return nil, nil, fmt.Errorf("layout: decoded row %d count %d out of range", r, count)
+		}
+		row := make([]netlist.CellID, count)
+		for i := range row {
+			v, err := d.i32()
+			if err != nil {
+				return nil, nil, err
+			}
+			if v < 0 || int(v) >= len(ckt.Cells) {
+				return nil, nil, fmt.Errorf("layout: decoded cell id %d out of range", v)
+			}
+			row[i] = netlist.CellID(v)
+			p.slotOf[v] = SlotRef{Row: int32(r), Idx: int32(i)}
+		}
+		p.rows[r] = row
+	}
+	p.dirty = true
+	p.Recompute()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return p, d.data[d.off:], nil
+}
+
+// EncodeRows serializes the contents of a subset of rows.
+func (p *Placement) EncodeRows(rows []int) []byte {
+	n := 1
+	for _, r := range rows {
+		n += 2 + len(p.rows[r])
+	}
+	buf := make([]byte, 0, 4*n)
+	buf = appendI32(buf, int32(len(rows)))
+	for _, r := range rows {
+		buf = appendI32(buf, int32(r))
+		buf = appendI32(buf, int32(len(p.rows[r])))
+		for _, id := range p.rows[r] {
+			buf = appendI32(buf, int32(id))
+		}
+	}
+	return buf
+}
+
+// ApplyRows overwrites the given rows from EncodeRows output produced by a
+// copy of the same placement (Type II merge step). Slot back-references for
+// the affected cells are updated; the caller must Recompute before reading
+// coordinates.
+func (p *Placement) ApplyRows(data []byte) error {
+	d := decoder{data: data}
+	entries, err := d.i32()
+	if err != nil {
+		return err
+	}
+	for e := 0; e < int(entries); e++ {
+		r, err := d.i32()
+		if err != nil {
+			return err
+		}
+		if r < 0 || int(r) >= p.numRows {
+			return fmt.Errorf("layout: ApplyRows row %d out of range", r)
+		}
+		count, err := d.i32()
+		if err != nil {
+			return err
+		}
+		if count < 0 || int(count) > len(p.ckt.Cells) {
+			return fmt.Errorf("layout: ApplyRows count %d out of range", count)
+		}
+		row := make([]netlist.CellID, count)
+		for i := range row {
+			v, err := d.i32()
+			if err != nil {
+				return err
+			}
+			if v < 0 || int(v) >= len(p.ckt.Cells) {
+				return fmt.Errorf("layout: ApplyRows cell id %d out of range", v)
+			}
+			row[i] = netlist.CellID(v)
+		}
+		p.rows[r] = row
+		for i, id := range row {
+			p.slotOf[id] = SlotRef{Row: r, Idx: int32(i)}
+		}
+	}
+	p.dirty = true
+	return nil
+}
+
+func appendI32(buf []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, uint32(v))
+}
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) i32() (int32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, fmt.Errorf("layout: truncated encoding at offset %d", d.off)
+	}
+	v := int32(binary.LittleEndian.Uint32(d.data[d.off:]))
+	d.off += 4
+	return v, nil
+}

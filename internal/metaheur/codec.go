@@ -1,0 +1,64 @@
+package metaheur
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"simevo/internal/core"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+)
+
+// Wire helpers for the parallel metaheuristics (little-endian).
+
+func encodeCands(cands [][2]netlist.CellID) []byte {
+	buf := make([]byte, 0, 4+8*len(cands))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cands)))
+	for _, c := range cands {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c[0]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c[1]))
+	}
+	return buf
+}
+
+func decodeCands(data []byte) ([][2]netlist.CellID, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("metaheur: truncated candidate list")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if uint32(len(data)-4) != 8*n {
+		return nil, fmt.Errorf("metaheur: candidate list length mismatch")
+	}
+	out := make([][2]netlist.CellID, n)
+	off := 4
+	for i := range out {
+		out[i][0] = netlist.CellID(binary.LittleEndian.Uint32(data[off:]))
+		out[i][1] = netlist.CellID(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8
+	}
+	return out, nil
+}
+
+func encodeChunk(vals []float64) []byte {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeChunk(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("metaheur: delta chunk length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+func decodePlacementPrefix(prob *core.Problem, data []byte) (*layout.Placement, []byte, error) {
+	return layout.DecodePlacementPrefix(prob.Ckt, data)
+}

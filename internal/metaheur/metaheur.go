@@ -1,0 +1,185 @@
+// Package metaheur implements the comparison metaheuristics the paper's
+// Section 7 references — Simulated Annealing, Tabu Search, and a Genetic
+// Algorithm — on the same placement substrates as SimE, in serial and
+// parallel forms:
+//
+//   - SA parallelizes as asynchronous multiple Markov chains (the paper's
+//     reference [1] and [11]) through a central best store;
+//   - GA parallelizes as an island model with ring migration ([8]);
+//   - TS parallelizes as Type I candidate-list division ([6]), which the
+//     authors report gave TS its best speedups.
+//
+// All three optimize the two-objective (wirelength + power) problem with
+// the same μ(s) quality measure as SimE, so results are directly
+// comparable with the SimE tables.
+package metaheur
+
+import (
+	"fmt"
+	"time"
+
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/power"
+	"simevo/internal/rng"
+	"simevo/internal/wire"
+)
+
+// Result reports a metaheuristic run in the same terms as the SimE engine.
+type Result struct {
+	BestMu    float64
+	BestCosts fuzzy.Costs
+	Best      *layout.Placement
+	Moves     int // moves / iterations / generations executed
+	Runtime   time.Duration
+}
+
+// evaluator computes μ(s) and move deltas for the two-objective problem.
+// Swap deltas use the same coordinate approximation as SimE's allocation
+// operator (cells score at the swapped slot's last-recomputed coordinates);
+// a periodic full recompute kills the accumulated drift.
+type evaluator struct {
+	prob    *core.Problem
+	ev      *wire.Evaluator
+	lengths []float64
+	wireSum float64
+	powSum  float64
+	nets    []netlist.NetID // scratch
+}
+
+func newEvaluator(prob *core.Problem) *evaluator {
+	return &evaluator{
+		prob: prob,
+		ev:   wire.NewEvaluator(prob.Ckt, prob.Cfg.WireEstimator),
+	}
+}
+
+// full recomputes the totals from scratch for the given placement.
+func (e *evaluator) full(place *layout.Placement) {
+	if place.Dirty() {
+		place.Recompute()
+	}
+	e.lengths = e.ev.Lengths(place, e.lengths)
+	e.wireSum = wire.Total(e.lengths)
+	e.powSum = power.Cost(e.lengths, e.prob.Acts)
+}
+
+// mu returns μ(s) for the current totals.
+func (e *evaluator) mu(place *layout.Placement) float64 {
+	ratios := fuzzy.Ratio(fuzzy.Costs{Wire: e.wireSum, Power: e.powSum}, e.prob.Lower)
+	return fuzzy.Eval(fuzzy.WirePower, ratios, e.prob.Cfg.Goals, e.prob.OWA,
+		place.WidthViolation(e.prob.Cfg.Alpha))
+}
+
+// costs returns the current raw totals.
+func (e *evaluator) costs() fuzzy.Costs {
+	return fuzzy.Costs{Wire: e.wireSum, Power: e.powSum}
+}
+
+// energy is the scalar the local-search heuristics minimize: the sum of
+// cost ratios against the μ normalization bounds (monotone with 1-μ for
+// equal memberships, but smooth everywhere).
+func (e *evaluator) energy() float64 {
+	return e.wireSum/e.prob.Lower.Wire + e.powSum/e.prob.Lower.Power
+}
+
+// swapDelta computes the exact energy change of swapping cells a and b at
+// the current (possibly hinted) coordinates, without mutating the
+// placement. Nets containing both cells are evaluated with both endpoints
+// moved simultaneously.
+func (e *evaluator) swapDelta(place *layout.Placement, a, b netlist.CellID) float64 {
+	ax, ay := place.Coord(a)
+	bx, by := place.Coord(b)
+	e.nets = e.nets[:0]
+	e.nets = e.prob.Ckt.CellNets(a, e.nets)
+	e.nets = e.prob.Ckt.CellNets(b, e.nets)
+	var dWire, dPow float64
+	for _, n := range dedupNets(e.nets) {
+		old := e.lengths[n]
+		hasA, hasB := e.netHas(n, a), e.netHas(n, b)
+		var nu float64
+		switch {
+		case hasA && hasB:
+			nu = e.ev.NetLengthWithCellsAt(n, a, bx, by, b, ax, ay, place)
+		case hasA:
+			nu = e.ev.NetLengthWithCellAt(n, a, bx, by, place)
+		default:
+			nu = e.ev.NetLengthWithCellAt(n, b, ax, ay, place)
+		}
+		dWire += nu - old
+		dPow += (nu - old) * e.prob.Acts[n]
+	}
+	return dWire/e.prob.Lower.Wire + dPow/e.prob.Lower.Power
+}
+
+func (e *evaluator) netHas(n netlist.NetID, id netlist.CellID) bool {
+	net := e.prob.Ckt.Net(n)
+	if net.Driver == id {
+		return true
+	}
+	for _, s := range net.Sinks {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// applySwap commits a swap and incrementally updates the totals.
+func (e *evaluator) applySwap(place *layout.Placement, a, b netlist.CellID) {
+	ax, ay := place.Coord(a)
+	bx, by := place.Coord(b)
+	place.SwapCells(a, b)
+	place.SetCoordHint(a, bx, by)
+	place.SetCoordHint(b, ax, ay)
+	// Recompute the affected nets' lengths at the hinted coordinates.
+	e.nets = e.nets[:0]
+	e.nets = e.prob.Ckt.CellNets(a, e.nets)
+	e.nets = e.prob.Ckt.CellNets(b, e.nets)
+	for _, n := range dedupNets(e.nets) {
+		old := e.lengths[n]
+		nu := e.ev.NetLength(n, place)
+		e.lengths[n] = nu
+		e.wireSum += nu - old
+		e.powSum += (nu - old) * e.prob.Acts[n]
+	}
+}
+
+func dedupNets(nets []netlist.NetID) []netlist.NetID {
+	out := nets[:0]
+	for i, n := range nets {
+		dup := false
+		for _, m := range nets[:i] {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// randomPair picks two distinct movable cells.
+func randomPair(movable []netlist.CellID, rnd *rng.R) (netlist.CellID, netlist.CellID) {
+	a := movable[rnd.Intn(len(movable))]
+	b := movable[rnd.Intn(len(movable))]
+	for b == a {
+		b = movable[rnd.Intn(len(movable))]
+	}
+	return a, b
+}
+
+// requireWirePower rejects configurations the local-search heuristics do
+// not support (they optimize the paper's two-objective problem).
+func requireWirePower(prob *core.Problem) error {
+	if prob.Cfg.Objectives != fuzzy.WirePower {
+		return fmt.Errorf("metaheur: only the wire+power objective set is supported, got %s",
+			prob.Cfg.Objectives)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package metaheur
+
+import (
+	"math"
+	"time"
+
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+	"simevo/internal/parallel"
+	"simevo/internal/rng"
+)
+
+// SAConfig parameterizes simulated annealing.
+type SAConfig struct {
+	// Moves is the total move budget.
+	Moves int
+	// ChainLen is the number of moves per temperature (0: one per movable
+	// cell).
+	ChainLen int
+	// Alpha is the geometric cooling rate (0: 0.95).
+	Alpha float64
+	// InitAccept calibrates T0 so roughly this fraction of uphill moves is
+	// accepted initially (0: 0.8).
+	InitAccept float64
+	// RecomputeEvery forces a full re-evaluation after this many accepted
+	// moves, bounding the incremental-update drift (0: 2000).
+	RecomputeEvery int
+	// Seed selects the random stream.
+	Seed uint64
+}
+
+func (c *SAConfig) defaults(n int) {
+	if c.ChainLen == 0 {
+		c.ChainLen = n
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.95
+	}
+	if c.InitAccept == 0 {
+		c.InitAccept = 0.8
+	}
+	if c.RecomputeEvery == 0 {
+		c.RecomputeEvery = 2000
+	}
+}
+
+// RunSA anneals the placement with pairwise-swap moves under the Metropolis
+// criterion and geometric cooling. The energy is the sum of normalized
+// wirelength and power costs; μ(s) is reported for comparability with SimE.
+func RunSA(prob *core.Problem, cfg SAConfig) (*Result, error) {
+	if err := requireWirePower(prob); err != nil {
+		return nil, err
+	}
+	cfg.defaults(prob.Ckt.NumMovable())
+	start := time.Now()
+
+	sa := newSAChain(prob, cfg, 0x5a5a)
+	for sa.moves < cfg.Moves {
+		sa.runChain(cfg.ChainLen)
+		sa.temp *= cfg.Alpha
+		if sa.temp < sa.t0*1e-6 {
+			break
+		}
+	}
+	return &Result{
+		BestMu:    sa.bestMu,
+		BestCosts: sa.bestCosts,
+		Best:      sa.best,
+		Moves:     sa.moves,
+		Runtime:   time.Since(start),
+	}, nil
+}
+
+// saChain is one annealing chain; the parallel AMMC strategy runs one per
+// rank.
+type saChain struct {
+	prob  *core.Problem
+	cfg   SAConfig
+	ev    *evaluator
+	place *layout.Placement
+	rnd   *rng.R
+
+	temp, t0  float64
+	moves     int
+	accepted  int
+	bestMu    float64
+	bestCosts fuzzy.Costs
+	best      *layout.Placement
+}
+
+// newSAChain builds a chain starting from the canonical initial placement
+// with a stream-distinct random sequence.
+func newSAChain(prob *core.Problem, cfg SAConfig, stream uint64) *saChain {
+	eng := prob.EngineFromReference(0) // canonical start, rng unused
+	place := eng.Placement()
+	ev := newEvaluator(prob)
+	ev.full(place)
+	sa := &saChain{
+		prob: prob, cfg: cfg, ev: ev, place: place,
+		rnd: rng.NewStream(prob.Cfg.Seed^cfg.Seed, stream),
+	}
+	sa.calibrate()
+	sa.best = place.Clone()
+	sa.bestMu = ev.mu(place)
+	sa.bestCosts = ev.costs()
+	return sa
+}
+
+// calibrate samples random swaps to set T0 so that InitAccept of uphill
+// moves would be accepted.
+func (sa *saChain) calibrate() {
+	movable := sa.prob.Ckt.Movable()
+	sum, count := 0.0, 0
+	for i := 0; i < 64; i++ {
+		a, b := randomPair(movable, sa.rnd)
+		if d := sa.ev.swapDelta(sa.place, a, b); d > 0 {
+			sum += d
+			count++
+		}
+	}
+	if count == 0 {
+		count = 1
+	}
+	meanUp := sum / float64(count)
+	if meanUp <= 0 {
+		meanUp = 1e-6
+	}
+	// P(accept) = exp(-d/T) = InitAccept at d = meanUp.
+	sa.t0 = -meanUp / math.Log(sa.cfg.InitAccept)
+	sa.temp = sa.t0
+}
+
+// runChain executes one temperature plateau.
+func (sa *saChain) runChain(n int) {
+	movable := sa.prob.Ckt.Movable()
+	for i := 0; i < n && sa.moves < sa.cfg.Moves; i++ {
+		sa.moves++
+		a, b := randomPair(movable, sa.rnd)
+		d := sa.ev.swapDelta(sa.place, a, b)
+		if d <= 0 || sa.rnd.Float64() < math.Exp(-d/sa.temp) {
+			sa.ev.applySwap(sa.place, a, b)
+			sa.accepted++
+			if sa.accepted%sa.cfg.RecomputeEvery == 0 {
+				sa.place.Recompute()
+				sa.ev.full(sa.place)
+			}
+			if mu := sa.ev.mu(sa.place); mu > sa.bestMu {
+				// Confirm against an exact evaluation before recording.
+				sa.place.Recompute()
+				sa.ev.full(sa.place)
+				if mu = sa.ev.mu(sa.place); mu > sa.bestMu {
+					sa.bestMu = mu
+					sa.bestCosts = sa.ev.costs()
+					sa.best = sa.place.Clone()
+				}
+			}
+		}
+	}
+}
+
+// adopt replaces the chain's working solution.
+func (sa *saChain) adopt(place *layout.Placement, mu float64) {
+	sa.place = place.Clone()
+	sa.place.Recompute()
+	sa.ev.full(sa.place)
+	if mu > sa.bestMu {
+		sa.bestMu = mu
+		sa.bestCosts = sa.ev.costs()
+		sa.best = sa.place.Clone()
+	}
+	// Reheat mildly so the adopted solution can be perturbed.
+	if sa.temp < sa.t0*0.05 {
+		sa.temp = sa.t0 * 0.05
+	}
+}
+
+// ParallelSAConfig configures the asynchronous multiple-Markov-chain SA.
+type ParallelSAConfig struct {
+	SA SAConfig
+	// Procs >= 3: rank 0 is the central store, others run chains.
+	Procs int
+	// ExchangePlateaus is the number of temperature plateaus between store
+	// consultations (0: 4).
+	ExchangePlateaus int
+	Net              *mpi.NetModel
+	MeasureCompute   *bool
+}
+
+// RunParallelSA runs asynchronous multiple-Markov-chain parallel SA — the
+// scheme of the paper's reference [1] that its Type III SimE strategy
+// borrows: independent chains from different streams, cooperating through
+// a central best-solution store.
+func RunParallelSA(prob *core.Problem, cfg ParallelSAConfig) (*parallel.Result, error) {
+	if err := requireWirePower(prob); err != nil {
+		return nil, err
+	}
+	period := cfg.ExchangePlateaus
+	if period <= 0 {
+		period = 4
+	}
+	return parallel.RunCoop(prob, parallel.CoopOptions{
+		Procs:          cfg.Procs,
+		Net:            cfg.Net,
+		MeasureCompute: cfg.MeasureCompute,
+		Worker: func(rank int, exchange parallel.ExchangeFunc) (float64, *layout.Placement, error) {
+			c := cfg.SA
+			c.defaults(prob.Ckt.NumMovable())
+			sa := newSAChain(prob, c, uint64(0xACC0+rank))
+			plateau := 0
+			for sa.moves < c.Moves {
+				sa.runChain(c.ChainLen)
+				sa.temp *= c.Alpha
+				if sa.temp < sa.t0*1e-6 {
+					break
+				}
+				plateau++
+				if plateau%period == 0 {
+					if adopted, mu, place := exchange(sa.bestMu, sa.best); adopted {
+						sa.adopt(place, mu)
+					}
+				}
+			}
+			return sa.bestMu, sa.best, nil
+		},
+	})
+}

@@ -1,0 +1,172 @@
+// Package metrics computes placement-quality diagnostics beyond the
+// optimization objectives: routing-congestion estimates and row-utilization
+// statistics. These back the reporting tools (cmd/simevo-run) and the
+// regression tests that check SimE does not trade the unmodeled qualities
+// away while optimizing μ(s).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/wire"
+)
+
+// Congestion is a bin-based routing-demand estimate: the die is divided
+// into a grid of bins; every net spreads its half-perimeter wirelength
+// uniformly over the bins its bounding box overlaps (a standard
+// probabilistic routing-demand model). Total demand therefore equals total
+// HPWL, and per-bin demand is a wiring-density estimate.
+type Congestion struct {
+	NX, NY int
+	// Demand[y*NX+x] is the estimated routing demand of bin (x, y).
+	Demand []float64
+	// Peak is the maximum bin demand; Avg the mean.
+	Peak, Avg float64
+	// Overflow is the summed demand above twice the average — the measure
+	// of how concentrated routing demand is.
+	Overflow float64
+}
+
+// Bin returns the demand of bin (x, y).
+func (c *Congestion) Bin(x, y int) float64 { return c.Demand[y*c.NX+x] }
+
+// String summarizes the congestion map.
+func (c *Congestion) String() string {
+	return fmt.Sprintf("congestion: %dx%d bins, peak %.1f, avg %.2f, overflow %.1f",
+		c.NX, c.NY, c.Peak, c.Avg, c.Overflow)
+}
+
+// EstimateCongestion builds the congestion map with roughly nx bins across
+// the die width (nx <= 0 selects 16).
+func EstimateCongestion(p *layout.Placement, nx int) *Congestion {
+	if nx <= 0 {
+		nx = 16
+	}
+	ckt := p.Circuit()
+	width := float64(p.MaxRowWidth())
+	if width <= 0 {
+		width = 1
+	}
+	height := float64(p.NumRows()) * layout.RowPitch
+	ny := int(math.Max(1, math.Round(float64(nx)*height/width)))
+
+	c := &Congestion{NX: nx, NY: ny, Demand: make([]float64, nx*ny)}
+	binW := width / float64(nx)
+	binH := height / float64(ny)
+
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+
+	for i := range ckt.Nets {
+		net := &ckt.Nets[i]
+		if net.Degree() < 2 {
+			continue
+		}
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		visit := func(id netlist.CellID) {
+			x, y := p.Coord(id)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		visit(net.Driver)
+		for _, s := range net.Sinks {
+			visit(s)
+		}
+		x0 := clampInt(int(minX/binW), 0, nx-1)
+		x1 := clampInt(int(maxX/binW), 0, nx-1)
+		y0 := clampInt(int(minY/binH), 0, ny-1)
+		y1 := clampInt(int(maxY/binH), 0, ny-1)
+		bins := float64((x1 - x0 + 1) * (y1 - y0 + 1))
+		hp := (maxX - minX) + (maxY - minY)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				c.Demand[y*nx+x] += hp / bins
+			}
+		}
+	}
+
+	sum := 0.0
+	for _, d := range c.Demand {
+		sum += d
+		if d > c.Peak {
+			c.Peak = d
+		}
+	}
+	c.Avg = sum / float64(len(c.Demand))
+	for _, d := range c.Demand {
+		if d > 2*c.Avg {
+			c.Overflow += d - 2*c.Avg
+		}
+	}
+	return c
+}
+
+// RowStats summarizes row utilization.
+type RowStats struct {
+	Rows               int
+	MinWidth, MaxWidth int
+	AvgWidth           float64
+	// Imbalance is (max-min)/avg — 0 for perfectly balanced rows.
+	Imbalance float64
+	// CellsPerRow statistics.
+	MinCells, MaxCells int
+}
+
+// ComputeRowStats gathers utilization statistics for a placement.
+func ComputeRowStats(p *layout.Placement) RowStats {
+	st := RowStats{Rows: p.NumRows(), MinWidth: math.MaxInt, MinCells: math.MaxInt}
+	sum := 0
+	for r := 0; r < p.NumRows(); r++ {
+		w := p.RowWidth(r)
+		sum += w
+		if w < st.MinWidth {
+			st.MinWidth = w
+		}
+		if w > st.MaxWidth {
+			st.MaxWidth = w
+		}
+		n := len(p.Row(r))
+		if n < st.MinCells {
+			st.MinCells = n
+		}
+		if n > st.MaxCells {
+			st.MaxCells = n
+		}
+	}
+	st.AvgWidth = float64(sum) / float64(p.NumRows())
+	if st.AvgWidth > 0 {
+		st.Imbalance = float64(st.MaxWidth-st.MinWidth) / st.AvgWidth
+	}
+	return st
+}
+
+// String summarizes the row statistics.
+func (s RowStats) String() string {
+	return fmt.Sprintf("rows: %d, width %d..%d (avg %.1f, imbalance %.2f), cells/row %d..%d",
+		s.Rows, s.MinWidth, s.MaxWidth, s.AvgWidth, s.Imbalance, s.MinCells, s.MaxCells)
+}
+
+// WirelengthByEstimator reports the total net length under every available
+// estimator — the estimator-ablation diagnostic.
+func WirelengthByEstimator(p *layout.Placement) map[string]float64 {
+	ckt := p.Circuit()
+	out := make(map[string]float64, 3)
+	for name, est := range map[string]wire.Estimator{
+		"hpwl": wire.HPWL, "steiner": wire.Steiner, "rmst": wire.RMST,
+	} {
+		ev := wire.NewEvaluator(ckt, est)
+		out[name] = wire.Total(ev.Lengths(p, nil))
+	}
+	return out
+}

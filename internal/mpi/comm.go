@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Comm is a rank's handle to the cluster, passed to the function run by
+// Cluster.Run. It is owned by that rank's goroutine and must not be shared.
+type Comm struct {
+	cl *Cluster
+	rs *rankState
+}
+
+// Rank returns this rank's id (0-based).
+func (c *Comm) Rank() int { return c.rs.id }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.cl.n }
+
+// Elapsed returns this rank's virtual clock.
+func (c *Comm) Elapsed() time.Duration {
+	c.cl.mu.Lock()
+	defer c.cl.mu.Unlock()
+	return c.rs.clock
+}
+
+// Charge adds modeled compute time to this rank's clock. Use together with
+// Options.MeasureCompute=false for deterministic virtual-time tests.
+func (c *Comm) Charge(d time.Duration) {
+	c.cl.mu.Lock()
+	defer c.cl.mu.Unlock()
+	c.rs.clock += d
+	c.rs.stats.Compute += d
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// Send posts a message to dst. Sends are eager (buffered at the receiver):
+// the call returns after charging the sender's overhead and transfer time.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.cl.n {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	if dst == c.rs.id {
+		panic("mpi: Send to self is not supported")
+	}
+	cl := c.cl
+	cl.mu.Lock()
+	cl.chargeComputeLocked(c.rs)
+	c.sendLocked(dst, tag, data, true)
+	cl.yieldLocked(c.rs)
+	c.rs.computeStart = time.Now()
+	cl.mu.Unlock()
+}
+
+// sendLocked enqueues a message; chargeWire controls whether bandwidth and
+// overhead are charged (TrueBroadcast fan-out charges only the first copy).
+func (c *Comm) sendLocked(dst, tag int, data []byte, chargeWire bool) {
+	cl := c.cl
+	m := cl.opt.Net
+	if chargeWire {
+		c.rs.clock += m.SendOverhead + m.transferTime(len(data))
+	}
+	arrival := c.rs.clock + m.Latency
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	cl.seq++
+	target := cl.rs[dst]
+	target.inbox = append(target.inbox, message{
+		src: c.rs.id, tag: tag, data: cp, arrival: arrival, seq: cl.seq,
+	})
+	c.rs.stats.MsgsSent++
+	c.rs.stats.BytesSent += len(data)
+	if target.state == stateBlocked && findMatchLocked(target, target.waitSrc, target.waitTag) >= 0 {
+		target.state = stateRunnable
+	}
+}
+
+// Recv blocks until a message matching (src, tag) is available and returns
+// its payload. Use AnySource and AnyTag as wildcards; internal collective
+// traffic is never matched by AnyTag.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	cl := c.cl
+	cl.mu.Lock()
+	cl.chargeComputeLocked(c.rs)
+	for {
+		if i := findMatchLocked(c.rs, src, tag); i >= 0 {
+			msg := c.rs.inbox[i]
+			c.rs.inbox = append(c.rs.inbox[:i], c.rs.inbox[i+1:]...)
+			if msg.arrival > c.rs.clock {
+				c.rs.clock = msg.arrival
+			}
+			c.rs.clock += cl.opt.Net.RecvOverhead
+			c.rs.stats.MsgsRecv++
+			c.rs.stats.BytesRecv += len(msg.data)
+			cl.yieldLocked(c.rs)
+			c.rs.computeStart = time.Now()
+			cl.mu.Unlock()
+			return msg.data, Status{Source: msg.src, Tag: msg.tag}
+		}
+		cl.blockLocked(c.rs, src, tag)
+	}
+}
+
+// Bcast distributes data from root to every rank; all ranks must call it.
+// It returns the payload (root returns its own data). With a TrueBroadcast
+// network the root pays the wire cost once, as on a shared-medium LAN.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	cl := c.cl
+	if c.rs.id == root {
+		cl.mu.Lock()
+		cl.chargeComputeLocked(c.rs)
+		m := cl.opt.Net
+		if m.TrueBroadcast {
+			c.rs.clock += m.SendOverhead + m.transferTime(len(data))
+			for dst := 0; dst < cl.n; dst++ {
+				if dst != root {
+					c.sendLocked(dst, tagBcast, data, false)
+				}
+			}
+		} else {
+			for dst := 0; dst < cl.n; dst++ {
+				if dst != root {
+					c.sendLocked(dst, tagBcast, data, true)
+				}
+			}
+		}
+		cl.yieldLocked(c.rs)
+		c.rs.computeStart = time.Now()
+		cl.mu.Unlock()
+		return data
+	}
+	payload, _ := c.Recv(root, tagBcast)
+	return payload
+}
+
+// Gather collects one payload per rank at root; all ranks must call it.
+// Root receives in rank order and returns the slice indexed by rank;
+// non-roots return nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.rs.id != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.cl.n)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < c.cl.n; r++ {
+		if r == root {
+			continue
+		}
+		payload, _ := c.Recv(r, tagGather)
+		out[r] = payload
+	}
+	return out
+}
+
+// Barrier blocks until every rank reaches it (linear fan-in/fan-out
+// through rank 0).
+func (c *Comm) Barrier() {
+	if c.rs.id == 0 {
+		for r := 1; r < c.cl.n; r++ {
+			c.Recv(r, tagBarrierUp)
+		}
+		for r := 1; r < c.cl.n; r++ {
+			c.Send(r, tagBarrierDown, nil)
+		}
+		return
+	}
+	c.Send(0, tagBarrierUp, nil)
+	c.Recv(0, tagBarrierDown)
+}

@@ -1,0 +1,387 @@
+// Package mpi is a virtual-time message-passing cluster simulator.
+//
+// The paper ran its parallel strategies with MPICH 1.2.5 on a dedicated
+// eight-node Pentium-4 cluster connected by fast Ethernet. This workspace
+// has two CPU cores, so real wall-clock speedups at five ranks are
+// physically impossible; instead, the cluster is simulated in virtual time
+// (see DESIGN.md):
+//
+//   - Each rank runs in its own goroutine, but exactly one rank executes at
+//     a time (a token is passed at every MPI call). While a rank holds the
+//     token, its real compute time is measured with a monotonic clock and
+//     charged to its private virtual clock — accurate even on a loaded box,
+//     because nothing else is runnable.
+//   - Message-passing costs follow a LogP-style model: per-message sender
+//     overhead, bandwidth (bytes/second), and wire latency. A message
+//     enqueued at virtual time t arrives at t + overheads; a Recv advances
+//     the receiver's clock to max(own clock, arrival) — waiting shows up as
+//     idle virtual time exactly as on a real cluster.
+//   - The scheduler always resumes the runnable rank with the smallest
+//     virtual clock, which keeps virtual-time causality tight.
+//
+// The reported runtime of a parallel phase is the maximum virtual clock
+// over ranks (the makespan), which is what a wall clock would measure on
+// the paper's hardware.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource matches messages from every rank in Recv.
+const AnySource = -1
+
+// AnyTag matches every non-internal tag in Recv.
+const AnyTag = -1
+
+// Internal collective tags (never matched by AnyTag).
+const (
+	tagBarrierUp = -(100 + iota)
+	tagBarrierDown
+	tagBcast
+	tagGather
+)
+
+// NetModel is the LogP-style communication cost model.
+type NetModel struct {
+	// Latency is the wire time per message.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth; 0 means infinite.
+	BytesPerSec float64
+	// SendOverhead and RecvOverhead are per-message CPU costs charged to
+	// the sender and receiver clocks.
+	SendOverhead time.Duration
+	RecvOverhead time.Duration
+	// TrueBroadcast charges a Bcast's payload once at the root (a shared-
+	// medium LAN delivers one frame burst to every station) instead of one
+	// unicast per destination.
+	TrueBroadcast bool
+}
+
+// FastEthernet models the paper's interconnect: 100 Mbit/s Ethernet driven
+// through MPICH-1.2/TCP. One-way small-message MPI latency on that stack is
+// a few hundred microseconds; bandwidth is the 12.5 MB/s wire rate.
+func FastEthernet() NetModel {
+	return NetModel{
+		Latency:       250 * time.Microsecond,
+		BytesPerSec:   12.5e6,
+		SendOverhead:  50 * time.Microsecond,
+		RecvOverhead:  50 * time.Microsecond,
+		TrueBroadcast: true,
+	}
+}
+
+// Ideal models a zero-cost interconnect (shared-memory ablation).
+func Ideal() NetModel { return NetModel{} }
+
+func (m NetModel) transferTime(bytes int) time.Duration {
+	if m.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / m.BytesPerSec * float64(time.Second))
+}
+
+// Options configures a cluster.
+type Options struct {
+	Net NetModel
+	// MeasureCompute charges real (monotonic) compute time between MPI
+	// calls to the rank's virtual clock. Disable for deterministic tests
+	// and charge explicitly with Comm.Charge.
+	MeasureCompute bool
+	// CPUScale multiplies measured compute time (models slower nodes).
+	// 0 means 1.
+	CPUScale float64
+}
+
+// RankStats reports one rank's accounting after Run.
+type RankStats struct {
+	Clock     time.Duration // final virtual time
+	Compute   time.Duration // charged compute
+	Comm      time.Duration // clock - compute (overheads + waiting)
+	MsgsSent  int
+	BytesSent int
+	MsgsRecv  int
+	BytesRecv int
+}
+
+type runState uint8
+
+const (
+	stateIdle runState = iota // not yet started
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+type message struct {
+	src, tag int
+	data     []byte
+	arrival  time.Duration
+	seq      uint64
+}
+
+type rankState struct {
+	id           int
+	state        runState
+	clock        time.Duration
+	computeStart time.Time
+	inbox        []message
+	waitSrc      int
+	waitTag      int
+	resume       chan struct{}
+	stats        RankStats
+}
+
+// Cluster is a one-shot virtual cluster; create one per Run.
+type Cluster struct {
+	n    int
+	opt  Options
+	mu   sync.Mutex
+	rs   []*rankState
+	seq  uint64
+	dead bool
+	ran  bool
+}
+
+// NewCluster creates a cluster with n ranks.
+func NewCluster(n int, opt Options) *Cluster {
+	if n < 1 {
+		panic("mpi: cluster needs at least one rank")
+	}
+	if opt.CPUScale == 0 {
+		opt.CPUScale = 1
+	}
+	cl := &Cluster{n: n, opt: opt}
+	for i := 0; i < n; i++ {
+		cl.rs = append(cl.rs, &rankState{
+			id:     i,
+			state:  stateIdle,
+			resume: make(chan struct{}, 1),
+		})
+	}
+	return cl
+}
+
+// Size returns the number of ranks.
+func (cl *Cluster) Size() int { return cl.n }
+
+// Run executes f once per rank and blocks until every rank returns. It can
+// be called once per cluster. The returned error joins all rank errors.
+func (cl *Cluster) Run(f func(c *Comm) error) error {
+	cl.mu.Lock()
+	if cl.ran {
+		cl.mu.Unlock()
+		return errors.New("mpi: cluster already ran")
+	}
+	cl.ran = true
+	cl.mu.Unlock()
+
+	errs := make([]error, cl.n)
+	var wg sync.WaitGroup
+	for i := 0; i < cl.n; i++ {
+		rs := cl.rs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rs.id] = fmt.Errorf("mpi: rank %d panicked: %v", rs.id, r)
+					cl.mu.Lock()
+					rs.state = stateDone
+					cl.wakeNextLocked()
+					cl.mu.Unlock()
+				}
+			}()
+			<-rs.resume // wait to be scheduled the first time
+			rs.computeStart = time.Now()
+			errs[rs.id] = f(&Comm{cl: cl, rs: rs})
+			cl.mu.Lock()
+			cl.chargeComputeLocked(rs)
+			rs.state = stateDone
+			cl.wakeNextLocked()
+			cl.mu.Unlock()
+		}()
+	}
+
+	// Mark everyone runnable and start the lowest rank.
+	cl.mu.Lock()
+	for _, rs := range cl.rs {
+		rs.state = stateRunnable
+	}
+	cl.wakeNextLocked()
+	cl.mu.Unlock()
+
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// MakeSpan returns the maximum virtual clock over ranks — the simulated
+// wall time of the whole run.
+func (cl *Cluster) MakeSpan() time.Duration {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var max time.Duration
+	for _, rs := range cl.rs {
+		if rs.clock > max {
+			max = rs.clock
+		}
+	}
+	return max
+}
+
+// Stats returns per-rank accounting.
+func (cl *Cluster) Stats() []RankStats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]RankStats, cl.n)
+	for i, rs := range cl.rs {
+		st := rs.stats
+		st.Clock = rs.clock
+		st.Comm = rs.clock - st.Compute
+		out[i] = st
+	}
+	return out
+}
+
+// chargeComputeLocked stops the rank's compute timer and charges the
+// elapsed real time to its virtual clock.
+func (cl *Cluster) chargeComputeLocked(rs *rankState) {
+	if !cl.opt.MeasureCompute {
+		return
+	}
+	dt := time.Duration(float64(time.Since(rs.computeStart)) * cl.opt.CPUScale)
+	if dt > 0 {
+		rs.clock += dt
+		rs.stats.Compute += dt
+	}
+}
+
+// pickNextLocked returns the runnable rank with the smallest clock.
+func (cl *Cluster) pickNextLocked() *rankState {
+	var best *rankState
+	for _, rs := range cl.rs {
+		if rs.state != stateRunnable {
+			continue
+		}
+		if best == nil || rs.clock < best.clock {
+			best = rs
+		}
+	}
+	return best
+}
+
+// wakeNextLocked schedules the next runnable rank, or detects termination /
+// deadlock when none exists.
+func (cl *Cluster) wakeNextLocked() {
+	next := cl.pickNextLocked()
+	if next != nil {
+		next.state = stateRunning
+		select {
+		case next.resume <- struct{}{}:
+		default: // a wakeup is already pending
+		}
+		return
+	}
+	// No runnable rank: fine if everyone is done; a deadlock otherwise.
+	blocked := false
+	for _, rs := range cl.rs {
+		if rs.state == stateBlocked {
+			blocked = true
+		}
+		if rs.state == stateRunning {
+			return // someone is still on CPU; they will reschedule
+		}
+	}
+	if blocked {
+		cl.dead = true
+		for _, rs := range cl.rs {
+			if rs.state == stateBlocked {
+				select {
+				case rs.resume <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// yieldLocked hands the CPU to the lowest-clock runnable rank (possibly the
+// caller). Returns with the caller scheduled again.
+func (cl *Cluster) yieldLocked(rs *rankState) {
+	rs.state = stateRunnable
+	for {
+		next := cl.pickNextLocked()
+		if next == rs {
+			rs.state = stateRunning
+			return
+		}
+		// Someone else runs first.
+		next.state = stateRunning
+		select {
+		case next.resume <- struct{}{}:
+		default:
+		}
+		cl.mu.Unlock()
+		<-rs.resume
+		cl.mu.Lock()
+		if cl.dead {
+			cl.mu.Unlock() // the recovery handler re-locks
+			panic("mpi: deadlock: all ranks blocked in Recv")
+		}
+		if rs.state == stateRunning {
+			return
+		}
+		// Spurious wake (pending buffered signal); loop.
+	}
+}
+
+// blockLocked parks the rank until a matching message arrives (the sender
+// marks it runnable) and it is scheduled.
+func (cl *Cluster) blockLocked(rs *rankState, src, tag int) {
+	rs.state = stateBlocked
+	rs.waitSrc, rs.waitTag = src, tag
+	cl.wakeNextLocked()
+	for {
+		cl.mu.Unlock()
+		<-rs.resume
+		cl.mu.Lock()
+		if cl.dead {
+			cl.mu.Unlock() // the recovery handler re-locks
+			panic("mpi: deadlock: all ranks blocked in Recv")
+		}
+		if rs.state == stateRunning {
+			return
+		}
+	}
+}
+
+func matches(m *message, src, tag int) bool {
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag == AnyTag {
+		return m.tag >= 0 // internal tags are never matched by AnyTag
+	}
+	return m.tag == tag
+}
+
+// findMatchLocked returns the index of the best matching message in the
+// inbox: smallest arrival time, ties broken by send sequence.
+func findMatchLocked(rs *rankState, src, tag int) int {
+	best := -1
+	for i := range rs.inbox {
+		m := &rs.inbox[i]
+		if !matches(m, src, tag) {
+			continue
+		}
+		if best < 0 || m.arrival < rs.inbox[best].arrival ||
+			(m.arrival == rs.inbox[best].arrival && m.seq < rs.inbox[best].seq) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,463 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// detOptions returns options for deterministic virtual-time tests: no real
+// compute measurement, explicit NetModel.
+func detOptions(net NetModel) Options {
+	return Options{Net: net, MeasureCompute: false}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	cl := NewCluster(2, detOptions(Ideal()))
+	var got []byte
+	var st Status
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			got, st = c.Recv(0, 7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("payload = %q", got)
+	}
+	if st.Source != 0 || st.Tag != 7 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	cl := NewCluster(2, detOptions(Ideal()))
+	var got []byte
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("abc")
+			c.Send(1, 1, buf)
+			buf[0] = 'X' // must not affect the delivered message
+		} else {
+			got, _ = c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("payload mutated in flight: %q", got)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	cl := NewCluster(2, detOptions(Ideal()))
+	var order []int
+	err := cl.Run(func(c *Comm) error {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				data, _ := c.Recv(0, 3)
+				order = append(order, int(data[0]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("message order violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestVirtualClockAccounting(t *testing.T) {
+	net := NetModel{
+		Latency:      5 * time.Millisecond,
+		BytesPerSec:  1e6,
+		SendOverhead: 1 * time.Millisecond,
+		RecvOverhead: 2 * time.Millisecond,
+	}
+	cl := NewCluster(2, detOptions(net))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Charge(10 * time.Millisecond)
+			c.Send(1, 1, make([]byte, 1000)) // 1 ms transfer at 1e6 B/s
+			// clock: 10 + 1 + 1 = 12 ms
+			if got := c.Elapsed(); got != 12*time.Millisecond {
+				return fmt.Errorf("sender clock = %v, want 12ms", got)
+			}
+		} else {
+			c.Recv(0, 1)
+			// arrival = 12 + 5 = 17; recv overhead 2 -> 19 ms
+			if got := c.Elapsed(); got != 19*time.Millisecond {
+				return fmt.Errorf("receiver clock = %v, want 19ms", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := cl.MakeSpan(); ms != 19*time.Millisecond {
+		t.Fatalf("MakeSpan = %v, want 19ms", ms)
+	}
+}
+
+func TestRecvDoesNotWaitWhenMessageOld(t *testing.T) {
+	// If the receiver's clock is already past the arrival time, Recv only
+	// charges the receive overhead.
+	net := NetModel{Latency: 1 * time.Millisecond, RecvOverhead: 1 * time.Millisecond}
+	cl := NewCluster(2, detOptions(net))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil) // arrival at 1ms
+		} else {
+			c.Charge(100 * time.Millisecond)
+			c.Recv(0, 1)
+			if got := c.Elapsed(); got != 101*time.Millisecond {
+				return fmt.Errorf("receiver clock = %v, want 101ms", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	const n = 5
+	payloads := make([][]byte, n)
+	cl := NewCluster(n, detOptions(FastEthernet()))
+	err := cl.Run(func(c *Comm) error {
+		data := c.Bcast(0, []byte("placement"))
+		payloads[c.Rank()] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range payloads {
+		if !bytes.Equal(p, []byte("placement")) {
+			t.Fatalf("rank %d got %q", r, p)
+		}
+	}
+}
+
+func TestTrueBroadcastChargesRootOnce(t *testing.T) {
+	mk := func(trueBcast bool, ranks int) time.Duration {
+		net := NetModel{
+			Latency:       0,
+			BytesPerSec:   1e6,
+			SendOverhead:  time.Millisecond,
+			TrueBroadcast: trueBcast,
+		}
+		cl := NewCluster(ranks, detOptions(net))
+		var rootClock time.Duration
+		err := cl.Run(func(c *Comm) error {
+			c.Bcast(0, make([]byte, 1000))
+			if c.Rank() == 0 {
+				rootClock = c.Elapsed()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rootClock
+	}
+	// True broadcast: 1 overhead + 1 transfer = 2ms regardless of ranks.
+	if got := mk(true, 5); got != 2*time.Millisecond {
+		t.Fatalf("true-broadcast root clock = %v, want 2ms", got)
+	}
+	// Unicast fan-out: 4 x 2ms.
+	if got := mk(false, 5); got != 8*time.Millisecond {
+		t.Fatalf("unicast root clock = %v, want 8ms", got)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	var got [][]byte
+	cl := NewCluster(n, detOptions(FastEthernet()))
+	err := cl.Run(func(c *Comm) error {
+		data := []byte(fmt.Sprintf("rank%d", c.Rank()))
+		res := c.Gather(0, data)
+		if c.Rank() == 0 {
+			got = res
+		} else if res != nil {
+			return fmt.Errorf("non-root got non-nil gather result")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("gather returned %d entries", len(got))
+	}
+	for r, p := range got {
+		if string(p) != fmt.Sprintf("rank%d", r) {
+			t.Fatalf("gather[%d] = %q", r, p)
+		}
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	net := NetModel{Latency: time.Millisecond}
+	cl := NewCluster(3, detOptions(net))
+	clocks := make([]time.Duration, 3)
+	err := cl.Run(func(c *Comm) error {
+		// Rank r charges (r+1)*10ms, so rank 2 arrives last at 30ms.
+		c.Charge(time.Duration(c.Rank()+1) * 10 * time.Millisecond)
+		c.Barrier()
+		clocks[c.Rank()] = c.Elapsed()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, clk := range clocks {
+		if clk < 30*time.Millisecond {
+			t.Fatalf("rank %d left the barrier at %v, before the slowest arrival", r, clk)
+		}
+	}
+}
+
+func TestAnySourceRecv(t *testing.T) {
+	cl := NewCluster(4, detOptions(Ideal()))
+	var got []int
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				_, st := c.Recv(AnySource, 5)
+				got = append(got, st.Source)
+			}
+			return nil
+		}
+		c.Send(0, 5, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range got {
+		seen[s] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("AnySource received from %v, want 3 distinct sources", got)
+	}
+}
+
+func TestAnyTagSkipsInternalTraffic(t *testing.T) {
+	// A pending AnyTag Recv must not swallow barrier protocol messages.
+	cl := NewCluster(2, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier()
+			data, st := c.Recv(AnySource, AnyTag)
+			if st.Tag != 9 || string(data) != "user" {
+				return fmt.Errorf("got tag %d payload %q", st.Tag, data)
+			}
+			return nil
+		}
+		c.Barrier()
+		c.Send(0, 9, []byte("user"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	cl := NewCluster(2, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		c.Recv(AnySource, AnyTag) // nobody ever sends
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not reported: %v", err)
+	}
+}
+
+func TestRankErrorsPropagate(t *testing.T) {
+	cl := NewCluster(3, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom-%d", c.Rank())
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom-1") {
+		t.Fatalf("rank error lost: %v", err)
+	}
+}
+
+func TestRankPanicBecomesError(t *testing.T) {
+	cl := NewCluster(2, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}
+
+func TestClusterSingleUse(t *testing.T) {
+	cl := NewCluster(1, detOptions(Ideal()))
+	if err := cl.Run(func(c *Comm) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cl := NewCluster(2, detOptions(FastEthernet()))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+			c.Send(1, 1, make([]byte, 200))
+		} else {
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st[0].MsgsSent != 2 || st[0].BytesSent != 300 {
+		t.Fatalf("sender stats = %+v", st[0])
+	}
+	if st[1].MsgsRecv != 2 || st[1].BytesRecv != 300 {
+		t.Fatalf("receiver stats = %+v", st[1])
+	}
+	if st[1].Clock <= 0 || st[1].Comm <= 0 {
+		t.Fatalf("receiver clock/comm not accounted: %+v", st[1])
+	}
+}
+
+func TestMeasuredComputeCharges(t *testing.T) {
+	cl := NewCluster(2, Options{Net: Ideal(), MeasureCompute: true})
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Busy-work for a measurable interval.
+			deadline := time.Now().Add(20 * time.Millisecond)
+			x := 0
+			for time.Now().Before(deadline) {
+				x++
+			}
+			_ = x
+			c.Send(1, 1, nil)
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st[0].Compute < 15*time.Millisecond {
+		t.Fatalf("measured compute %v, want >= 15ms", st[0].Compute)
+	}
+	// The receiver waited for the sender in virtual time (the sender keeps
+	// accruing compute after the Send, so compare against the busy-work).
+	if st[1].Clock < 15*time.Millisecond {
+		t.Fatalf("receiver clock %v did not wait for the sender", st[1].Clock)
+	}
+}
+
+func TestManyMessagesStress(t *testing.T) {
+	// All-to-one funnel with out-of-order tags; checks totals and absence
+	// of deadlock under heavy traffic.
+	const n, per = 6, 200
+	var total atomic.Int64
+	cl := NewCluster(n, detOptions(FastEthernet()))
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < (n-1)*per; i++ {
+				data, _ := c.Recv(AnySource, AnyTag)
+				total.Add(int64(data[0]))
+			}
+			return nil
+		}
+		for i := 0; i < per; i++ {
+			c.Send(0, i%3, []byte{1})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != (n-1)*per {
+		t.Fatalf("received sum %d, want %d", got, (n-1)*per)
+	}
+}
+
+func TestPingPongClockInterleaving(t *testing.T) {
+	// Two ranks alternate messages; clocks must advance monotonically and
+	// end up equal to the analytic value.
+	net := NetModel{Latency: time.Millisecond}
+	cl := NewCluster(2, detOptions(net))
+	const rounds = 10
+	err := cl.Run(func(c *Comm) error {
+		peer := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				c.Send(peer, 1, nil)
+				c.Recv(peer, 2)
+			} else {
+				c.Recv(peer, 1)
+				c.Send(peer, 2, nil)
+			}
+		}
+		// 2*rounds messages each adding 1ms latency along the chain.
+		want := time.Duration(2*rounds) * time.Millisecond
+		if c.Rank() == 0 && c.Elapsed() != want {
+			return fmt.Errorf("rank0 clock %v, want %v", c.Elapsed(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeSpanIsMaxClock(t *testing.T) {
+	cl := NewCluster(3, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		c.Charge(time.Duration(c.Rank()) * time.Second)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.MakeSpan(); got != 2*time.Second {
+		t.Fatalf("MakeSpan = %v, want 2s", got)
+	}
+}

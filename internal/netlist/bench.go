@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS-89 ".bench" format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G11 = NAND(G0, G10)
+//
+// Cell widths are assigned with DefaultWidth. If real ISCAS-89 benchmark
+// files are available they can be loaded directly; otherwise the synthetic
+// generator in internal/gen produces statistically equivalent circuits.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseBenchLine(b, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: reading %s: %w", name, err)
+	}
+	return b.Build()
+}
+
+func parseBenchLine(b *Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT("):
+		sig, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		b.AddInput(sig)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT("):
+		sig, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		b.AddOutput(sig)
+		return nil
+	}
+
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("netlist: malformed line %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	close_ := strings.LastIndex(rhs, ")")
+	if open < 0 || close_ < open {
+		return fmt.Errorf("netlist: malformed gate expression %q", rhs)
+	}
+	typ, err := ParseGateType(strings.TrimSpace(rhs[:open]))
+	if err != nil {
+		return err
+	}
+	var inputs []string
+	for _, part := range strings.Split(rhs[open+1:close_], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("netlist: empty input in %q", line)
+		}
+		inputs = append(inputs, part)
+	}
+	b.AddGate(name, typ, inputs, 0)
+	return nil
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close_ := strings.LastIndex(line, ")")
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("netlist: malformed pad declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close_])
+	if arg == "" {
+		return "", fmt.Errorf("netlist: empty pad name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench writes the circuit in ISCAS-89 .bench format. Output is
+// deterministic: pads first, then gates in id order.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFF, %d cells, %d nets\n",
+		len(c.PIs), len(c.POs), len(c.DFFs), c.NumMovable(), len(c.Nets))
+
+	pis := append([]CellID(nil), c.PIs...)
+	sort.Slice(pis, func(i, j int) bool { return pis[i] < pis[j] })
+	for _, id := range pis {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Cells[id].Name)
+	}
+	pos := append([]CellID(nil), c.POs...)
+	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	for _, id := range pos {
+		// Output pads consume exactly one net; emit the driven signal name.
+		in := c.Cells[id].In[0]
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nets[in].Name)
+	}
+	for i := range c.Cells {
+		cell := &c.Cells[i]
+		if cell.IsPad() {
+			continue
+		}
+		names := make([]string, len(cell.In))
+		for j, n := range cell.In {
+			names[j] = c.Nets[n].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", cell.Name, cell.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

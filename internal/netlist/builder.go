@@ -1,0 +1,105 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs circuits incrementally, by name. It is used by the
+// .bench parser and by the synthetic circuit generator.
+//
+// Usage: declare pads and gates with AddInput/AddOutput/AddGate, then call
+// Build, which resolves signal names to nets, creates the net objects, and
+// validates the structure.
+type Builder struct {
+	name  string
+	cells []protoCell
+	byNam map[string]int
+	errs  []error
+}
+
+type protoCell struct {
+	name   string
+	typ    GateType
+	width  int
+	inputs []string // signal names (driver cell names)
+}
+
+// NewBuilder returns a builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byNam: make(map[string]int)}
+}
+
+// AddInput declares a primary input pad driving the signal of the same name.
+func (b *Builder) AddInput(name string) {
+	b.add(protoCell{name: name, typ: Input})
+}
+
+// AddOutput declares a primary output pad consuming the given signal.
+func (b *Builder) AddOutput(signal string) {
+	b.add(protoCell{name: "out:" + signal, typ: Output, inputs: []string{signal}})
+}
+
+// AddGate declares a gate (or DFF) named after the signal it drives, with
+// the given input signal names. Width 0 selects DefaultWidth.
+func (b *Builder) AddGate(name string, typ GateType, inputs []string, width int) {
+	if width == 0 {
+		width = DefaultWidth(typ, len(inputs))
+	}
+	cp := make([]string, len(inputs))
+	copy(cp, inputs)
+	b.add(protoCell{name: name, typ: typ, width: width, inputs: cp})
+}
+
+func (b *Builder) add(p protoCell) {
+	if _, dup := b.byNam[p.name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("netlist: duplicate cell %q", p.name))
+		return
+	}
+	b.byNam[p.name] = len(b.cells)
+	b.cells = append(b.cells, p)
+}
+
+// Build resolves all signal references and returns the finished circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	ckt := &Circuit{Name: b.name}
+	ckt.Cells = make([]Cell, len(b.cells))
+
+	// First pass: create cells and one net per driving cell.
+	netOf := make(map[string]NetID) // signal name -> net
+	for i, p := range b.cells {
+		id := CellID(i)
+		ckt.Cells[i] = Cell{ID: id, Name: p.name, Type: p.typ, Width: p.width, Out: NoNet}
+		switch p.typ {
+		case Input:
+			ckt.PIs = append(ckt.PIs, id)
+		case Output:
+			ckt.POs = append(ckt.POs, id)
+		case DFF:
+			ckt.DFFs = append(ckt.DFFs, id)
+		}
+		if p.typ != Output {
+			nid := NetID(len(ckt.Nets))
+			ckt.Nets = append(ckt.Nets, Net{ID: nid, Name: p.name, Driver: id})
+			netOf[p.name] = nid
+			ckt.Cells[i].Out = nid
+		}
+	}
+
+	// Second pass: connect input pins.
+	for i, p := range b.cells {
+		for _, sig := range p.inputs {
+			nid, ok := netOf[sig]
+			if !ok {
+				return nil, fmt.Errorf("netlist: cell %q references undriven signal %q", p.name, sig)
+			}
+			ckt.Cells[i].In = append(ckt.Cells[i].In, nid)
+			ckt.Nets[nid].Sinks = append(ckt.Nets[nid].Sinks, CellID(i))
+		}
+	}
+
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	return ckt, nil
+}

@@ -1,0 +1,103 @@
+package netlist
+
+import "fmt"
+
+// Levels holds a topological levelization of the circuit's combinational
+// view: DFF outputs and primary inputs are sources at level 0; every other
+// cell's level is 1 + max level of its combinational fan-in. Edges into a
+// DFF's data pin do not propagate (the DFF is a path sink on that side).
+type Levels struct {
+	// Level[i] is the combinational level of cell i. Output pads take the
+	// level of their driver + 1 so that POs terminate paths.
+	Level []int
+	// Order lists all cells in non-decreasing level order (a valid
+	// topological order of the combinational DAG).
+	Order []CellID
+	// Depth is the maximum level.
+	Depth int
+}
+
+// Levelize computes the combinational levelization, returning an error if
+// the combinational view contains a cycle (which indicates an un-clocked
+// feedback loop — invalid for the timing model).
+func (c *Circuit) Levelize() (*Levels, error) {
+	n := len(c.Cells)
+	indeg := make([]int, n)
+
+	// Combinational edges: driver -> sink for each net, except edges OUT OF
+	// a DFF do not count toward its sinks' level... no: DFF output is a
+	// *source*, so edges out of DFFs exist; edges INTO a DFF (its data
+	// input) terminate — the DFF itself has level 0 regardless of fan-in.
+	isSource := func(id CellID) bool {
+		t := c.Cells[id].Type
+		return t == Input || t == DFF
+	}
+
+	for i := range c.Cells {
+		if isSource(CellID(i)) {
+			indeg[i] = 0
+			continue
+		}
+		indeg[i] = len(c.Cells[i].In)
+	}
+
+	lv := &Levels{Level: make([]int, n), Order: make([]CellID, 0, n)}
+	queue := make([]CellID, 0, n)
+	for i := range c.Cells {
+		if indeg[i] == 0 {
+			queue = append(queue, CellID(i))
+			lv.Level[i] = 0
+		}
+	}
+
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		lv.Order = append(lv.Order, id)
+		processed++
+		if lv.Level[id] > lv.Depth {
+			lv.Depth = lv.Level[id]
+		}
+		out := c.Cells[id].Out
+		if out == NoNet {
+			continue
+		}
+		for _, s := range c.Nets[out].Sinks {
+			if isSource(s) {
+				continue // edge into a DFF data pin: path ends there
+			}
+			if l := lv.Level[id] + 1; l > lv.Level[s] {
+				lv.Level[s] = l
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+
+	// Sources that are DFFs were enqueued above; DFF data fan-in edges were
+	// skipped, so a deficit means a purely combinational cycle.
+	if processed != n {
+		return nil, fmt.Errorf("netlist: %s has a combinational cycle (%d of %d cells levelized)",
+			c.Name, processed, n)
+	}
+	return lv, nil
+}
+
+// PathEndpoints returns the combinational path sources (PIs and DFF outputs)
+// and sinks (POs and DFFs, via their data inputs).
+func (c *Circuit) PathEndpoints() (sources, sinks []CellID) {
+	for _, id := range c.PIs {
+		sources = append(sources, id)
+	}
+	for _, id := range c.DFFs {
+		sources = append(sources, id)
+		sinks = append(sinks, id)
+	}
+	for _, id := range c.POs {
+		sinks = append(sinks, id)
+	}
+	return sources, sinks
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a circuit's structural properties. The synthetic circuit
+// generator targets these statistics when reproducing the paper's ISCAS-89
+// test cases.
+type Stats struct {
+	Name      string
+	Cells     int // movable cells (gates + DFFs)
+	Gates     int // combinational gates
+	DFFs      int
+	PIs, POs  int
+	Nets      int
+	Pins      int     // total pin count over all nets
+	AvgFanin  float64 // mean inputs per gate
+	AvgDegree float64 // mean pins per net
+	MaxFanout int
+	Depth     int // combinational depth
+}
+
+// ComputeStats gathers the statistics of the circuit.
+func ComputeStats(c *Circuit) Stats {
+	st := Stats{
+		Name: c.Name,
+		DFFs: len(c.DFFs),
+		PIs:  len(c.PIs),
+		POs:  len(c.POs),
+		Nets: len(c.Nets),
+	}
+	faninSum := 0
+	for i := range c.Cells {
+		cell := &c.Cells[i]
+		if cell.IsPad() {
+			continue
+		}
+		st.Cells++
+		if cell.Type != DFF {
+			st.Gates++
+			faninSum += len(cell.In)
+		}
+	}
+	if st.Gates > 0 {
+		st.AvgFanin = float64(faninSum) / float64(st.Gates)
+	}
+	for i := range c.Nets {
+		deg := c.Nets[i].Degree()
+		st.Pins += deg
+		if fo := len(c.Nets[i].Sinks); fo > st.MaxFanout {
+			st.MaxFanout = fo
+		}
+	}
+	if st.Nets > 0 {
+		st.AvgDegree = float64(st.Pins) / float64(st.Nets)
+	}
+	if lv, err := c.Levelize(); err == nil {
+		st.Depth = lv.Depth
+	}
+	return st
+}
+
+// String renders the statistics as a one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: cells=%d (gates=%d dff=%d) pi=%d po=%d nets=%d pins=%d",
+		s.Name, s.Cells, s.Gates, s.DFFs, s.PIs, s.POs, s.Nets, s.Pins)
+	fmt.Fprintf(&b, " avgFanin=%.2f avgDeg=%.2f maxFanout=%d depth=%d",
+		s.AvgFanin, s.AvgDegree, s.MaxFanout, s.Depth)
+	return b.String()
+}

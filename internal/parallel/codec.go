@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire helpers for the strategy protocols. All integers are little-endian.
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func encodeF64s(vals []float64) []byte {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = appendF64(buf, v)
+	}
+	return buf
+}
+
+func decodeF64s(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("parallel: float payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// encodeAssignment flattens a row assignment: ranks, then per rank a row
+// count followed by the row indices.
+func encodeAssignment(assign [][]int) []byte {
+	n := 1
+	for _, rows := range assign {
+		n += 1 + len(rows)
+	}
+	buf := make([]byte, 0, 4*n)
+	buf = appendU32(buf, uint32(len(assign)))
+	for _, rows := range assign {
+		buf = appendU32(buf, uint32(len(rows)))
+		for _, r := range rows {
+			buf = appendU32(buf, uint32(r))
+		}
+	}
+	return buf
+}
+
+func decodeAssignment(data []byte) ([][]int, []byte, error) {
+	off := 0
+	next := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("parallel: truncated assignment at %d", off)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	ranks, err := next()
+	if err != nil {
+		return nil, nil, err
+	}
+	if ranks > 1<<16 {
+		return nil, nil, fmt.Errorf("parallel: absurd rank count %d", ranks)
+	}
+	out := make([][]int, ranks)
+	for j := range out {
+		count, err := next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if count > 1<<20 {
+			return nil, nil, fmt.Errorf("parallel: absurd row count %d", count)
+		}
+		rows := make([]int, count)
+		for i := range rows {
+			v, err := next()
+			if err != nil {
+				return nil, nil, err
+			}
+			rows[i] = int(v)
+		}
+		out[j] = rows
+	}
+	return out, data[off:], nil
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"fmt"
+
+	"simevo/internal/core"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+)
+
+// ExchangeFunc is handed to cooperating workers: it sends the worker's
+// current best to the central store and returns the store's strictly
+// better solution if one exists (adopted == true).
+type ExchangeFunc func(mu float64, best *layout.Placement) (adopted bool, storeMu float64, store *layout.Placement)
+
+// CoopOptions configures a generic cooperating parallel search: rank 0 is
+// a central best-solution store; every other rank runs Worker, which may
+// call its ExchangeFunc any number of times and finally returns its best.
+// This is the asynchronous-multiple-Markov-chain scheme of the paper's
+// reference [1], reused by Type III SimE and by the parallel SA baseline.
+type CoopOptions struct {
+	Procs          int
+	Net            *mpi.NetModel
+	MeasureCompute *bool
+	Worker         func(rank int, exchange ExchangeFunc) (float64, *layout.Placement, error)
+}
+
+// NewCoopCluster builds a raw virtual cluster from Options, for parallel
+// strategies implemented outside this package (the Type I parallel tabu
+// search in internal/metaheur uses it).
+func NewCoopCluster(o Options) (*mpi.Cluster, error) {
+	if o.Procs < 2 {
+		return nil, fmt.Errorf("parallel: cluster needs >= 2 ranks, got %d", o.Procs)
+	}
+	return mpi.NewCluster(o.Procs, mpi.Options{Net: o.net(), MeasureCompute: o.measure()}), nil
+}
+
+// RunCoop executes the cooperating search and returns the store's final
+// best over all workers.
+func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
+	if opt.Procs < 3 {
+		return nil, fmt.Errorf("parallel: cooperative search needs >= 3 ranks, got %d", opt.Procs)
+	}
+	o := Options{Procs: opt.Procs, Net: opt.Net, MeasureCompute: opt.MeasureCompute}
+	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: o.net(), MeasureCompute: o.measure()})
+	var out *Result
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			res, err := typeIIIStore(prob, c)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		}
+		exchange := func(mu float64, best *layout.Placement) (bool, float64, *layout.Placement) {
+			c.Send(0, tagT3Request, encodeSolution(mu, best))
+			reply, _ := c.Recv(0, tagT3Reply)
+			if len(reply) == 0 {
+				return false, 0, nil
+			}
+			storeMu, place, err := decodeSolution(prob, reply)
+			if err != nil {
+				panic(fmt.Sprintf("parallel: corrupt store reply: %v", err))
+			}
+			return true, storeMu, place
+		}
+		mu, best, err := opt.Worker(c.Rank(), exchange)
+		if err != nil {
+			return err
+		}
+		c.Send(0, tagT3Done, encodeSolution(mu, best))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualTime = cl.MakeSpan()
+	out.RankStats = cl.Stats()
+	if out.Best != nil {
+		eng := prob.EngineFrom(out.Best.Clone(), nil)
+		eng.EvaluateCosts()
+		out.BestCosts = eng.Costs()
+	}
+	out.Iters = 0
+	return out, nil
+}

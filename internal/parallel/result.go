@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"time"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Procs is the number of cluster ranks (the paper's p). Type III
+	// requires Procs >= 3 (one rank is the central store).
+	Procs int
+	// Net is the interconnect model (default mpi.FastEthernet).
+	Net *mpi.NetModel
+	// MeasureCompute charges real compute time to the virtual clocks
+	// (default true; disable only in deterministic tests).
+	MeasureCompute *bool
+	// TargetMu, when positive, records the virtual time at which the best
+	// quality first reached the target (the paper's quality-normalized
+	// timing for Tables 2-3) and stops the run early.
+	TargetMu float64
+	// Pattern is the Type II row allocation pattern (default FixedPattern).
+	Pattern RowPattern
+	// Retry is the Type III retry threshold (iterations without
+	// improvement before consulting the central store).
+	Retry int
+	// Diversify gives each Type III searcher a different allocation order
+	// — the search-diversification idea of the paper's Section 7.
+	Diversify bool
+}
+
+func (o Options) net() mpi.NetModel {
+	if o.Net != nil {
+		return *o.Net
+	}
+	return mpi.FastEthernet()
+}
+
+func (o Options) measure() bool {
+	if o.MeasureCompute != nil {
+		return *o.MeasureCompute
+	}
+	return true
+}
+
+// Result reports a parallel run.
+type Result struct {
+	BestMu    float64
+	BestCosts fuzzy.Costs
+	Best      *layout.Placement
+	Iters     int
+	// VirtualTime is the cluster makespan: measured compute plus modeled
+	// communication, maximized over ranks.
+	VirtualTime time.Duration
+	// TimeToTarget is the master's virtual time when BestMu first reached
+	// Options.TargetMu; valid when ReachedTarget.
+	TimeToTarget  time.Duration
+	ReachedTarget bool
+	RankStats     []mpi.RankStats
+	MuTrace       []float64
+}

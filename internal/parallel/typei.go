@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"fmt"
+
+	"simevo/internal/core"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+	"simevo/internal/netlist"
+)
+
+// Type I protocol tags.
+const (
+	tagT1Placement = 10 + iota
+	tagT1Goodness
+)
+
+// RunTypeI executes the low-level parallelization of the paper's Figures
+// 2-3: each iteration the master broadcasts the current placement, every
+// rank (master included) computes the costs and the goodness of its chunk
+// of cells, the master gathers the goodness values and performs selection
+// and allocation locally.
+//
+// Because every rank must know the wirelength of all fan-in nets to
+// evaluate its chunk's goodness, each rank recomputes the full net-length
+// array — the duplicated work the paper identifies as the reason Type I
+// yields no speedup. The search trajectory is bitwise identical to the
+// serial engine with the same seed (verified by tests).
+func RunTypeI(prob *core.Problem, opt Options) (*Result, error) {
+	if opt.Procs < 2 {
+		return nil, fmt.Errorf("parallel: Type I needs >= 2 ranks, got %d", opt.Procs)
+	}
+	movable := prob.Ckt.Movable()
+	if len(movable) < opt.Procs {
+		return nil, fmt.Errorf("parallel: %d cells cannot feed %d ranks", len(movable), opt.Procs)
+	}
+
+	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
+	var out *Result
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			res, err := typeIMaster(prob, c)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		}
+		return typeISlave(prob, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualTime = cl.MakeSpan()
+	out.RankStats = cl.Stats()
+	return out, nil
+}
+
+// Comm aliases mpi.Comm for the strategy implementations.
+type Comm = mpi.Comm
+
+// cellChunk returns rank r's contiguous slice of the movable cells.
+func cellChunk(movable []netlist.CellID, r, p int) []netlist.CellID {
+	lo := r * len(movable) / p
+	hi := (r + 1) * len(movable) / p
+	return movable[lo:hi]
+}
+
+func typeIMaster(prob *core.Problem, c *Comm) (*Result, error) {
+	eng := prob.NewEngine(0) // identical construction to the serial run
+	movable := prob.Ckt.Movable()
+	chunk := cellChunk(movable, 0, c.Size())
+	var goodsBuf []float64
+
+	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+		// Broadcast the current placement to the slaves.
+		c.Bcast(0, eng.Placement().Encode())
+
+		// Local evaluation: full costs (duplicated on every rank) plus the
+		// master's goodness chunk.
+		eng.EvaluateCosts()
+		goodsBuf = eng.ComputeGoodness(chunk, goodsBuf)
+
+		// Gather the slaves' goodness chunks.
+		parts := c.Gather(0, encodeF64s(goodsBuf))
+		for r := 1; r < c.Size(); r++ {
+			vals, err := decodeF64s(parts[r])
+			if err != nil {
+				return nil, err
+			}
+			rchunk := cellChunk(movable, r, c.Size())
+			if len(vals) != len(rchunk) {
+				return nil, fmt.Errorf("parallel: rank %d sent %d goodness values for %d cells",
+					r, len(vals), len(rchunk))
+			}
+			eng.SetGoodness(rchunk, vals)
+		}
+
+		// Selection and allocation happen only on the master.
+		eng.SelectAndAllocate()
+	}
+	// Terminal broadcast: zero-length placement signals the slaves to stop.
+	c.Bcast(0, nil)
+	eng.EvaluateCosts()
+
+	res := eng.Result()
+	return &Result{
+		BestMu:    res.BestMu,
+		BestCosts: res.BestCosts,
+		Best:      res.Best,
+		Iters:     res.Iters,
+		MuTrace:   res.MuTrace,
+	}, nil
+}
+
+func typeISlave(prob *core.Problem, c *Comm) error {
+	eng := prob.EngineFrom(layout.New(prob.Ckt, prob.Cfg.NumRows), nil)
+	movable := prob.Ckt.Movable()
+	chunk := cellChunk(movable, c.Rank(), c.Size())
+	var goodsBuf []float64
+
+	for {
+		data := c.Bcast(0, nil)
+		if len(data) == 0 {
+			return nil // stop signal
+		}
+		place, err := layout.DecodePlacement(prob.Ckt, data)
+		if err != nil {
+			return fmt.Errorf("parallel: rank %d decoding placement: %w", c.Rank(), err)
+		}
+		eng.SetPlacement(place)
+		// Full cost evaluation (duplicate work) is required before any
+		// goodness can be computed: wirelength goodness of a cell needs
+		// the lengths of all its fan-in nets.
+		eng.EvaluateCosts()
+		goodsBuf = eng.ComputeGoodness(chunk, goodsBuf)
+		c.Gather(0, encodeF64s(goodsBuf))
+	}
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"fmt"
+
+	"simevo/internal/core"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+	"simevo/internal/rng"
+)
+
+// RunTypeII executes the domain-decomposition strategy of the paper's
+// Figures 4-5: every iteration the master draws a row assignment from the
+// configured pattern and broadcasts it with the current placement; every
+// rank (master included) runs a complete SimE iteration — evaluation,
+// selection, allocation — restricted to its own rows, treating all other
+// cells as fixed; the slaves send their updated rows back and the master
+// merges them into the next solution.
+//
+// Unlike Type I this parallelizes the allocation operator (≈98% of serial
+// runtime), so it is the strategy that actually divides the workload. The
+// price is a different search behaviour: each rank has limited freedom of
+// cell movement, so more iterations are needed to converge and the best
+// serial quality is not always reached (the paper's Tables 2-3).
+func RunTypeII(prob *core.Problem, opt Options) (*Result, error) {
+	if opt.Procs < 2 {
+		return nil, fmt.Errorf("parallel: Type II needs >= 2 ranks, got %d", opt.Procs)
+	}
+	pattern := opt.Pattern
+	if pattern == nil {
+		pattern = FixedPattern{}
+	}
+
+	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
+	var out *Result
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			res, err := typeIIMaster(prob, c, pattern, opt.TargetMu)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		}
+		return typeIISlave(prob, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualTime = cl.MakeSpan()
+	out.RankStats = cl.Stats()
+	return out, nil
+}
+
+func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, targetMu float64) (*Result, error) {
+	eng := prob.NewEngine(0)
+	numRows := eng.Placement().NumRows()
+	if numRows < c.Size() {
+		return nil, fmt.Errorf("parallel: %d rows cannot feed %d ranks", numRows, c.Size())
+	}
+
+	res := &Result{}
+	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+		assign := pattern.Assign(iter, numRows, c.Size())
+		if err := validateAssignment(assign, numRows); err != nil {
+			return nil, err
+		}
+
+		// Broadcast assignment + placement in one message.
+		header := encodeAssignment(assign)
+		c.Bcast(0, append(header, eng.Placement().Encode()...))
+
+		// The master works its own partition like any slave. Step's
+		// evaluation sees the previous iteration's merged solution, so μ
+		// tracking covers every merge with no duplicate evaluation.
+		eng.DomainFromRows(assign[0])
+		eng.Step()
+
+		// Merge the slaves' rows into the master's placement.
+		for r := 1; r < c.Size(); r++ {
+			data, _ := c.Recv(r, tagT2Rows)
+			if err := eng.Placement().ApplyRows(data); err != nil {
+				return nil, fmt.Errorf("parallel: merging rank %d rows: %w", r, err)
+			}
+		}
+		eng.Placement().Recompute()
+
+		if targetMu > 0 && !res.ReachedTarget && eng.BestMu() >= targetMu {
+			res.ReachedTarget = true
+			res.TimeToTarget = c.Elapsed()
+			break
+		}
+	}
+	c.Bcast(0, nil) // stop signal
+
+	// Evaluate the final merged solution (Step never saw the last merge)
+	// and check its integrity once.
+	eng.EvaluateCosts()
+	if err := eng.Placement().Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: final merged solution invalid: %w", err)
+	}
+
+	er := eng.Result()
+	res.BestMu = er.BestMu
+	res.BestCosts = er.BestCosts
+	res.Best = er.Best
+	res.Iters = er.Iters
+	res.MuTrace = er.MuTrace
+	return res, nil
+}
+
+const tagT2Rows = 20
+
+func typeIISlave(prob *core.Problem, c *Comm) error {
+	// Each slave draws selection randomness from its own stream.
+	slaveRng := rng.NewStream(prob.Cfg.Seed, uint64(1000+c.Rank()))
+	eng := prob.EngineFrom(layout.New(prob.Ckt, prob.Cfg.NumRows), slaveRng)
+	for {
+		data := c.Bcast(0, nil)
+		if len(data) == 0 {
+			return nil
+		}
+		assign, rest, err := decodeAssignment(data)
+		if err != nil {
+			return err
+		}
+		if len(assign) != c.Size() {
+			return fmt.Errorf("parallel: assignment for %d ranks, cluster has %d", len(assign), c.Size())
+		}
+		place, err := layout.DecodePlacement(prob.Ckt, rest)
+		if err != nil {
+			return fmt.Errorf("parallel: rank %d decoding placement: %w", c.Rank(), err)
+		}
+		eng.SetPlacement(place)
+		myRows := assign[c.Rank()]
+		eng.DomainFromRows(myRows)
+		eng.Step()
+		c.Send(0, tagT2Rows, eng.Placement().EncodeRows(myRows))
+	}
+}

@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"simevo/internal/core"
+	"simevo/internal/layout"
+	"simevo/internal/mpi"
+)
+
+// Type III protocol tags.
+const (
+	tagT3Report  = 30 + iota // slave -> store: new personal best
+	tagT3Request             // slave -> store: ask for a better solution
+	tagT3Reply               // store -> slave: better solution or keep-yours
+	tagT3Done                // slave -> store: final best
+)
+
+// RunTypeIII executes the parallel-search strategy of the paper's Figure 6,
+// modeled on asynchronous multiple-Markov-chain parallel SA [1]: rank 0 is
+// a central store of the best solution found so far; every other rank runs
+// an independent full SimE search from the same starting solution with a
+// different random stream. A slave that improves its best reports it to the
+// store; a slave that fails to improve for Options.Retry consecutive
+// iterations asks the store for a better solution, which it adopts if the
+// store has one (otherwise the store adopts the slave's, if better).
+//
+// There is no workload division, so runtimes track the serial algorithm;
+// the paper's point is that seeds alone do not diversify SimE searches
+// enough for the cooperation to buy speed.
+func RunTypeIII(prob *core.Problem, opt Options) (*Result, error) {
+	if opt.Procs < 3 {
+		return nil, fmt.Errorf("parallel: Type III needs >= 3 ranks (one is the central store), got %d", opt.Procs)
+	}
+	retry := opt.Retry
+	if retry <= 0 {
+		retry = 100
+	}
+
+	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
+	var out *Result
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			res, err := typeIIIStore(prob, c)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		}
+		return typeIIISearcher(prob, c, retry, opt.Diversify)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualTime = cl.MakeSpan()
+	out.RankStats = cl.Stats()
+
+	// The store tracks only μ; recover the cost breakdown of the winner.
+	if out.Best != nil {
+		eng := prob.EngineFrom(out.Best.Clone(), nil)
+		eng.EvaluateCosts()
+		out.BestCosts = eng.Costs()
+	}
+	return out, nil
+}
+
+// solution wire format: 8-byte μ followed by the placement encoding.
+func encodeSolution(mu float64, place *layout.Placement) []byte {
+	buf := make([]byte, 8, 8+place.NumRows()*4)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(mu))
+	return append(buf, place.Encode()...)
+}
+
+func decodeSolution(prob *core.Problem, data []byte) (float64, *layout.Placement, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("parallel: solution payload too short (%d bytes)", len(data))
+	}
+	mu := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	place, err := layout.DecodePlacement(prob.Ckt, data[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return mu, place, nil
+}
+
+func typeIIIStore(prob *core.Problem, c *Comm) (*Result, error) {
+	bestMu := -1.0
+	var bestData []byte // encoded solution, kept serialized for cheap replies
+	var best *layout.Placement
+	done := 0
+
+	for done < c.Size()-1 {
+		data, st := c.Recv(mpi.AnySource, mpi.AnyTag)
+		switch st.Tag {
+		case tagT3Report, tagT3Done:
+			mu, place, err := decodeSolution(prob, data)
+			if err != nil {
+				return nil, err
+			}
+			if mu > bestMu {
+				bestMu, best, bestData = mu, place, data
+			}
+			if st.Tag == tagT3Done {
+				done++
+			}
+		case tagT3Request:
+			mu, place, err := decodeSolution(prob, data)
+			if err != nil {
+				return nil, err
+			}
+			if mu > bestMu {
+				// The requester's solution is better than the store's:
+				// adopt it and tell the requester to keep going.
+				bestMu, best, bestData = mu, place, data
+				c.Send(st.Source, tagT3Reply, nil)
+			} else if bestMu > mu {
+				c.Send(st.Source, tagT3Reply, bestData)
+			} else {
+				c.Send(st.Source, tagT3Reply, nil)
+			}
+		default:
+			return nil, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag)
+		}
+	}
+
+	res := &Result{BestMu: bestMu, Best: best, Iters: prob.Cfg.MaxIters}
+	return res, nil
+}
+
+func typeIIISearcher(prob *core.Problem, c *Comm, retry int, diversify bool) error {
+	// Same starting solution on every searcher, different random streams
+	// (the paper's Table 4 setup).
+	eng := prob.EngineFromReference(uint64(c.Rank()))
+	if diversify {
+		// Section 7's diversification proposal: a different allocation
+		// function per thread steers the searches apart.
+		eng.SetAllocOrder(core.AllocOrder((c.Rank() - 1) % 3))
+	}
+	count := 0
+
+	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+		prevBest := eng.BestMu()
+		eng.Step()
+		if eng.BestMu() > prevBest {
+			// Keep the store current so any requesting thread benefits.
+			c.Send(0, tagT3Report, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+			count = 0
+			continue
+		}
+		count++
+		if count > retry {
+			c.Send(0, tagT3Request, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+			reply, _ := c.Recv(0, tagT3Reply)
+			if len(reply) > 0 {
+				mu, place, err := decodeSolution(prob, reply)
+				if err != nil {
+					return err
+				}
+				// Adopt the store's better solution and continue evolving
+				// from there.
+				eng.AdoptPlacement(place)
+				_ = mu
+			}
+			count = 0
+		}
+	}
+	c.Send(0, tagT3Done, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package power estimates per-net switching activity and the placement
+// power cost of the paper's Section 2:
+//
+//	Cost_power = Σ_i l_i · S_i
+//
+// where l_i is the wirelength estimate of net i and S_i its switching
+// probability. Switching probabilities are derived from signal
+// probabilities propagated through the logic under the standard spatial/
+// temporal independence assumptions: primary inputs have a configurable
+// one-probability (default 0.5); a gate's output probability follows from
+// its truth function over independent inputs; the switching activity of a
+// net with one-probability p is S = 2·p·(1−p). Sequential feedback through
+// flip-flops is resolved by fixpoint iteration.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"simevo/internal/netlist"
+)
+
+// Config controls activity estimation.
+type Config struct {
+	// PIProb is the one-probability of primary inputs.
+	PIProb float64
+	// MaxIters bounds the sequential fixpoint iteration.
+	MaxIters int
+	// Tol is the convergence threshold on the largest probability change
+	// between iterations.
+	Tol float64
+}
+
+// DefaultConfig returns the standard estimation parameters.
+func DefaultConfig() Config {
+	return Config{PIProb: 0.5, MaxIters: 50, Tol: 1e-9}
+}
+
+// Activities computes the switching probability S_i of every net.
+// The returned slice is indexed by NetID.
+func Activities(ckt *netlist.Circuit, cfg Config) ([]float64, error) {
+	probs, err := Probabilities(ckt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	acts := make([]float64, len(probs))
+	for i, p := range probs {
+		acts[i] = 2 * p * (1 - p)
+	}
+	return acts, nil
+}
+
+// Probabilities computes the steady-state one-probability of every net.
+func Probabilities(ckt *netlist.Circuit, cfg Config) ([]float64, error) {
+	if cfg.PIProb < 0 || cfg.PIProb > 1 {
+		return nil, fmt.Errorf("power: PI probability %v out of [0,1]", cfg.PIProb)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 1
+	}
+	lv, err := ckt.Levelize()
+	if err != nil {
+		return nil, err
+	}
+
+	prob := make([]float64, ckt.NumNets())
+	// Initialize: PI nets at PIProb, DFF outputs at 0.5 (resolved by the
+	// fixpoint below), everything else propagated.
+	for _, pi := range ckt.PIs {
+		prob[ckt.Cells[pi].Out] = cfg.PIProb
+	}
+	for _, ff := range ckt.DFFs {
+		prob[ckt.Cells[ff].Out] = 0.5
+	}
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Combinational propagation in topological order.
+		for _, id := range lv.Order {
+			cell := &ckt.Cells[id]
+			if cell.Type == netlist.Input || cell.Type == netlist.Output || cell.Type == netlist.DFF {
+				continue
+			}
+			prob[cell.Out] = gateProb(cell.Type, cell.In, prob)
+		}
+		// Synchronous DFF update: output probability becomes the data
+		// input's steady-state probability.
+		delta := 0.0
+		for _, ff := range ckt.DFFs {
+			cell := &ckt.Cells[ff]
+			next := prob[cell.In[0]]
+			if d := math.Abs(next - prob[cell.Out]); d > delta {
+				delta = d
+			}
+			prob[cell.Out] = next
+		}
+		if delta <= cfg.Tol {
+			break
+		}
+	}
+	return prob, nil
+}
+
+// gateProb evaluates the output one-probability of a gate from its input
+// net probabilities assuming independence.
+func gateProb(t netlist.GateType, in []netlist.NetID, prob []float64) float64 {
+	switch t {
+	case netlist.And:
+		p := 1.0
+		for _, n := range in {
+			p *= prob[n]
+		}
+		return p
+	case netlist.Nand:
+		p := 1.0
+		for _, n := range in {
+			p *= prob[n]
+		}
+		return 1 - p
+	case netlist.Or:
+		q := 1.0
+		for _, n := range in {
+			q *= 1 - prob[n]
+		}
+		return 1 - q
+	case netlist.Nor:
+		q := 1.0
+		for _, n := range in {
+			q *= 1 - prob[n]
+		}
+		return q
+	case netlist.Not:
+		return 1 - prob[in[0]]
+	case netlist.Buf:
+		return prob[in[0]]
+	case netlist.Xor, netlist.Xnor:
+		// Fold pairwise: P(a xor b) = a(1-b) + b(1-a).
+		p := prob[in[0]]
+		for _, n := range in[1:] {
+			q := prob[n]
+			p = p*(1-q) + q*(1-p)
+		}
+		if t == netlist.Xnor {
+			return 1 - p
+		}
+		return p
+	}
+	panic(fmt.Sprintf("power: gateProb on non-gate type %v", t))
+}
+
+// Cost computes the paper's power cost Σ l_i · S_i given per-net lengths
+// and activities.
+func Cost(lengths, activities []float64) float64 {
+	sum := 0.0
+	for i := range lengths {
+		sum += lengths[i] * activities[i]
+	}
+	return sum
+}

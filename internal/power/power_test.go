@@ -1,0 +1,215 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"simevo/internal/gen"
+	"simevo/internal/netlist"
+)
+
+func netProb(t *testing.T, ckt *netlist.Circuit, probs []float64, name string) float64 {
+	t.Helper()
+	for i := range ckt.Nets {
+		if ckt.Nets[i].Name == name {
+			return probs[i]
+		}
+	}
+	t.Fatalf("net %q not found", name)
+	return -1
+}
+
+func buildGate(t *testing.T, typ netlist.GateType, n int) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("g")
+	inputs := make([]string, n)
+	for i := range inputs {
+		inputs[i] = "i" + string(rune('0'+i))
+		b.AddInput(inputs[i])
+	}
+	b.AddGate("g", typ, inputs, 0)
+	b.AddOutput("g")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+func TestGateProbabilities(t *testing.T) {
+	cases := []struct {
+		typ  netlist.GateType
+		n    int
+		want float64
+	}{
+		{netlist.And, 2, 0.25},
+		{netlist.Nand, 2, 0.75},
+		{netlist.Or, 2, 0.75},
+		{netlist.Nor, 2, 0.25},
+		{netlist.Not, 1, 0.5},
+		{netlist.Buf, 1, 0.5},
+		{netlist.Xor, 2, 0.5},
+		{netlist.Xnor, 2, 0.5},
+		{netlist.And, 3, 0.125},
+		{netlist.Or, 3, 0.875},
+	}
+	for _, tc := range cases {
+		ckt := buildGate(t, tc.typ, tc.n)
+		probs, err := Probabilities(ckt, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", tc.typ, err)
+		}
+		if got := netProb(t, ckt, probs, "g"); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%v/%d output prob = %v, want %v", tc.typ, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBiasedInputs(t *testing.T) {
+	ckt := buildGate(t, netlist.And, 2)
+	cfg := DefaultConfig()
+	cfg.PIProb = 0.9
+	probs, err := Probabilities(ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := netProb(t, ckt, probs, "g"); math.Abs(got-0.81) > 1e-12 {
+		t.Fatalf("AND(0.9, 0.9) = %v, want 0.81", got)
+	}
+}
+
+func TestActivityFormula(t *testing.T) {
+	ckt := buildGate(t, netlist.And, 2)
+	acts, err := Activities(ckt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output prob 0.25 -> S = 2*0.25*0.75 = 0.375.
+	if got := netProb(t, ckt, acts, "g"); math.Abs(got-0.375) > 1e-12 {
+		t.Fatalf("AND2 activity = %v, want 0.375", got)
+	}
+	// PI nets: S = 2*0.5*0.5 = 0.5.
+	if got := netProb(t, ckt, acts, "i0"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PI activity = %v, want 0.5", got)
+	}
+}
+
+func TestSequentialFixpoint(t *testing.T) {
+	// ff = DFF(g), g = AND(a, ff): p(g) = 0.5 * p(ff), p(ff) = p(g)
+	// => fixpoint p = 0. The iteration must converge there.
+	b := netlist.NewBuilder("seq")
+	b.AddInput("a")
+	b.AddGate("g", netlist.And, []string{"a", "ff"}, 0)
+	b.AddGate("ff", netlist.DFF, []string{"g"}, 0)
+	b.AddOutput("g")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Probabilities(ckt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := netProb(t, ckt, probs, "ff"); got > 1e-6 {
+		t.Fatalf("feedback AND fixpoint = %v, want ~0", got)
+	}
+}
+
+func TestSequentialFixpointOr(t *testing.T) {
+	// ff = DFF(g), g = OR(a, ff): p(g) = 1 - 0.5*(1-p(ff)) -> fixpoint 1.
+	b := netlist.NewBuilder("seq2")
+	b.AddInput("a")
+	b.AddGate("g", netlist.Or, []string{"a", "ff"}, 0)
+	b.AddGate("ff", netlist.DFF, []string{"g"}, 0)
+	b.AddOutput("g")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Probabilities(ckt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := netProb(t, ckt, probs, "ff"); got < 1-1e-6 {
+		t.Fatalf("feedback OR fixpoint = %v, want ~1", got)
+	}
+}
+
+func TestProbabilitiesInRange(t *testing.T) {
+	prop := func(seed uint64) bool {
+		ckt, err := gen.Generate(gen.Params{
+			Name: "p", Gates: 100, DFFs: 10, PIs: 8, POs: 8, Depth: 8, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		probs, err := Probabilities(ckt, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		acts, err := Activities(ckt, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for _, s := range acts {
+			if s < 0 || s > 0.5+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCost(t *testing.T) {
+	lengths := []float64{10, 20, 30}
+	acts := []float64{0.5, 0.25, 0.1}
+	want := 10*0.5 + 20*0.25 + 30*0.1
+	if got := Cost(lengths, acts); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestCostMonotoneInLength(t *testing.T) {
+	acts := []float64{0.3, 0.3}
+	if Cost([]float64{10, 10}, acts) >= Cost([]float64{20, 10}, acts) {
+		t.Fatal("power cost not monotone in net length")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	ckt := buildGate(t, netlist.And, 2)
+	cfg := DefaultConfig()
+	cfg.PIProb = 1.5
+	if _, err := Probabilities(ckt, cfg); err == nil {
+		t.Fatal("PIProb out of range accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ckt, err := gen.Benchmark("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Activities(ckt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Activities(ckt, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("activity of net %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package wire estimates the routed length of placement nets.
+//
+// The paper estimates interconnect wirelength per net with a Steiner tree
+// and sums the estimates (Section 2). This package provides that estimator
+// (a single-trunk rectilinear Steiner tree, the standard constructive
+// approximation) plus the cheaper half-perimeter bounding box (HPWL) that
+// it degenerates to for nets with up to three pins.
+package wire
+
+import (
+	"sort"
+
+	"simevo/internal/netlist"
+)
+
+// Coords exposes physical cell-center coordinates; *layout.Placement
+// satisfies it.
+type Coords interface {
+	Coord(id netlist.CellID) (x, y float64)
+}
+
+// Estimator selects the net-length model.
+type Estimator uint8
+
+// Available estimators.
+const (
+	// HPWL is the half-perimeter of the pins' bounding box.
+	HPWL Estimator = iota
+	// Steiner is a single-trunk rectilinear Steiner tree: a trunk through
+	// the median pin coordinate with a branch per pin, taking the cheaper
+	// of the two trunk orientations. Equals HPWL for nets with <= 3 pins
+	// and upper-bounds it otherwise.
+	Steiner
+)
+
+// Evaluator computes net lengths for one circuit. It keeps scratch buffers,
+// so it is not safe for concurrent use; each goroutine should own one.
+type Evaluator struct {
+	ckt *netlist.Circuit
+	est Estimator
+	xs  []float64
+	ys  []float64
+	med []float64 // scratch for median / MST keys
+	inT []bool    // scratch for MST membership
+}
+
+// NewEvaluator returns an evaluator using the given estimator.
+func NewEvaluator(ckt *netlist.Circuit, est Estimator) *Evaluator {
+	return &Evaluator{ckt: ckt, est: est}
+}
+
+// Estimator returns the configured estimator.
+func (e *Evaluator) Estimator() Estimator { return e.est }
+
+// collect gathers pin coordinates of the net, optionally excluding every
+// pin belonging to cell `exclude` (pass netlist.NoCell to keep all).
+func (e *Evaluator) collect(net *netlist.Net, exclude netlist.CellID, coords Coords) {
+	e.xs, e.ys = e.xs[:0], e.ys[:0]
+	add := func(id netlist.CellID) {
+		if id == exclude {
+			return
+		}
+		x, y := coords.Coord(id)
+		e.xs = append(e.xs, x)
+		e.ys = append(e.ys, y)
+	}
+	add(net.Driver)
+	for _, s := range net.Sinks {
+		add(s)
+	}
+}
+
+// NetLength estimates the length of one net.
+func (e *Evaluator) NetLength(id netlist.NetID, coords Coords) float64 {
+	e.collect(e.ckt.Net(id), netlist.NoCell, coords)
+	return e.lengthOf()
+}
+
+// NetLengthExcluding estimates the net length over all pins except those of
+// the excluded cell. This is the basis of the per-cell "optimal cost"
+// estimate O_i used by the goodness measure: a cell placed optimally can
+// always reach the remaining pins' tree at zero marginal bounding-box cost.
+func (e *Evaluator) NetLengthExcluding(id netlist.NetID, exclude netlist.CellID, coords Coords) float64 {
+	e.collect(e.ckt.Net(id), exclude, coords)
+	return e.lengthOf()
+}
+
+// NetLengthWithCellAt estimates the net length with one cell's pins moved
+// to (x, y) — the trial-position evaluation used by the allocation operator.
+func (e *Evaluator) NetLengthWithCellAt(id netlist.NetID, cell netlist.CellID, x, y float64, coords Coords) float64 {
+	e.collect(e.ckt.Net(id), cell, coords)
+	e.xs = append(e.xs, x)
+	e.ys = append(e.ys, y)
+	return e.lengthOf()
+}
+
+// NetLengthWithCellsAt estimates the net length with two cells moved to new
+// positions simultaneously — the pairwise-swap trial evaluation used by the
+// SA/TS move generators for nets containing both cells.
+func (e *Evaluator) NetLengthWithCellsAt(id netlist.NetID, c1 netlist.CellID, x1, y1 float64,
+	c2 netlist.CellID, x2, y2 float64, coords Coords) float64 {
+	net := e.ckt.Net(id)
+	e.xs, e.ys = e.xs[:0], e.ys[:0]
+	add := func(cid netlist.CellID) {
+		if cid == c1 || cid == c2 {
+			return
+		}
+		x, y := coords.Coord(cid)
+		e.xs = append(e.xs, x)
+		e.ys = append(e.ys, y)
+	}
+	add(net.Driver)
+	for _, s := range net.Sinks {
+		add(s)
+	}
+	e.xs = append(e.xs, x1, x2)
+	e.ys = append(e.ys, y1, y2)
+	return e.lengthOf()
+}
+
+func (e *Evaluator) lengthOf() float64 {
+	n := len(e.xs)
+	if n < 2 {
+		return 0
+	}
+	switch e.est {
+	case HPWL:
+		return hpwl(e.xs, e.ys)
+	case Steiner:
+		if n <= 3 {
+			return hpwl(e.xs, e.ys) // exact Steiner length for <= 3 pins
+		}
+		h := trunkLength(e.xs, e.ys, &e.med) // horizontal trunk
+		v := trunkLength(e.ys, e.xs, &e.med) // vertical trunk
+		if v < h {
+			return v
+		}
+		return h
+	case RMST:
+		return e.rmstLength()
+	}
+	panic("wire: unknown estimator")
+}
+
+func hpwl(xs, ys []float64) float64 {
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// trunkLength computes the single-trunk Steiner length with the trunk
+// running along the first axis: trunk span plus a perpendicular branch from
+// every pin to the trunk at the median second-axis coordinate.
+func trunkLength(along, across []float64, scratch *[]float64) float64 {
+	minA, maxA := along[0], along[0]
+	for _, v := range along[1:] {
+		if v < minA {
+			minA = v
+		}
+		if v > maxA {
+			maxA = v
+		}
+	}
+	med := median(across, scratch)
+	sum := maxA - minA
+	for _, v := range across {
+		if v > med {
+			sum += v - med
+		} else {
+			sum += med - v
+		}
+	}
+	return sum
+}
+
+func median(v []float64, scratch *[]float64) float64 {
+	switch len(v) {
+	case 1:
+		return v[0]
+	case 2:
+		return (v[0] + v[1]) / 2
+	}
+	if cap(*scratch) < len(v) {
+		*scratch = make([]float64, len(v))
+	}
+	s := (*scratch)[:len(v)]
+	copy(s, v)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Lengths fills dst (allocated if nil) with per-net length estimates and
+// returns it.
+func (e *Evaluator) Lengths(coords Coords, dst []float64) []float64 {
+	if cap(dst) < e.ckt.NumNets() {
+		dst = make([]float64, e.ckt.NumNets())
+	}
+	dst = dst[:e.ckt.NumNets()]
+	for i := range dst {
+		dst[i] = e.NetLength(netlist.NetID(i), coords)
+	}
+	return dst
+}
+
+// Total sums per-net lengths: the paper's Cost_wire.
+func Total(lengths []float64) float64 {
+	sum := 0.0
+	for _, l := range lengths {
+		sum += l
+	}
+	return sum
+}

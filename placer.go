@@ -1,0 +1,68 @@
+package simevo
+
+import (
+	"time"
+
+	"simevo/internal/core"
+	"simevo/internal/parallel"
+)
+
+// Placer binds a circuit to a SimE configuration and runs the serial
+// algorithm or any of the paper's three parallel strategies. A Placer can
+// run any number of independent experiments; each run starts from the same
+// canonical initial placement derived from Config.Seed, as in the paper.
+type Placer struct {
+	prob *core.Problem
+}
+
+// NewPlacer validates the configuration and precomputes the shared problem
+// data (switching activities, timing levelization, μ normalization).
+func NewPlacer(c *Circuit, cfg Config) (*Placer, error) {
+	prob, err := core.NewProblem(c.ckt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Placer{prob: prob}, nil
+}
+
+// Config returns the validated configuration in use.
+func (p *Placer) Config() Config { return p.prob.Cfg }
+
+// InitialCosts returns the objective costs of the canonical initial
+// placement that μ(s) is normalized against.
+func (p *Placer) InitialCosts() Costs { return p.prob.Ref }
+
+// SerialResult pairs the serial engine result with its measured runtime.
+type SerialResult struct {
+	*Result
+	// Runtime is the wall-clock time of the run. The serial algorithm is
+	// single-threaded, so this is directly comparable with the virtual
+	// time reported for parallel runs.
+	Runtime time.Duration
+}
+
+// RunSerial executes the serial SimE algorithm (the paper's Figure 1).
+func (p *Placer) RunSerial() (*SerialResult, error) {
+	eng := p.prob.NewEngine(0)
+	start := time.Now()
+	res := eng.Run()
+	return &SerialResult{Result: res, Runtime: time.Since(start)}, nil
+}
+
+// RunTypeI executes the low-level parallelization (paper Section 6.1):
+// distributed cost/goodness evaluation with master-side selection and
+// allocation. The trajectory is identical to RunSerial for the same seed.
+func (p *Placer) RunTypeI(opt ParallelOptions) (*ParallelResult, error) {
+	return parallel.RunTypeI(p.prob, opt)
+}
+
+// RunTypeII executes the row-domain decomposition (paper Section 6.2).
+func (p *Placer) RunTypeII(opt ParallelOptions) (*ParallelResult, error) {
+	return parallel.RunTypeII(p.prob, opt)
+}
+
+// RunTypeIII executes cooperating parallel searches with a central best
+// store (paper Section 6.3).
+func (p *Placer) RunTypeIII(opt ParallelOptions) (*ParallelResult, error) {
+	return parallel.RunTypeIII(p.prob, opt)
+}

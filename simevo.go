@@ -1,0 +1,116 @@
+// Package simevo is a Go implementation of parallel Simulated Evolution
+// (SimE) for multiobjective VLSI standard-cell placement, reproducing
+//
+//	Sait, Ali, Zaidi: "Evaluating Parallel Simulated Evolution Strategies
+//	for VLSI Cell Placement", IPDPS 2006.
+//
+// The library provides:
+//
+//   - a gate-level circuit model with an ISCAS-89 (.bench) parser and a
+//     synthetic benchmark generator reproducing the paper's test cases;
+//   - cost substrates: Steiner-tree wirelength, switching-activity power,
+//     static-timing delay, and the fuzzy aggregation μ(s);
+//   - the serial SimE engine (evaluation, biasless selection, sorted
+//     individual best-fit allocation);
+//   - the paper's three parallelization strategies (Type I low-level,
+//     Type II row-domain decomposition with fixed/random patterns, Type
+//     III cooperating parallel searches) running on a virtual-time
+//     message-passing cluster with a LogP-style fast-Ethernet model.
+//
+// Quick start:
+//
+//	ckt, _ := simevo.Benchmark("s1196")
+//	cfg := simevo.DefaultConfig(simevo.WirePower)
+//	cfg.MaxIters = 350
+//	placer, _ := simevo.NewPlacer(ckt, cfg)
+//	res, _ := placer.RunSerial()
+//	fmt.Printf("μ(s) = %.3f\n", res.BestMu)
+package simevo
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"simevo/internal/gen"
+	"simevo/internal/netlist"
+)
+
+// Circuit is a gate-level design ready for placement.
+type Circuit struct {
+	ckt *netlist.Circuit
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.ckt.Name }
+
+// NumCells returns the number of movable cells (gates + flip-flops),
+// the paper's "Cells" column.
+func (c *Circuit) NumCells() int { return c.ckt.NumMovable() }
+
+// NumNets returns the number of signal nets.
+func (c *Circuit) NumNets() int { return c.ckt.NumNets() }
+
+// Stats returns the circuit's structural statistics.
+func (c *Circuit) Stats() CircuitStats { return netlist.ComputeStats(c.ckt) }
+
+// CircuitStats summarizes a circuit; see netlist.Stats.
+type CircuitStats = netlist.Stats
+
+// WriteBench writes the circuit in ISCAS-89 .bench format.
+func (c *Circuit) WriteBench(w io.Writer) error { return netlist.WriteBench(w, c.ckt) }
+
+// LoadBench parses a circuit in ISCAS-89 .bench format.
+func LoadBench(name string, r io.Reader) (*Circuit, error) {
+	ckt, err := netlist.ParseBench(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{ckt: ckt}, nil
+}
+
+// LoadBenchFile parses a .bench file from disk.
+func LoadBenchFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBench(path, f)
+}
+
+// Benchmark returns one of the paper's five ISCAS-89 test cases as a
+// synthetic, statistically equivalent circuit (see DESIGN.md for the
+// substitution rationale). Generation is deterministic.
+func Benchmark(name string) (*Circuit, error) {
+	ckt, err := gen.Benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{ckt: ckt}, nil
+}
+
+// BenchmarkNames lists the available benchmark circuits in the order the
+// paper's tables use.
+func BenchmarkNames() []string { return gen.Catalog() }
+
+// GenerateParams parameterizes synthetic circuit generation; see gen.Params.
+type GenerateParams = gen.Params
+
+// Generate synthesizes a circuit with the given structural statistics.
+func Generate(p GenerateParams) (*Circuit, error) {
+	ckt, err := gen.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{ckt: ckt}, nil
+}
+
+// MustBenchmark is Benchmark for tests and examples; it panics on error.
+func MustBenchmark(name string) *Circuit {
+	c, err := Benchmark(name)
+	if err != nil {
+		panic(fmt.Sprintf("simevo: %v", err))
+	}
+	return c
+}
