@@ -1,0 +1,83 @@
+// Command simevo-serve runs the placement-as-a-service HTTP server: a JSON
+// API over the SimE engine, its three parallel strategies, and the SA/GA/TS
+// comparison metaheuristics, backed by a bounded worker pool and an LRU
+// result cache.
+//
+// Usage:
+//
+//	simevo-serve [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit a placement job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}        job status + result
+//	GET    /v1/jobs/{id}/stream live progress (server-sent events)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/benchmarks      built-in benchmark catalog
+//	GET    /healthz            liveness + pool occupancy
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"circuit":"s1196","strategy":"serial","max_iters":100}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simevo/internal/service/api"
+	"simevo/internal/service/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 2, "concurrent placement runs")
+	queue := flag.Int("queue", 64, "submission queue depth")
+	cache := flag.Int("cache", 128, "LRU result-cache entries (negative disables)")
+	maxJobs := flag.Int("max-jobs", 1024, "retained job records")
+	flag.Parse()
+
+	mgr := jobs.NewManager(jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		MaxJobs:    *maxJobs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.New(mgr).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("simevo-serve listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("simevo-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("simevo-serve: shutting down")
+	// Close the manager first: running jobs cancel within one iteration,
+	// which ends open SSE streams with their terminal event, so Shutdown
+	// below has no long-lived connections to wait out.
+	mgr.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("simevo-serve: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module simevo
+
+go 1.24

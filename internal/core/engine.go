@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -491,10 +492,24 @@ func (e *Engine) currentStats(selected int) IterStats {
 // Run executes the SimE main loop until MaxIters, the no-improvement stop,
 // or the target quality is reached, then evaluates the final placement and
 // returns the result.
-func (e *Engine) Run() *Result {
+func (e *Engine) Run() *Result { return e.RunContext(context.Background(), nil) }
+
+// RunContext is Run with cooperative cancellation and per-iteration
+// progress reporting. The context is checked between iterations: once it is
+// cancelled the loop stops before starting another iteration and the
+// best-so-far result is returned (inspect ctx.Err() for the reason).
+// progress, when non-nil, is invoked after every completed iteration with
+// that iteration's statistics.
+func (e *Engine) RunContext(ctx context.Context, progress Progress) *Result {
 	cfg := &e.prob.Cfg
 	for e.iter < cfg.MaxIters {
-		e.Step()
+		if ctx.Err() != nil {
+			break
+		}
+		st := e.Step()
+		if progress != nil {
+			progress(st)
+		}
 		if cfg.TargetMu > 0 && e.bestMu >= cfg.TargetMu {
 			break
 		}

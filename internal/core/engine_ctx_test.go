@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"simevo/internal/fuzzy"
+)
+
+// TestRunContextCancel proves a cancelled context stops the run early and
+// the best-so-far result is still returned.
+func TestRunContextCancel(t *testing.T) {
+	p := testProblem(t, fuzzy.WirePower, 200)
+	eng := p.NewEngine(0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAfter = 3
+	var calls int
+	res := eng.RunContext(ctx, func(st IterStats) {
+		if st.Iter != calls {
+			t.Errorf("progress iter %d, want %d", st.Iter, calls)
+		}
+		calls++
+		if calls == stopAfter {
+			cancel()
+		}
+	})
+
+	if calls != stopAfter {
+		t.Fatalf("progress called %d times, want %d", calls, stopAfter)
+	}
+	if res.Iters != stopAfter {
+		t.Fatalf("ran %d iterations after cancel, want %d", res.Iters, stopAfter)
+	}
+	if res.Best == nil || res.BestMu <= 0 {
+		t.Fatalf("cancelled run lost the best-so-far result: %+v", res)
+	}
+
+	// The best-so-far must match a fresh engine stepped the same number of
+	// times (identical seed, identical trajectory).
+	ref := p.NewEngine(0)
+	for i := 0; i < stopAfter; i++ {
+		ref.Step()
+	}
+	ref.EvaluateCosts()
+	if res.BestMu != ref.BestMu() {
+		t.Fatalf("cancelled best μ %.6f, want %.6f", res.BestMu, ref.BestMu())
+	}
+}
+
+// TestRunContextCompletes checks the context variant runs to the budget
+// when never cancelled and reports progress every iteration.
+func TestRunContextCompletes(t *testing.T) {
+	p := testProblem(t, fuzzy.WirePower, 8)
+	eng := p.NewEngine(0)
+	var calls int
+	res := eng.RunContext(context.Background(), func(IterStats) { calls++ })
+	if res.Iters != 8 || calls != 8 {
+		t.Fatalf("iters %d, progress calls %d, want 8 and 8", res.Iters, calls)
+	}
+}

@@ -48,6 +48,14 @@ type IterStats struct {
 	WidthOK  bool
 }
 
+// Progress receives per-iteration statistics while a run is executing.
+// Callbacks are invoked synchronously from the running engine — for the
+// parallel strategies that means from a cluster rank goroutine — so
+// implementations must be fast and safe for concurrent use, and must not
+// call back into the engine. The metaheuristics reuse the type, filling
+// only Iter (moves / generations / iterations) and the best-μ fields.
+type Progress func(IterStats)
+
 // Result summarizes a Run.
 type Result struct {
 	Best      *layout.Placement

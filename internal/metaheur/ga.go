@@ -1,6 +1,7 @@
 package metaheur
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -201,6 +202,14 @@ func (g *gaState) step() {
 
 // RunGA executes the serial genetic algorithm.
 func RunGA(prob *core.Problem, cfg GAConfig) (*Result, error) {
+	return RunGAContext(context.Background(), prob, cfg, nil)
+}
+
+// RunGAContext is RunGA with cooperative cancellation and progress
+// reporting. The context is checked between generations; a cancelled run
+// returns the best-so-far result. progress, when non-nil, is invoked after
+// every generation with the generation count and the best μ.
+func RunGAContext(ctx context.Context, prob *core.Problem, cfg GAConfig, progress core.Progress) (*Result, error) {
 	if err := requireWirePower(prob); err != nil {
 		return nil, err
 	}
@@ -210,14 +219,19 @@ func RunGA(prob *core.Problem, cfg GAConfig) (*Result, error) {
 	}
 	start := time.Now()
 	g := newGA(prob, cfg, 0x6a)
-	for gen := 0; gen < cfg.Generations; gen++ {
+	gens := 0
+	for gen := 0; gen < cfg.Generations && ctx.Err() == nil; gen++ {
 		g.step()
+		gens++
+		if progress != nil {
+			progress(core.IterStats{Iter: gens, Mu: g.bestMu, Costs: g.bestCosts})
+		}
 	}
 	return &Result{
 		BestMu:    g.bestMu,
 		BestCosts: g.bestCosts,
 		Best:      g.best,
-		Moves:     cfg.Generations,
+		Moves:     gens,
 		Runtime:   time.Since(start),
 	}, nil
 }

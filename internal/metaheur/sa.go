@@ -1,6 +1,7 @@
 package metaheur
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -50,6 +51,14 @@ func (c *SAConfig) defaults(n int) {
 // criterion and geometric cooling. The energy is the sum of normalized
 // wirelength and power costs; μ(s) is reported for comparability with SimE.
 func RunSA(prob *core.Problem, cfg SAConfig) (*Result, error) {
+	return RunSAContext(context.Background(), prob, cfg, nil)
+}
+
+// RunSAContext is RunSA with cooperative cancellation and progress
+// reporting. The context is checked between temperature plateaus; a
+// cancelled run returns the best-so-far result. progress, when non-nil, is
+// invoked after every plateau with the move count and the best μ.
+func RunSAContext(ctx context.Context, prob *core.Problem, cfg SAConfig, progress core.Progress) (*Result, error) {
 	if err := requireWirePower(prob); err != nil {
 		return nil, err
 	}
@@ -57,8 +66,11 @@ func RunSA(prob *core.Problem, cfg SAConfig) (*Result, error) {
 	start := time.Now()
 
 	sa := newSAChain(prob, cfg, 0x5a5a)
-	for sa.moves < cfg.Moves {
+	for sa.moves < cfg.Moves && ctx.Err() == nil {
 		sa.runChain(cfg.ChainLen)
+		if progress != nil {
+			progress(core.IterStats{Iter: sa.moves, Mu: sa.bestMu, Costs: sa.bestCosts})
+		}
 		sa.temp *= cfg.Alpha
 		if sa.temp < sa.t0*1e-6 {
 			break

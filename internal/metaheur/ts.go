@@ -1,6 +1,7 @@
 package metaheur
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -123,6 +124,14 @@ func (ts *tsState) applyCandidate(cand [2]netlist.CellID) {
 // admitted only under the aspiration criterion), and marks the moved cells
 // tabu for Tenure iterations.
 func RunTS(prob *core.Problem, cfg TSConfig) (*Result, error) {
+	return RunTSContext(context.Background(), prob, cfg, nil)
+}
+
+// RunTSContext is RunTS with cooperative cancellation and progress
+// reporting. The context is checked between tabu iterations; a cancelled
+// run returns the best-so-far result. progress, when non-nil, is invoked
+// after every iteration with the iteration count and the best μ.
+func RunTSContext(ctx context.Context, prob *core.Problem, cfg TSConfig, progress core.Progress) (*Result, error) {
 	if err := requireWirePower(prob); err != nil {
 		return nil, err
 	}
@@ -131,7 +140,7 @@ func RunTS(prob *core.Problem, cfg TSConfig) (*Result, error) {
 	ts := newTS(prob, cfg)
 	var cands [][2]netlist.CellID
 	deltas := make([]float64, 0, cfg.Candidates)
-	for ts.iter = 0; ts.iter < cfg.Iters; ts.iter++ {
+	for ts.iter = 0; ts.iter < cfg.Iters && ctx.Err() == nil; ts.iter++ {
 		cands = ts.sampleCandidates(cands)
 		deltas = deltas[:0]
 		for _, cand := range cands {
@@ -139,6 +148,9 @@ func RunTS(prob *core.Problem, cfg TSConfig) (*Result, error) {
 		}
 		if i := ts.pickBest(cands, deltas); i >= 0 {
 			ts.applyCandidate(cands[i])
+		}
+		if progress != nil {
+			progress(core.IterStats{Iter: ts.iter + 1, Mu: ts.bestMu, Costs: ts.bestCosts})
 		}
 	}
 	return &Result{

@@ -69,7 +69,9 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		c.Send(0, tagT3Done, encodeSolution(mu, best))
+		// Coop workers track their own budgets; the store's iteration
+		// count is unused here (Iters is cleared below).
+		c.Send(0, tagT3Done, encodeDone(0, mu, best))
 		return nil
 	})
 	if err != nil {

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"time"
 
+	"simevo/internal/core"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
@@ -30,6 +32,29 @@ type Options struct {
 	// Diversify gives each Type III searcher a different allocation order
 	// — the search-diversification idea of the paper's Section 7.
 	Diversify bool
+	// Context cancels a run cooperatively: the master (Type I/II) or every
+	// searcher (Type III) checks it between iterations, winds the cluster
+	// down cleanly, and the best-so-far result is returned. Nil never
+	// cancels.
+	Context context.Context
+	// Progress, when non-nil, receives per-iteration statistics from the
+	// master rank (Type I/II) or the first searcher rank (Type III, whose
+	// Mu is that searcher's, not the global best). Callbacks run on a
+	// cluster rank goroutine; they must be fast and safe for concurrent
+	// use.
+	Progress core.Progress
+}
+
+// cancelled reports whether the run's context has been cancelled.
+func (o Options) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// report invokes the progress callback when one is configured.
+func (o Options) report(st core.IterStats) {
+	if o.Progress != nil {
+		o.Progress(st)
+	}
 }
 
 func (o Options) net() mpi.NetModel {

@@ -39,7 +39,7 @@ func RunTypeI(prob *core.Problem, opt Options) (*Result, error) {
 	var out *Result
 	err := cl.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			res, err := typeIMaster(prob, c)
+			res, err := typeIMaster(prob, c, opt)
 			if err != nil {
 				return err
 			}
@@ -66,13 +66,13 @@ func cellChunk(movable []netlist.CellID, r, p int) []netlist.CellID {
 	return movable[lo:hi]
 }
 
-func typeIMaster(prob *core.Problem, c *Comm) (*Result, error) {
+func typeIMaster(prob *core.Problem, c *Comm, opt Options) (*Result, error) {
 	eng := prob.NewEngine(0) // identical construction to the serial run
 	movable := prob.Ckt.Movable()
 	chunk := cellChunk(movable, 0, c.Size())
 	var goodsBuf []float64
 
-	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
 		// Broadcast the current placement to the slaves.
 		c.Bcast(0, eng.Placement().Encode())
 
@@ -97,7 +97,7 @@ func typeIMaster(prob *core.Problem, c *Comm) (*Result, error) {
 		}
 
 		// Selection and allocation happen only on the master.
-		eng.SelectAndAllocate()
+		opt.report(eng.SelectAndAllocate())
 	}
 	// Terminal broadcast: zero-length placement signals the slaves to stop.
 	c.Bcast(0, nil)

@@ -35,7 +35,7 @@ func RunTypeII(prob *core.Problem, opt Options) (*Result, error) {
 	var out *Result
 	err := cl.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			res, err := typeIIMaster(prob, c, pattern, opt.TargetMu)
+			res, err := typeIIMaster(prob, c, pattern, opt)
 			if err != nil {
 				return err
 			}
@@ -52,15 +52,16 @@ func RunTypeII(prob *core.Problem, opt Options) (*Result, error) {
 	return out, nil
 }
 
-func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, targetMu float64) (*Result, error) {
+func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, opt Options) (*Result, error) {
 	eng := prob.NewEngine(0)
+	targetMu := opt.TargetMu
 	numRows := eng.Placement().NumRows()
 	if numRows < c.Size() {
 		return nil, fmt.Errorf("parallel: %d rows cannot feed %d ranks", numRows, c.Size())
 	}
 
 	res := &Result{}
-	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
 		assign := pattern.Assign(iter, numRows, c.Size())
 		if err := validateAssignment(assign, numRows); err != nil {
 			return nil, err
@@ -74,7 +75,7 @@ func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, targetMu floa
 		// evaluation sees the previous iteration's merged solution, so μ
 		// tracking covers every merge with no duplicate evaluation.
 		eng.DomainFromRows(assign[0])
-		eng.Step()
+		opt.report(eng.Step())
 
 		// Merge the slaves' rows into the master's placement.
 		for r := 1; r < c.Size(); r++ {

@@ -50,7 +50,7 @@ func RunTypeIII(prob *core.Problem, opt Options) (*Result, error) {
 			out = res
 			return nil
 		}
-		return typeIIISearcher(prob, c, retry, opt.Diversify)
+		return typeIIISearcher(prob, c, retry, opt)
 	})
 	if err != nil {
 		return nil, err
@@ -65,6 +65,14 @@ func RunTypeIII(prob *core.Problem, opt Options) (*Result, error) {
 		out.BestCosts = eng.Costs()
 	}
 	return out, nil
+}
+
+// encodeDone prepends the executed iteration count to a solution encoding
+// — the tagT3Done wire format the store expects.
+func encodeDone(iters int, mu float64, place *layout.Placement) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(iters))
+	return append(buf, encodeSolution(mu, place)...)
 }
 
 // solution wire format: 8-byte μ followed by the placement encoding.
@@ -91,20 +99,29 @@ func typeIIIStore(prob *core.Problem, c *Comm) (*Result, error) {
 	var bestData []byte // encoded solution, kept serialized for cheap replies
 	var best *layout.Placement
 	done := 0
+	iters := 0 // max iterations any searcher executed (cancellation may cut runs short)
 
 	for done < c.Size()-1 {
 		data, st := c.Recv(mpi.AnySource, mpi.AnyTag)
 		switch st.Tag {
 		case tagT3Report, tagT3Done:
+			if st.Tag == tagT3Done {
+				// Done wire format: 8-byte iteration count, then the solution.
+				if len(data) < 8 {
+					return nil, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data))
+				}
+				if n := int(binary.LittleEndian.Uint64(data)); n > iters {
+					iters = n
+				}
+				data = data[8:]
+				done++
+			}
 			mu, place, err := decodeSolution(prob, data)
 			if err != nil {
 				return nil, err
 			}
 			if mu > bestMu {
 				bestMu, best, bestData = mu, place, data
-			}
-			if st.Tag == tagT3Done {
-				done++
 			}
 		case tagT3Request:
 			mu, place, err := decodeSolution(prob, data)
@@ -126,24 +143,30 @@ func typeIIIStore(prob *core.Problem, c *Comm) (*Result, error) {
 		}
 	}
 
-	res := &Result{BestMu: bestMu, Best: best, Iters: prob.Cfg.MaxIters}
+	res := &Result{BestMu: bestMu, Best: best, Iters: iters}
 	return res, nil
 }
 
-func typeIIISearcher(prob *core.Problem, c *Comm, retry int, diversify bool) error {
+func typeIIISearcher(prob *core.Problem, c *Comm, retry int, opt Options) error {
 	// Same starting solution on every searcher, different random streams
 	// (the paper's Table 4 setup).
 	eng := prob.EngineFromReference(uint64(c.Rank()))
-	if diversify {
+	if opt.Diversify {
 		// Section 7's diversification proposal: a different allocation
 		// function per thread steers the searches apart.
 		eng.SetAllocOrder(core.AllocOrder((c.Rank() - 1) % 3))
 	}
 	count := 0
 
-	for iter := 0; iter < prob.Cfg.MaxIters; iter++ {
+	// Every searcher checks the context (there is no master to wind the
+	// others down); rank 1 doubles as the progress reporter.
+	iters := 0
+	for ; iters < prob.Cfg.MaxIters && !opt.cancelled(); iters++ {
 		prevBest := eng.BestMu()
-		eng.Step()
+		st := eng.Step()
+		if c.Rank() == 1 {
+			opt.report(st)
+		}
 		if eng.BestMu() > prevBest {
 			// Keep the store current so any requesting thread benefits.
 			c.Send(0, tagT3Report, encodeSolution(eng.BestMu(), eng.BestPlacement()))
@@ -167,6 +190,11 @@ func typeIIISearcher(prob *core.Problem, c *Comm, retry int, diversify bool) err
 			count = 0
 		}
 	}
-	c.Send(0, tagT3Done, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+	if eng.BestPlacement() == nil {
+		// Cancelled before the first iteration: evaluate the starting
+		// solution so the final report carries a real placement.
+		eng.EvaluateCosts()
+	}
+	c.Send(0, tagT3Done, encodeDone(iters, eng.BestMu(), eng.BestPlacement()))
 	return nil
 }

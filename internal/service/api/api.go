@@ -1,0 +1,152 @@
+// Package api exposes the placement job manager over a JSON HTTP API:
+//
+//	POST   /v1/jobs            submit a job (jobs.Spec)
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}        job status + result
+//	GET    /v1/jobs/{id}/stream live progress via server-sent events
+//	DELETE /v1/jobs/{id}        cooperative cancellation
+//	GET    /v1/benchmarks      built-in benchmark catalog
+//	GET    /healthz            liveness + pool occupancy
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"simevo/internal/gen"
+	"simevo/internal/netlist"
+	"simevo/internal/service/jobs"
+)
+
+// Server binds HTTP handlers to a job manager.
+type Server struct {
+	mgr *jobs.Manager
+
+	benchOnce sync.Once
+	benchList []BenchInfo
+}
+
+// New wraps a manager. The manager's lifecycle (Close) stays with the
+// caller.
+func New(mgr *jobs.Manager) *Server { return &Server{mgr: mgr} }
+
+// BenchInfo describes one built-in benchmark circuit.
+type BenchInfo struct {
+	Name  string `json:"name"`
+	Cells int    `json:"cells"`
+	Nets  int    `json:"nets"`
+	PIs   int    `json:"pis"`
+	POs   int    `json:"pos"`
+	DFFs  int    `json:"dffs"`
+	Depth int    `json:"depth"`
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	return mux
+}
+
+// writeJSON renders a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"pool":   s.mgr.Stats(),
+	})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	s.benchOnce.Do(func() {
+		for _, name := range gen.Catalog() {
+			ckt, err := gen.Benchmark(name)
+			if err != nil {
+				continue
+			}
+			st := netlist.ComputeStats(ckt)
+			s.benchList = append(s.benchList, BenchInfo{
+				Name: name, Cells: st.Cells, Nets: st.Nets,
+				PIs: st.PIs, POs: st.POs, DFFs: st.DFFs, Depth: st.Depth,
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": s.benchList})
+}
+
+// maxSubmitBytes caps job-submission bodies; real netlists are well under
+// a megabyte, so this protects memory without constraining uploads.
+const maxSubmitBytes = 16 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds %d bytes", int64(maxSubmitBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	view, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case view.State == jobs.StateDone:
+		// Served from the result cache.
+		writeJSON(w, http.StatusOK, view)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}

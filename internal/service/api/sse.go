@@ -1,0 +1,78 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// keepaliveInterval paces SSE comment frames that hold idle connections
+// open through proxies.
+const keepaliveInterval = 15 * time.Second
+
+// handleStream serves a job's lifecycle as server-sent events. Every
+// wakeup emits the current job view as a "progress" event (coalesced: a
+// burst of iterations yields one event carrying the latest snapshot); the
+// terminal snapshot is emitted as a "done", "failed", or "canceled" event
+// and the stream ends.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	notify, unsubscribe, err := s.mgr.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer unsubscribe()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	keepalive := time.NewTicker(keepaliveInterval)
+	defer keepalive.Stop()
+
+	for {
+		view, err := s.mgr.Get(id)
+		if err != nil {
+			return // evicted mid-stream
+		}
+		if view.State.Terminal() {
+			writeEvent(w, string(view.State), view)
+			flusher.Flush()
+			return
+		}
+		writeEvent(w, "progress", view)
+		flusher.Flush()
+
+		// Wait for a change; keepalive ticks hold the connection open
+		// without re-emitting the unchanged snapshot.
+		waiting := true
+		for waiting {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-notify:
+				waiting = false
+			case <-keepalive.C:
+				fmt.Fprint(w, ": keepalive\n\n")
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"marshal failed"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

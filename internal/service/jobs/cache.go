@@ -1,0 +1,57 @@
+package jobs
+
+import "container/list"
+
+// lruCache is a fixed-capacity LRU map from spec fingerprints to completed
+// results. It is not safe for concurrent use; the manager serializes
+// access under its own lock.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns a copy of the cached result and refreshes its recency.
+func (c *lruCache) get(key string) (Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put inserts or refreshes a result, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) put(key string, res Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,185 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Queued and Running are live; Done, Failed and Canceled are
+// terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a coalesced snapshot of a running job's advance.
+type Progress struct {
+	// Iter counts completed iterations (SA: moves; GA: generations).
+	Iter int `json:"iter"`
+	// Total is the configured budget, the progress denominator.
+	Total int `json:"total,omitempty"`
+	// Mu is the last reported solution quality μ(s).
+	Mu float64 `json:"mu"`
+}
+
+// Result is a finished (or cancelled best-so-far) placement outcome.
+type Result struct {
+	BestMu   float64 `json:"best_mu"`
+	Wire     float64 `json:"wire"`
+	Power    float64 `json:"power,omitempty"`
+	Delay    float64 `json:"delay,omitempty"`
+	Iters    int     `json:"iters"`
+	BestIter int     `json:"best_iter,omitempty"`
+	// RuntimeMS is wall-clock time of the run on the service host.
+	RuntimeMS float64 `json:"runtime_ms"`
+	// VirtualTimeMS is the modeled cluster makespan (parallel strategies).
+	VirtualTimeMS float64 `json:"virtual_time_ms,omitempty"`
+	// Placement is the final row-by-row cell name layout. Stored always;
+	// serialized only when the spec asked for it.
+	Placement [][]string `json:"placement,omitempty"`
+	// Cached marks a result served from the LRU cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// View is the externally visible job snapshot (the JSON wire format).
+// Uploaded netlists are abridged: Spec.Bench holds a "sha256:..." digest
+// of the upload, never the payload itself.
+type View struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Spec     Spec       `json:"spec"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// Job is one scheduled placement run. All mutable fields are guarded by mu;
+// the spec, id and creation time are immutable after construction.
+type Job struct {
+	id      string
+	spec    Spec
+	fp      string
+	created time.Time
+	// benchDigest abridges an uploaded netlist for views ("sha256:...");
+	// empty for catalog circuits.
+	benchDigest string
+
+	mu        sync.Mutex
+	state     State
+	started   time.Time
+	finished  time.Time
+	progress  Progress
+	result    *Result
+	err       string
+	cancel    context.CancelFunc // non-nil while running
+	cancelReq bool
+	subs      map[int]chan struct{}
+	nextSub   int
+}
+
+// view snapshots the job under its lock.
+func (j *Job) view() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:      j.id,
+		State:   j.state,
+		Spec:    j.spec,
+		Created: j.created,
+		Error:   j.err,
+	}
+	if v.Spec.Bench != "" {
+		// Uploaded netlists can be large and views are re-serialized on
+		// every progress frame; carry the digest, not the payload.
+		v.Spec.Bench = j.benchDigest
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.progress.Total > 0 {
+		p := j.progress
+		v.Progress = &p
+	}
+	if j.result != nil {
+		r := *j.result
+		if !j.spec.IncludePlacement {
+			r.Placement = nil
+		}
+		v.Result = &r
+	}
+	return v
+}
+
+// notifyLocked wakes every subscriber without blocking; a full channel
+// already has a wakeup pending, which coalesces bursts of progress.
+func (j *Job) notifyLocked() {
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers a wakeup channel and returns it with its remover.
+func (j *Job) subscribe() (<-chan struct{}, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subs == nil {
+		j.subs = make(map[int]chan struct{})
+	}
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan struct{}, 1)
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+// setProgress records a coalesced progress snapshot and wakes subscribers.
+func (j *Job) setProgress(iter, total int, mu float64) {
+	j.mu.Lock()
+	j.progress = Progress{Iter: iter, Total: total, Mu: mu}
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes subscribers. The
+// uploaded netlist payload, no longer needed, is released; views keep
+// reporting its digest.
+func (j *Job) finish(state State, res *Result, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.err = errMsg
+	j.cancel = nil
+	if j.spec.Bench != "" {
+		j.spec.Bench = j.benchDigest
+	}
+	j.notifyLocked()
+	j.mu.Unlock()
+}

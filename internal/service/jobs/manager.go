@@ -1,0 +1,361 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"simevo/internal/core"
+)
+
+// Manager errors surfaced to the API layer.
+var (
+	ErrNotFound  = errors.New("jobs: job not found")
+	ErrQueueFull = errors.New("jobs: submission queue is full")
+	ErrClosed    = errors.New("jobs: manager is closed")
+)
+
+// Options configures a Manager. Zero values select sensible defaults.
+type Options struct {
+	// Workers is the worker-pool size: the number of placement runs
+	// executing concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; further
+	// submissions fail with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; negative
+	// disables caching (default 128).
+	CacheSize int
+	// MaxJobs bounds the in-memory job store; the oldest terminal jobs
+	// are evicted past it (default 1024).
+	MaxJobs int
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+}
+
+// Stats is a point-in-time account of the manager, served by /healthz.
+type Stats struct {
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Completed int `json:"completed"`
+	Stored    int `json:"stored"`
+	Cached    int `json:"cached"`
+}
+
+// Manager owns the job store, the result cache, and the worker pool.
+type Manager struct {
+	opt Options
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when pending grows or the manager closes
+	closed  bool
+	seq     int
+	pending []*Job // FIFO of queued jobs; cancellation removes entries
+	jobs    map[string]*Job
+	order   []string // insertion order, for listing and eviction
+	cache   *lruCache
+}
+
+// NewManager starts a manager with Options.Workers pool goroutines.
+func NewManager(opt Options) *Manager {
+	opt.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opt:        opt,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		cache:      newLRUCache(opt.CacheSize),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < opt.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every running job, drains the pool, and rejects further
+// submissions. It blocks until all workers exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// Submit validates, caches-checks, and enqueues a job, returning its
+// initial view. A cache hit returns an already-done job carrying the
+// cached result.
+func (m *Manager) Submit(spec Spec) (View, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return View{}, err
+	}
+	fp := norm.Fingerprint()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return View{}, ErrClosed
+	}
+	job := &Job{
+		spec:    norm,
+		fp:      fp,
+		created: time.Now(),
+	}
+	if norm.Bench != "" {
+		sum := sha256.Sum256([]byte(norm.Bench))
+		job.benchDigest = "sha256:" + hex.EncodeToString(sum[:8])
+	}
+	if res, ok := m.cache.get(fp); ok {
+		res.Cached = true
+		m.seq++
+		job.id = fmt.Sprintf("j-%06d", m.seq)
+		job.state = StateDone
+		job.finished = job.created
+		job.result = &res
+		job.spec.Bench = job.benchDigest // payload not needed, keep the digest
+		m.storeLocked(job)
+		return job.view(), nil
+	}
+	if len(m.pending) >= m.opt.QueueDepth {
+		return View{}, ErrQueueFull
+	}
+	m.seq++
+	job.id = fmt.Sprintf("j-%06d", m.seq)
+	job.state = StateQueued
+	m.pending = append(m.pending, job)
+	m.storeLocked(job)
+	m.cond.Signal()
+	return job.view(), nil
+}
+
+// storeLocked records a job and evicts the oldest terminal jobs past the
+// store bound. Callers hold m.mu.
+func (m *Manager) storeLocked(job *Job) {
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	if len(m.order) <= m.opt.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - m.opt.MaxJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(m.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns a job's current view.
+func (m *Manager) Get(id string) (View, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return job.view(), nil
+}
+
+// List returns every stored job in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	return views
+}
+
+// Cancel requests cooperative cancellation. A queued job is finished
+// immediately and its queue slot freed; a running job stops within one
+// optimizer iteration and keeps its best-so-far result. Cancelling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return View{}, ErrNotFound
+	}
+	job.mu.Lock()
+	switch job.state {
+	case StateQueued:
+		for i, p := range m.pending {
+			if p == job {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		job.cancelReq = true
+		job.state = StateCanceled
+		job.finished = time.Now()
+		if job.spec.Bench != "" {
+			job.spec.Bench = job.benchDigest
+		}
+		job.notifyLocked()
+	case StateRunning:
+		job.cancelReq = true
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	job.mu.Unlock()
+	m.mu.Unlock()
+	return job.view(), nil
+}
+
+// Subscribe registers for change notifications on a job. The returned
+// channel receives a coalesced wakeup whenever progress or state changes;
+// read the current view with Get after each wakeup. Call the remover when
+// done.
+func (m *Manager) Subscribe(id string) (<-chan struct{}, func(), error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch, remove := job.subscribe()
+	return ch, remove, nil
+}
+
+// Stats reports the pool and store occupancy.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	st := Stats{Workers: m.opt.Workers, Stored: len(jobs), Cached: m.cache.len()}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		default:
+			st.Completed++
+		}
+		j.mu.Unlock()
+	}
+	return st
+}
+
+// worker drains the queue until Close. Jobs still pending at Close are
+// drained too — runJob finishes them as canceled without building them.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		job := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runJob(job)
+	}
+}
+
+// runJob drives one job from queued to a terminal state.
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.cancelReq || job.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		job.mu.Unlock()
+		return
+	}
+	if ctx.Err() != nil {
+		// Manager closing: drop the queued job without building it.
+		job.mu.Unlock()
+		job.finish(StateCanceled, nil, "")
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.notifyLocked()
+	spec := job.spec
+	job.mu.Unlock()
+
+	total := spec.total()
+	progress := core.Progress(func(st core.IterStats) {
+		job.setProgress(st.Iter+1, total, st.Mu)
+	})
+	if spec.isMetaheuristic() {
+		// The metaheuristics report 1-based counts already.
+		progress = func(st core.IterStats) {
+			job.setProgress(st.Iter, total, st.Mu)
+		}
+	}
+
+	res, err := runSpec(ctx, spec, progress)
+	switch {
+	case err != nil:
+		job.finish(StateFailed, nil, err.Error())
+	case ctx.Err() != nil:
+		// Cooperative cancellation: keep the best-so-far result but do
+		// not cache a truncated run.
+		job.finish(StateCanceled, res, "")
+	default:
+		job.finish(StateDone, res, "")
+		m.mu.Lock()
+		m.cache.put(job.fp, *res)
+		m.mu.Unlock()
+	}
+}

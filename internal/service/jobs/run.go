@@ -1,0 +1,155 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"simevo/internal/core"
+	"simevo/internal/gen"
+	"simevo/internal/layout"
+	"simevo/internal/metaheur"
+	"simevo/internal/netlist"
+	"simevo/internal/parallel"
+)
+
+// buildCircuit materializes the spec's design: a catalog benchmark or an
+// uploaded .bench netlist.
+func buildCircuit(spec Spec) (*netlist.Circuit, error) {
+	if spec.Circuit != "" {
+		return gen.Benchmark(spec.Circuit)
+	}
+	ckt, err := netlist.ParseBench("upload", strings.NewReader(spec.Bench))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: parsing uploaded bench: %w", err)
+	}
+	return ckt, nil
+}
+
+// buildProblem assembles the shared problem data for a normalized spec.
+func buildProblem(spec Spec) (*core.Problem, error) {
+	ckt, err := buildCircuit(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(spec.objectives())
+	if spec.MaxIters > 0 {
+		// SA specs carry no iteration bound (they budget moves); the
+		// config default satisfies core validation and is never reached.
+		cfg.MaxIters = spec.MaxIters
+	}
+	cfg.Seed = spec.Seed
+	cfg.Bias = spec.Bias
+	cfg.TargetMu = spec.TargetMu
+	cfg.NumRows = spec.Rows
+	return core.NewProblem(ckt, cfg)
+}
+
+// placementRows renders a placement as row-by-row cell names.
+func placementRows(p *layout.Placement, ckt *netlist.Circuit) [][]string {
+	if p == nil {
+		return nil
+	}
+	rows := make([][]string, p.NumRows())
+	for r := range rows {
+		ids := p.Row(r)
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = ckt.Cells[id].Name
+		}
+		rows[r] = names
+	}
+	return rows
+}
+
+// runSpec executes a normalized spec to completion (or cancellation),
+// reporting progress through the callback. On cancellation the
+// best-so-far result is returned with a nil error.
+func runSpec(ctx context.Context, spec Spec, progress core.Progress) (*Result, error) {
+	prob, err := buildProblem(spec)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	switch spec.Strategy {
+	case StrategySerial:
+		eng := prob.NewEngine(0)
+		res := eng.RunContext(ctx, progress)
+		return &Result{
+			BestMu:    res.BestMu,
+			Wire:      res.BestCosts.Wire,
+			Power:     res.BestCosts.Power,
+			Delay:     res.BestCosts.Delay,
+			Iters:     res.Iters,
+			BestIter:  res.BestIter,
+			RuntimeMS: msSince(start),
+			Placement: placementRows(res.Best, prob.Ckt),
+		}, nil
+
+	case StrategyTypeI, StrategyTypeII, StrategyTypeIII:
+		opt := parallel.Options{
+			Procs:     spec.Procs,
+			TargetMu:  spec.TargetMu,
+			Retry:     spec.Retry,
+			Diversify: spec.Diversify,
+			Context:   ctx,
+			Progress:  progress,
+		}
+		if spec.Pattern == "random" {
+			opt.Pattern = parallel.NewRandomPattern(spec.Seed)
+		}
+		var res *parallel.Result
+		switch spec.Strategy {
+		case StrategyTypeI:
+			res, err = parallel.RunTypeI(prob, opt)
+		case StrategyTypeII:
+			res, err = parallel.RunTypeII(prob, opt)
+		default:
+			res, err = parallel.RunTypeIII(prob, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			BestMu:        res.BestMu,
+			Wire:          res.BestCosts.Wire,
+			Power:         res.BestCosts.Power,
+			Delay:         res.BestCosts.Delay,
+			Iters:         res.Iters,
+			RuntimeMS:     msSince(start),
+			VirtualTimeMS: float64(res.VirtualTime) / float64(time.Millisecond),
+			Placement:     placementRows(res.Best, prob.Ckt),
+		}, nil
+
+	case StrategySA, StrategyGA, StrategyTS:
+		var res *metaheur.Result
+		switch spec.Strategy {
+		case StrategySA:
+			res, err = metaheur.RunSAContext(ctx, prob,
+				metaheur.SAConfig{Moves: spec.Moves, Seed: spec.Seed}, progress)
+		case StrategyGA:
+			res, err = metaheur.RunGAContext(ctx, prob,
+				metaheur.GAConfig{Generations: spec.MaxIters, Seed: spec.Seed}, progress)
+		default:
+			res, err = metaheur.RunTSContext(ctx, prob,
+				metaheur.TSConfig{Iters: spec.MaxIters, Seed: spec.Seed}, progress)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			BestMu:    res.BestMu,
+			Wire:      res.BestCosts.Wire,
+			Power:     res.BestCosts.Power,
+			Iters:     res.Moves,
+			RuntimeMS: msSince(start),
+			Placement: placementRows(res.Best, prob.Ckt),
+		}, nil
+	}
+	return nil, fmt.Errorf("jobs: unhandled strategy %q", spec.Strategy)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

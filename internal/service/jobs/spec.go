@@ -1,0 +1,218 @@
+// Package jobs implements the placement job manager behind the simevo
+// service: a bounded worker pool that schedules SimE runs (serial, Type
+// I/II/III) and the comparison metaheuristics (SA, GA, TS) over named or
+// uploaded benchmark circuits, an in-memory job store with cooperative
+// cancellation, and an LRU result cache keyed by the normalized job
+// specification — (circuit, config, strategy, seed).
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/gen"
+)
+
+// Strategy names accepted by Spec.Strategy.
+const (
+	StrategySerial  = "serial"
+	StrategyTypeI   = "type1"
+	StrategyTypeII  = "type2"
+	StrategyTypeIII = "type3"
+	StrategySA      = "sa"
+	StrategyGA      = "ga"
+	StrategyTS      = "ts"
+)
+
+// Strategies lists the accepted strategy names.
+func Strategies() []string {
+	return []string{StrategySerial, StrategyTypeI, StrategyTypeII,
+		StrategyTypeIII, StrategySA, StrategyGA, StrategyTS}
+}
+
+// Spec is a placement job request. Exactly one of Circuit and Bench names
+// the design; everything else parameterizes the optimizer. The zero value
+// of every optional field means "use the default", so identical requests
+// normalize to identical specs and hit the result cache.
+type Spec struct {
+	// Circuit names a built-in benchmark (see gen.Catalog).
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is an inline ISCAS-89 .bench netlist (uploaded circuit).
+	Bench string `json:"bench,omitempty"`
+	// Strategy selects the optimizer: serial | type1 | type2 | type3 for
+	// SimE, sa | ga | ts for the comparison metaheuristics.
+	Strategy string `json:"strategy"`
+	// Objectives is the cost term set: "wire", "wire+power" (default), or
+	// "wire+power+delay". The metaheuristics support only "wire+power".
+	Objectives string `json:"objectives,omitempty"`
+	// MaxIters bounds SimE iterations, TS iterations, or GA generations
+	// (default 350, GA 100). SA ignores it — see Moves.
+	MaxIters int `json:"max_iters,omitempty"`
+	// Moves is the SA move budget (default 20000).
+	Moves int `json:"moves,omitempty"`
+	// Seed drives all stochastic decisions; runs are reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// Bias is the SimE selection bias B (SimE strategies only).
+	Bias float64 `json:"bias,omitempty"`
+	// TargetMu stops a run once the best μ(s) reaches it (0 disables;
+	// SimE strategies only).
+	TargetMu float64 `json:"target_mu,omitempty"`
+	// Rows overrides the placement row count (0: layout default).
+	Rows int `json:"rows,omitempty"`
+	// Procs is the virtual cluster size for type1/type2/type3 (default 4).
+	Procs int `json:"procs,omitempty"`
+	// Pattern is the Type II row pattern: "fixed" (default) or "random".
+	Pattern string `json:"pattern,omitempty"`
+	// Retry is the Type III retry threshold (0: strategy default).
+	Retry int `json:"retry,omitempty"`
+	// Diversify gives each Type III searcher a distinct allocation order.
+	Diversify bool `json:"diversify,omitempty"`
+	// IncludePlacement adds the final row-by-row cell placement to the
+	// result payload. It does not affect the search (or the cache key).
+	IncludePlacement bool `json:"include_placement,omitempty"`
+}
+
+// strategyAliases maps accepted spellings to canonical strategy names.
+var strategyAliases = map[string]string{
+	"serial": StrategySerial,
+	"type1":  StrategyTypeI, "typei": StrategyTypeI, "i": StrategyTypeI,
+	"type2": StrategyTypeII, "typeii": StrategyTypeII, "ii": StrategyTypeII,
+	"type3": StrategyTypeIII, "typeiii": StrategyTypeIII, "iii": StrategyTypeIII,
+	"sa": StrategySA, "ga": StrategyGA, "ts": StrategyTS,
+}
+
+// objectiveSets maps objective strings to fuzzy objective sets.
+var objectiveSets = map[string]fuzzy.Objectives{
+	"wire":            fuzzy.Wire,
+	"wire+power":      fuzzy.WirePower,
+	"wire+power+delay": fuzzy.WirePowerDelay,
+}
+
+func (s Spec) isParallel() bool {
+	return s.Strategy == StrategyTypeI || s.Strategy == StrategyTypeII || s.Strategy == StrategyTypeIII
+}
+
+func (s Spec) isMetaheuristic() bool {
+	return s.Strategy == StrategySA || s.Strategy == StrategyGA || s.Strategy == StrategyTS
+}
+
+// objectives returns the parsed objective set of a normalized spec.
+func (s Spec) objectives() fuzzy.Objectives { return objectiveSets[s.Objectives] }
+
+// total returns the progress denominator: the iteration/generation budget,
+// or the move budget for SA.
+func (s Spec) total() int {
+	if s.Strategy == StrategySA {
+		return s.Moves
+	}
+	return s.MaxIters
+}
+
+// Normalize validates a request and fills defaults, returning the
+// canonical spec used for scheduling and cache keying.
+func (s Spec) Normalize() (Spec, error) {
+	if (s.Circuit == "") == (s.Bench == "") {
+		return Spec{}, fmt.Errorf("jobs: exactly one of circuit and bench is required")
+	}
+	if s.Circuit != "" {
+		if _, err := gen.CatalogParams(s.Circuit); err != nil {
+			return Spec{}, fmt.Errorf("jobs: unknown circuit %q (have %v)", s.Circuit, gen.Catalog())
+		}
+	}
+	canon, ok := strategyAliases[strings.ToLower(s.Strategy)]
+	if !ok {
+		return Spec{}, fmt.Errorf("jobs: unknown strategy %q (have %v)", s.Strategy, Strategies())
+	}
+	s.Strategy = canon
+
+	if s.Objectives == "" {
+		s.Objectives = "wire+power"
+	}
+	s.Objectives = strings.ToLower(s.Objectives)
+	if _, ok := objectiveSets[s.Objectives]; !ok {
+		return Spec{}, fmt.Errorf("jobs: unknown objectives %q (have wire, wire+power, wire+power+delay)", s.Objectives)
+	}
+	if s.isMetaheuristic() && s.Objectives != "wire+power" {
+		return Spec{}, fmt.Errorf("jobs: strategy %s supports only wire+power objectives", s.Strategy)
+	}
+
+	if s.MaxIters < 0 || s.Moves < 0 || s.Rows < 0 || s.Procs < 0 || s.Retry < 0 {
+		return Spec{}, fmt.Errorf("jobs: negative budgets are invalid")
+	}
+	switch {
+	case s.Strategy == StrategySA:
+		// SA is budgeted in moves; the iteration knobs do not apply.
+		s.MaxIters = 0
+		if s.Moves == 0 {
+			s.Moves = 20000
+		}
+	case s.MaxIters == 0 && s.Strategy == StrategyGA:
+		s.MaxIters = 100
+	case s.MaxIters == 0:
+		s.MaxIters = 350
+	}
+	if s.Strategy != StrategySA {
+		s.Moves = 0
+	}
+	if s.isMetaheuristic() {
+		// Ignored by SA/GA/TS; zero them so equivalent requests share a
+		// cache key instead of silently diverging.
+		s.TargetMu = 0
+		s.Bias = 0
+	}
+
+	if s.isParallel() {
+		if s.Procs == 0 {
+			s.Procs = 4
+		}
+		min := 2
+		if s.Strategy == StrategyTypeIII {
+			min = 3
+		}
+		if s.Procs < min {
+			return Spec{}, fmt.Errorf("jobs: strategy %s needs procs >= %d, got %d", s.Strategy, min, s.Procs)
+		}
+	} else {
+		s.Procs = 0
+	}
+
+	if s.Strategy == StrategyTypeII {
+		if s.Pattern == "" {
+			s.Pattern = "fixed"
+		}
+		s.Pattern = strings.ToLower(s.Pattern)
+		if s.Pattern != "fixed" && s.Pattern != "random" {
+			return Spec{}, fmt.Errorf("jobs: unknown pattern %q (have fixed, random)", s.Pattern)
+		}
+	} else {
+		s.Pattern = ""
+	}
+	if s.Strategy != StrategyTypeIII {
+		s.Retry = 0
+		s.Diversify = false
+	}
+	return s, nil
+}
+
+// Fingerprint is the result-cache key: a digest of every normalized field
+// that influences the search outcome. IncludePlacement is deliberately
+// excluded — it shapes the response payload, not the result.
+func (s Spec) Fingerprint() string {
+	key := s
+	key.IncludePlacement = false
+	if key.Bench != "" {
+		// Uploaded netlists can be large; key on their digest.
+		sum := sha256.Sum256([]byte(key.Bench))
+		key.Bench = hex.EncodeToString(sum[:])
+	}
+	blob, err := json.Marshal(key)
+	if err != nil {
+		panic("jobs: spec not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}

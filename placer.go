@@ -1,11 +1,20 @@
 package simevo
 
 import (
+	"context"
 	"time"
 
 	"simevo/internal/core"
 	"simevo/internal/parallel"
 )
+
+// IterStats reports one iteration's outcome; see core.IterStats.
+type IterStats = core.IterStats
+
+// Progress receives per-iteration statistics while a run executes. For the
+// parallel strategies the callback runs on a cluster rank goroutine, so it
+// must be fast and safe for concurrent use.
+type Progress = core.Progress
 
 // Placer binds a circuit to a SimE configuration and runs the serial
 // algorithm or any of the paper's three parallel strategies. A Placer can
@@ -43,9 +52,17 @@ type SerialResult struct {
 
 // RunSerial executes the serial SimE algorithm (the paper's Figure 1).
 func (p *Placer) RunSerial() (*SerialResult, error) {
+	return p.RunSerialContext(context.Background(), nil)
+}
+
+// RunSerialContext is RunSerial with cooperative cancellation and
+// per-iteration progress reporting. A cancelled context stops the run
+// between iterations and the best-so-far result is returned (inspect
+// ctx.Err() for the reason). progress may be nil.
+func (p *Placer) RunSerialContext(ctx context.Context, progress Progress) (*SerialResult, error) {
 	eng := p.prob.NewEngine(0)
 	start := time.Now()
-	res := eng.Run()
+	res := eng.RunContext(ctx, progress)
 	return &SerialResult{Result: res, Runtime: time.Since(start)}, nil
 }
 
@@ -56,13 +73,34 @@ func (p *Placer) RunTypeI(opt ParallelOptions) (*ParallelResult, error) {
 	return parallel.RunTypeI(p.prob, opt)
 }
 
+// RunTypeIContext is RunTypeI with cooperative cancellation and progress
+// reporting (equivalent to setting opt.Context and opt.Progress).
+func (p *Placer) RunTypeIContext(ctx context.Context, opt ParallelOptions, progress Progress) (*ParallelResult, error) {
+	opt.Context, opt.Progress = ctx, progress
+	return parallel.RunTypeI(p.prob, opt)
+}
+
 // RunTypeII executes the row-domain decomposition (paper Section 6.2).
 func (p *Placer) RunTypeII(opt ParallelOptions) (*ParallelResult, error) {
+	return parallel.RunTypeII(p.prob, opt)
+}
+
+// RunTypeIIContext is RunTypeII with cooperative cancellation and progress
+// reporting (equivalent to setting opt.Context and opt.Progress).
+func (p *Placer) RunTypeIIContext(ctx context.Context, opt ParallelOptions, progress Progress) (*ParallelResult, error) {
+	opt.Context, opt.Progress = ctx, progress
 	return parallel.RunTypeII(p.prob, opt)
 }
 
 // RunTypeIII executes cooperating parallel searches with a central best
 // store (paper Section 6.3).
 func (p *Placer) RunTypeIII(opt ParallelOptions) (*ParallelResult, error) {
+	return parallel.RunTypeIII(p.prob, opt)
+}
+
+// RunTypeIIIContext is RunTypeIII with cooperative cancellation and
+// progress reporting (equivalent to setting opt.Context and opt.Progress).
+func (p *Placer) RunTypeIIIContext(ctx context.Context, opt ParallelOptions, progress Progress) (*ParallelResult, error) {
+	opt.Context, opt.Progress = ctx, progress
 	return parallel.RunTypeIII(p.prob, opt)
 }

@@ -1,0 +1,45 @@
+package simevo_test
+
+import (
+	"context"
+	"testing"
+
+	"simevo"
+)
+
+// TestRunSerialContextCancel exercises the public cancellable API: a
+// context cancelled from the progress callback stops the run within one
+// iteration and keeps the best-so-far result.
+func TestRunSerialContextCancel(t *testing.T) {
+	ckt, err := simevo.Generate(simevo.GenerateParams{
+		Name: "ctx-t", Gates: 120, DFFs: 8, PIs: 6, POs: 6, Depth: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simevo.DefaultConfig(simevo.WirePower)
+	cfg.MaxIters = 500
+	cfg.Seed = 42
+	placer, err := simevo.NewPlacer(ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var iters int
+	res, err := placer.RunSerialContext(ctx, func(simevo.IterStats) {
+		iters++
+		if iters == 5 {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 5 {
+		t.Fatalf("cancelled run executed %d iterations, want 5", res.Iters)
+	}
+	if res.Best == nil || res.BestMu <= 0 {
+		t.Fatalf("cancelled run lost its best-so-far result: %+v", res.Result)
+	}
+}

@@ -15,7 +15,17 @@
 //   - the paper's three parallelization strategies (Type I low-level,
 //     Type II row-domain decomposition with fixed/random patterns, Type
 //     III cooperating parallel searches) running on a virtual-time
-//     message-passing cluster with a LogP-style fast-Ethernet model.
+//     message-passing cluster with a LogP-style fast-Ethernet model;
+//   - a placement-as-a-service layer (cmd/simevo-serve backed by
+//     internal/service): a JSON HTTP API with a bounded worker pool, an
+//     LRU result cache, server-sent-event progress streams, and
+//     cooperative job cancellation over every strategy above plus the
+//     SA/GA/TS comparison metaheuristics.
+//
+// Long-running calls have Context variants (RunSerialContext,
+// RunTypeIContext, ...) that accept cooperative cancellation and a
+// per-iteration Progress callback; a cancelled run returns its best-so-far
+// result.
 //
 // Quick start:
 //
