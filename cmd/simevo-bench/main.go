@@ -7,6 +7,9 @@
 //	simevo-bench -table 2       # only Table 2
 //	simevo-bench -scale paper   # full paper-scale iteration counts
 //	simevo-bench -scale tiny    # smoke scale
+//	simevo-bench -baseline BENCH_baseline.json
+//	                            # record the incremental-engine perf
+//	                            # baseline (and nothing else)
 package main
 
 import (
@@ -20,7 +23,16 @@ import (
 func main() {
 	table := flag.String("table", "all", `experiment to run: "profile", "1".."4", "compare", or "all"`)
 	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
+	baseline := flag.String("baseline", "", "write the incremental-engine perf baseline JSON to this path and exit")
 	flag.Parse()
+
+	if *baseline != "" {
+		if err := experiments.WriteBaseline(*baseline, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scale {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"simevo/internal/wire"
+)
+
+// Parallel vacancy scanning for the allocation operator.
+//
+// For one selected cell, the trials against all free vacancies are
+// independent: each worker scores a contiguous chunk of the vacancy pool
+// through its own read-only wire.View (trial scoring never mutates the
+// incremental state; the View carries the only scratch). The reduction
+// reproduces the serial tie-breaking — the first vacancy with the strictly
+// smallest score wins — so parallel and serial scans pick identical slots
+// and the search trajectory is unchanged.
+//
+// The pool lives for one allocate call: workers are spawned when the
+// vacancy pool is large enough to amortize the per-cell synchronization
+// and exit when the scan channel closes.
+
+// allocScanMinVacancies is the vacancy-pool size below which the fan-out
+// is not worth the per-cell synchronization. Variable so tests can force
+// the parallel path on small circuits.
+var allocScanMinVacancies = 512
+
+type allocScan struct {
+	e       *Engine
+	workers int
+	jobs    chan scanJob
+	wg      sync.WaitGroup
+	res     []scanResult
+	bound0  float64 // per-cell seed bound, written before jobs are posted
+}
+
+type scanJob struct{ slot, lo, hi int }
+
+type scanResult struct {
+	idx   int
+	score float64
+}
+
+// startScan spins up the bounded worker pool for this allocation, or
+// returns nil when the scan should stay serial.
+func (e *Engine) startScan(n int, useInc bool) *allocScan {
+	if !useInc || n < allocScanMinVacancies {
+		return nil
+	}
+	w := e.prob.Cfg.AllocWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w <= 1 {
+		return nil
+	}
+	s := &allocScan{
+		e:       e,
+		workers: w,
+		jobs:    make(chan scanJob, w),
+		res:     make([]scanResult, w),
+	}
+	for i := 0; i < w; i++ {
+		go s.worker(e.inc.View())
+	}
+	return s
+}
+
+// stop winds the pool down.
+func (s *allocScan) stop() { close(s.jobs) }
+
+func (s *allocScan) worker(view *wire.View) {
+	for j := range s.jobs {
+		s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
+		s.wg.Done()
+	}
+}
+
+// scanCell scores every free, width-feasible vacancy for the cell prepared
+// by prepTrial (feasibility via the engine's per-cell rowOK table) and
+// returns the serial winner: the lowest-index vacancy among those with the
+// strictly smallest score.
+func (s *allocScan) scanCell(n int, bound0 float64) (int, float64) {
+	s.bound0 = bound0
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		s.jobs <- scanJob{slot: i, lo: i * n / s.workers, hi: (i + 1) * n / s.workers}
+	}
+	s.wg.Wait()
+
+	// Chunks are index-ordered, so keeping the first strict minimum across
+	// them reproduces the serial scan's winner exactly.
+	best, bestScore := -1, 0.0
+	for i := 0; i < s.workers; i++ {
+		r := s.res[i]
+		if r.idx < 0 {
+			continue
+		}
+		if best < 0 || r.score < bestScore {
+			best, bestScore = r.idx, r.score
+		}
+	}
+	return best, bestScore
+}
+
+func (s *allocScan) scanChunk(view *wire.View, lo, hi int) scanResult {
+	e := s.e
+	best, bound := e.trials.ScanBest(view, e.vacs, e.freeVac,
+		e.rowOK, lo, hi, s.bound0)
+	return scanResult{idx: best, score: bound}
+}

@@ -83,6 +83,38 @@ type Config struct {
 	// different allocation function per Type III thread to diversify the
 	// cooperating searches; parallel.Options.Diversify uses these orders.
 	AllocOrder AllocOrder
+
+	// DisableIncremental forces from-scratch cost evaluation and trial
+	// scoring instead of the cached incremental net-cost engine. The two
+	// modes follow bitwise-identical trajectories (the incremental engine
+	// is an optimization, not an approximation); this switch exists as the
+	// reference for equivalence tests and as an escape hatch.
+	DisableIncremental bool
+
+	// FullEvalEvery is the periodic full-recompute checksum interval: every
+	// this many evaluations the incremental state is rebuilt from scratch,
+	// bounding any float drift a future non-exact estimator (or a dirty-net
+	// tracking bug) could introduce (0: 64).
+	FullEvalEvery int
+
+	// AllocWorkers bounds the worker pool that fans the per-cell vacancy
+	// scan of the allocation operator across goroutines. 0 picks
+	// min(GOMAXPROCS, 8); 1 (or any negative value) keeps the scan serial.
+	// Results are identical in either mode: each worker scores its chunk
+	// through a read-only evaluator view and the reduction reproduces the
+	// serial first-minimum tie-breaking.
+	AllocWorkers int
+
+	// DisableMuTrace turns off recording μ(s) after every evaluation
+	// (Engine.MuTrace). Recording is on by default — benchmarks and the
+	// paper's tables consume the trace — while long-running services
+	// should disable it (or cap it with MuTraceCap) to avoid unbounded
+	// growth.
+	DisableMuTrace bool
+
+	// MuTraceCap, when positive, bounds the recorded trace to the most
+	// recent MuTraceCap evaluations (ring buffer). 0 keeps the full trace.
+	MuTraceCap int
 }
 
 // AllocOrder enumerates allocation processing orders for the selection set.
@@ -133,6 +165,12 @@ func (c *Config) validate() error {
 	}
 	if c.KPaths <= 0 {
 		c.KPaths = 8
+	}
+	if c.FullEvalEvery <= 0 {
+		c.FullEvalEvery = 64
+	}
+	if c.MuTraceCap < 0 {
+		c.MuTraceCap = 0
 	}
 	if c.PowerConfig.MaxIters == 0 {
 		c.PowerConfig = power.DefaultConfig()

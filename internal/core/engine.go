@@ -2,7 +2,8 @@ package core
 
 import (
 	"context"
-	"sort"
+	"math"
+	"slices"
 	"time"
 
 	"simevo/internal/fuzzy"
@@ -27,6 +28,14 @@ type Engine struct {
 	analysis *timing.Analysis // nil unless Delay is active
 	netCrit  []float64        // per-net timing criticality for allocation
 
+	// Incremental net-cost engine (nil in DisableIncremental mode). The
+	// mirror is kept in lockstep with the placement through the layout
+	// coordinate journal; incStale forces a full rebuild after the
+	// placement object is replaced (adopt / broadcast decode).
+	inc        *wire.Incremental
+	incStale   bool
+	evalsSince int // evaluations since the last full-recompute checksum
+
 	goodness   []float64 // per cell id
 	domain     []netlist.CellID
 	allocOrder AllocOrder
@@ -42,23 +51,32 @@ type Engine struct {
 	noImprove int
 	profile   Profile
 	muTrace   []float64
+	muHead    int  // ring position when the trace cap is reached
+	muWrapped bool // the ring has overwritten at least one entry
 
 	// scratch buffers
 	selected []netlist.CellID
 	netsBuf  []netlist.NetID
+	trialW   []float64     // per-net trial weights, parallel to netsBuf
+	trialKey []float64     // per-net scan-ordering keys, parallel to netsBuf
+	trials   wire.TrialSet // compiled per-cell trial scorer (incremental mode)
 	goodsBuf []float64 // per-objective goodness scratch (cellGoodness)
 	goodsOut []float64 // per-domain goodness scratch (Step)
 	vacRef   []layout.SlotRef
-	vacX     []float64
-	vacY     []float64
-	vacRow   []int32
+	vacs     []wire.Vacancy
 	vacUsed  []bool
+	freeVac  []int32 // ascending indices of still-free vacancies
 	rowW     []int
+	rowOK    []bool // per row: adding the current cell keeps the width bound
 }
 
 func (e *Engine) init() {
 	ckt := e.prob.Ckt
 	e.ev = wire.NewEvaluator(ckt, e.prob.Cfg.WireEstimator)
+	if !e.prob.Cfg.DisableIncremental {
+		e.inc = wire.NewIncremental(ckt, e.prob.Cfg.WireEstimator)
+		e.incStale = true
+	}
 	e.goodness = make([]float64, len(ckt.Cells))
 	e.domain = append([]netlist.CellID(nil), ckt.Movable()...)
 	e.allocOrder = e.prob.Cfg.AllocOrder
@@ -98,8 +116,37 @@ func (e *Engine) BestPlacement() *layout.Placement { return e.best }
 // Goodness returns the last evaluated goodness of a cell.
 func (e *Engine) Goodness(id netlist.CellID) float64 { return e.goodness[id] }
 
-// MuTrace returns μ(s) after every evaluation so far.
-func (e *Engine) MuTrace() []float64 { return e.muTrace }
+// MuTrace returns μ(s) after every evaluation so far, oldest first. With
+// Config.MuTraceCap set, only the most recent MuTraceCap values are kept;
+// with Config.DisableMuTrace set, the trace is empty.
+func (e *Engine) MuTrace() []float64 {
+	if !e.muWrapped {
+		return e.muTrace
+	}
+	out := make([]float64, 0, len(e.muTrace))
+	out = append(out, e.muTrace[e.muHead:]...)
+	out = append(out, e.muTrace[:e.muHead]...)
+	return out
+}
+
+// recordMu appends to the μ trace, honoring the recording switch and the
+// ring-buffer cap.
+func (e *Engine) recordMu(mu float64) {
+	cfg := &e.prob.Cfg
+	if cfg.DisableMuTrace {
+		return
+	}
+	if cfg.MuTraceCap > 0 && len(e.muTrace) >= cfg.MuTraceCap {
+		e.muTrace[e.muHead] = mu
+		e.muHead++
+		if e.muHead == cfg.MuTraceCap {
+			e.muHead = 0
+		}
+		e.muWrapped = true
+		return
+	}
+	e.muTrace = append(e.muTrace, mu)
+}
 
 // SetDomain restricts evaluation, selection and allocation to the given
 // cells (Type II domain decomposition). Pass nil to restore the full
@@ -110,7 +157,7 @@ func (e *Engine) SetDomain(cells []netlist.CellID) {
 		return
 	}
 	e.domain = append(e.domain[:0], cells...)
-	sort.Slice(e.domain, func(i, j int) bool { return e.domain[i] < e.domain[j] })
+	slices.Sort(e.domain)
 }
 
 // DomainFromRows restricts the domain to all cells currently placed in the
@@ -128,6 +175,7 @@ func (e *Engine) DomainFromRows(rows []int) {
 func (e *Engine) AdoptPlacement(p *layout.Placement) {
 	e.place = p.Clone()
 	e.place.Recompute()
+	e.incStale = true
 }
 
 // SetPlacement replaces the current placement, taking ownership (no clone).
@@ -137,6 +185,7 @@ func (e *Engine) SetPlacement(p *layout.Placement) {
 	if e.place.Dirty() {
 		e.place.Recompute()
 	}
+	e.incStale = true
 }
 
 // EvaluateCosts refreshes net lengths, objective costs, timing analysis
@@ -147,7 +196,12 @@ func (e *Engine) EvaluateCosts() {
 		e.place.Recompute()
 	}
 	cfg := &e.prob.Cfg
-	e.lengths = e.ev.Lengths(e.place, e.lengths)
+	if e.inc == nil {
+		e.lengths = e.ev.Lengths(e.place, e.lengths)
+	} else {
+		e.syncIncremental()
+		e.lengths = e.inc.Lengths(e.lengths)
+	}
 	e.costs.Wire = wire.Total(e.lengths)
 	e.costs.Power = power.Cost(e.lengths, e.prob.Acts)
 	if cfg.Objectives.Has(fuzzy.Delay) {
@@ -163,7 +217,7 @@ func (e *Engine) EvaluateCosts() {
 	}
 	ratios := fuzzy.Ratio(e.costs, e.prob.Lower)
 	e.mu = fuzzy.Eval(cfg.Objectives, ratios, cfg.Goals, e.prob.OWA, e.place.WidthViolation(cfg.Alpha))
-	e.muTrace = append(e.muTrace, e.mu)
+	e.recordMu(e.mu)
 
 	if e.mu > e.bestMu {
 		e.bestMu = e.mu
@@ -174,6 +228,23 @@ func (e *Engine) EvaluateCosts() {
 	} else {
 		e.noImprove++
 	}
+}
+
+// syncIncremental brings the incremental net-cost state into lockstep with
+// the placement: normally a journal drain re-estimating only the nets
+// touched since the last evaluation; a full rebuild after the placement
+// object was replaced, and periodically as the full-recompute checksum.
+func (e *Engine) syncIncremental() {
+	if e.incStale || !e.inc.Built() || e.evalsSince >= e.prob.Cfg.FullEvalEvery {
+		e.place.JournalCoords(true)
+		e.place.ResetJournal()
+		e.inc.Rebuild(e.place)
+		e.incStale = false
+		e.evalsSince = 0
+		return
+	}
+	e.inc.Sync(e.place)
+	e.evalsSince++
 }
 
 // updateNetCrit caches per-net timing criticality: the worst endpoint
@@ -317,30 +388,39 @@ func (e *Engine) selectCells() []netlist.CellID {
 	}
 	// Sort the elements of S (Figure 1). The classic order is worst
 	// goodness first; alternative orders diversify Type III threads.
-	less := func(a, b netlist.CellID) bool {
+	// slices.SortFunc avoids the reflection-based sort.Slice in this
+	// per-iteration hot path; every comparator is a total order (ties break
+	// on the cell id), so the unstable sort is still deterministic.
+	cmp := func(a, b netlist.CellID) int {
 		if e.goodness[a] != e.goodness[b] {
-			return e.goodness[a] < e.goodness[b]
+			if e.goodness[a] < e.goodness[b] {
+				return -1
+			}
+			return 1
 		}
-		return a < b
+		return int(a - b)
 	}
 	switch e.allocOrder {
 	case BestFirst:
-		less = func(a, b netlist.CellID) bool {
+		cmp = func(a, b netlist.CellID) int {
 			if e.goodness[a] != e.goodness[b] {
-				return e.goodness[a] > e.goodness[b]
+				if e.goodness[a] > e.goodness[b] {
+					return -1
+				}
+				return 1
 			}
-			return a < b
+			return int(a - b)
 		}
 	case WidestFirst:
 		ckt := e.prob.Ckt
-		less = func(a, b netlist.CellID) bool {
+		cmp = func(a, b netlist.CellID) int {
 			if ckt.Cells[a].Width != ckt.Cells[b].Width {
-				return ckt.Cells[a].Width > ckt.Cells[b].Width
+				return ckt.Cells[b].Width - ckt.Cells[a].Width
 			}
-			return a < b
+			return int(a - b)
 		}
 	}
-	sort.Slice(e.selected, func(i, j int) bool { return less(e.selected[i], e.selected[j]) })
+	slices.SortFunc(e.selected, cmp)
 	return e.selected
 }
 
@@ -351,6 +431,11 @@ func (e *Engine) selectCells() []netlist.CellID {
 // weighted per net by the active objectives (1 for wirelength, the
 // switching activity for power, the timing criticality for delay), times a
 // penalty when the move would violate the width constraint.
+//
+// With the incremental engine active, the cell's pins are lifted out of the
+// cached multisets (RemoveCell) so every vacancy is scored in O(log p) per
+// net, and large vacancy pools are fanned across the bounded worker pool
+// (allocscan.go) — vacancy trials for one cell are independent.
 func (e *Engine) allocate(sel []netlist.CellID) {
 	if len(sel) == 0 {
 		return
@@ -361,10 +446,9 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 	// Capture vacancies and prospective row widths.
 	n := len(sel)
 	e.vacRef = resizeRefs(e.vacRef, n)
-	e.vacX = resizeF64(e.vacX, n)
-	e.vacY = resizeF64(e.vacY, n)
-	e.vacRow = resizeI32(e.vacRow, n)
+	e.vacs = resizeVacs(e.vacs, n)
 	e.vacUsed = resizeBool(e.vacUsed, n)
+	e.freeVac = resizeI32(e.freeVac, n)
 	if cap(e.rowW) < e.place.NumRows() {
 		e.rowW = make([]int, e.place.NumRows())
 	}
@@ -373,30 +457,62 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		e.rowW[r] = e.place.RowWidth(r)
 	}
 	for i, id := range sel {
-		e.vacX[i], e.vacY[i] = e.place.Coord(id)
+		x, y := e.place.Coord(id)
 		ref := e.place.RemoveToHole(id)
 		e.vacRef[i] = ref
-		e.vacRow[i] = ref.Row
+		e.vacs[i] = wire.Vacancy{X: x, Y: y, Row: ref.Row}
 		e.vacUsed[i] = false
+		e.freeVac[i] = int32(i)
 		e.rowW[ref.Row] -= ckt.Cells[id].Width
 	}
 
 	avg := e.place.AvgRowWidth()
 	limit := (1 + cfg.Alpha) * avg
 
-	for _, id := range sel {
+	useInc := e.inc != nil && e.inc.Built()
+	scan := e.startScan(n, useInc)
+	if scan != nil {
+		defer scan.stop()
+	}
+
+	if cap(e.rowOK) < e.place.NumRows() {
+		e.rowOK = make([]bool, e.place.NumRows())
+	}
+	e.rowOK = e.rowOK[:e.place.NumRows()]
+
+	for own, id := range sel {
 		w := ckt.Cells[id].Width
+		e.prepTrial(id, useInc)
+		for r := range e.rowOK {
+			e.rowOK[r] = float64(e.rowW[r]+w) <= limit
+		}
 		// First pass: best width-feasible vacancy. The width bound is a
 		// hard constraint (Section 2), so infeasible vacancies are only
 		// considered in the fallback pass, by smallest violation.
-		best, bestScore := -1, 0.0
-		for v := 0; v < n; v++ {
-			if e.vacUsed[v] || float64(e.rowW[e.vacRow[v]]+w) > limit {
-				continue
-			}
-			score := e.trialCost(id, e.vacX[v], e.vacY[v])
-			if best < 0 || score < bestScore {
-				best, bestScore = v, score
+		best := -1
+		switch {
+		case scan != nil:
+			best, _ = scan.scanCell(len(e.freeVac), e.seedBound(own))
+		case useInc:
+			// Bounded scoring: a vacancy bails out once its partial cost
+			// reaches the best so far — the winner is provably unchanged.
+			// Seeding the bound with the cell's own vacated slot (index
+			// `own`: vacancies were captured in selection order), when
+			// still free and feasible, makes most other vacancies bail on
+			// their first net; nextafter keeps equal-scoring earlier
+			// vacancies admissible, so the serial first-minimum wins.
+			best, _ = e.trials.ScanBest(e.inc.BaseView(), e.vacs, e.freeVac,
+				e.rowOK, 0, len(e.freeVac), e.seedBound(own))
+		default:
+			bestScore := 0.0
+			for v := 0; v < n; v++ {
+				if e.vacUsed[v] || !e.rowOK[e.vacs[v].Row] {
+					continue
+				}
+				score := e.trialCost(id, e.vacs[v].X, e.vacs[v].Y)
+				if best < 0 || score < bestScore {
+					best, bestScore = v, score
+				}
 			}
 		}
 		if best < 0 {
@@ -405,28 +521,43 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 				if e.vacUsed[v] {
 					continue
 				}
-				viol := float64(e.rowW[e.vacRow[v]]+w) - limit
+				viol := float64(e.rowW[e.vacs[v].Row]+w) - limit
 				if best < 0 || viol < bestViol {
 					best, bestViol = v, viol
 				}
 			}
 		}
 		e.place.FillHole(e.vacRef[best], id)
-		e.place.SetCoordHint(id, e.vacX[best], e.vacY[best])
+		e.place.SetCoordHint(id, e.vacs[best].X, e.vacs[best].Y)
+		if useInc {
+			e.inc.PlaceCell(id, e.vacs[best].X, e.vacs[best].Y)
+		}
 		e.vacUsed[best] = true
-		e.rowW[e.vacRow[best]] += w
+		e.dropFreeVac(int32(best))
+		e.rowW[e.vacs[best].Row] += w
 	}
 	e.place.Recompute()
 }
 
-// trialCost scores a candidate location for a cell (lower is better).
-func (e *Engine) trialCost(id netlist.CellID, x, y float64) float64 {
+// dropFreeVac removes one index from the ascending free-vacancy list.
+func (e *Engine) dropFreeVac(v int32) {
+	for i, f := range e.freeVac {
+		if f == v {
+			e.freeVac = append(e.freeVac[:i], e.freeVac[i+1:]...)
+			return
+		}
+	}
+}
+
+// prepTrial stages the per-cell trial state: the cell's incident nets with
+// their objective weights (hoisted out of the per-vacancy loop — they do
+// not depend on the candidate position), and, in incremental mode, lifts
+// the cell's pins out of the cached multisets so trials need no exclusion.
+func (e *Engine) prepTrial(id netlist.CellID, useInc bool) {
 	cfg := &e.prob.Cfg
-	e.netsBuf = e.netsBuf[:0]
-	e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf)
-	cost := 0.0
+	e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf[:0])
+	e.trialW = e.trialW[:0]
 	for _, n := range e.netsBuf {
-		l := e.ev.NetLengthWithCellAt(n, id, x, y, e.place)
 		w := 0.0
 		if cfg.Objectives.Has(fuzzy.Wire) {
 			w += 1
@@ -437,7 +568,114 @@ func (e *Engine) trialCost(id netlist.CellID, x, y float64) float64 {
 		if cfg.Objectives.Has(fuzzy.Delay) {
 			w += e.netCrit[n]
 		}
-		cost += l * w
+		e.trialW = append(e.trialW, w)
+	}
+	if useInc {
+		e.inc.RemoveCell(id)
+	}
+	e.orderTrials(id, useInc)
+	if useInc {
+		// Vacancy candidates sit on row centerlines, so the rows are the
+		// y-memo classes. ScanBest requires the memo prefilled; RowY
+		// reproduces Recompute's centerline expression bit for bit.
+		e.inc.CompileTrials(&e.trials, e.netsBuf, e.trialW, e.place.NumRows())
+		e.trials.PrefillClasses(layout.RowY)
+	}
+}
+
+// orderTrials sorts the cell's nets by descending remaining-pin
+// half-perimeter (ties by ascending net id) so the bounded vacancy scan
+// meets the dominant contributions first and bails as early as possible.
+// Both evaluation modes order by the same (value-equal) spans, so the
+// trial-cost accumulation — and with it the search trajectory — stays
+// bitwise identical between them.
+func (e *Engine) orderTrials(id netlist.CellID, useInc bool) {
+	n := len(e.netsBuf)
+	if n < 2 {
+		return
+	}
+	e.trialKey = resizeF64(e.trialKey, n)
+	for i, nid := range e.netsBuf {
+		if useInc {
+			e.trialKey[i] = e.inc.StoredSpan(nid)
+		} else {
+			e.trialKey[i] = e.remainingSpan(nid, id)
+		}
+	}
+	for i := 1; i < n; i++ {
+		k, nid, w := e.trialKey[i], e.netsBuf[i], e.trialW[i]
+		j := i - 1
+		for j >= 0 && (e.trialKey[j] < k || (e.trialKey[j] == k && e.netsBuf[j] > nid)) {
+			e.trialKey[j+1], e.netsBuf[j+1], e.trialW[j+1] = e.trialKey[j], e.netsBuf[j], e.trialW[j]
+			j--
+		}
+		e.trialKey[j+1], e.netsBuf[j+1], e.trialW[j+1] = k, nid, w
+	}
+}
+
+// remainingSpan is the reference mode's ordering key: the half-perimeter
+// of the net's pins excluding the trialled cell, read from the placement —
+// exactly the span the incremental multiset holds after RemoveCell.
+func (e *Engine) remainingSpan(n netlist.NetID, exclude netlist.CellID) float64 {
+	net := e.prob.Ckt.Net(n)
+	first := true
+	var minX, maxX, minY, maxY float64
+	visit := func(id netlist.CellID) {
+		if id == exclude || id == netlist.NoCell {
+			return
+		}
+		x, y := e.place.Coord(id)
+		if first {
+			minX, maxX, minY, maxY = x, x, y, y
+			first = false
+			return
+		}
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	visit(net.Driver)
+	for _, s := range net.Sinks {
+		visit(s)
+	}
+	if first {
+		return 0
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// seedBound returns the initial scan bound for the prepared cell: one ulp
+// above its own vacated slot's trial score when that slot is still free
+// and width-feasible, +Inf otherwise. Scores strictly below the bound are
+// scanned normally, so the first global minimum still wins — the seed only
+// lets hopeless vacancies bail earlier. The seed slot must be feasible:
+// bounding by an infeasible slot could prune every feasible vacancy and
+// misroute the cell into the violation fallback.
+func (e *Engine) seedBound(own int) float64 {
+	if e.vacUsed[own] || !e.rowOK[e.vacs[own].Row] {
+		return math.Inf(1)
+	}
+	s := e.trials.Score(e.inc.BaseView(), e.vacs[own].X, e.vacs[own].Y, int(e.vacs[own].Row))
+	return math.Nextafter(s, math.Inf(1))
+}
+
+// trialCost scores a candidate location for the cell prepared by prepTrial
+// (lower is better) through the from-scratch evaluator — the reference
+// mode's scorer. The incremental path scores through e.trials instead;
+// both produce bitwise-identical values.
+func (e *Engine) trialCost(id netlist.CellID, x, y float64) float64 {
+	cost := 0.0
+	for i, n := range e.netsBuf {
+		cost += e.ev.NetLengthWithCellAt(n, id, x, y, e.place) * e.trialW[i]
 	}
 	return cost
 }
@@ -532,7 +770,7 @@ func (e *Engine) result() *Result {
 		BestIter:  e.bestIter,
 		Iters:     e.iter,
 		Profile:   e.profile,
-		MuTrace:   e.muTrace,
+		MuTrace:   e.MuTrace(),
 	}
 }
 
@@ -552,6 +790,13 @@ func resizeRefs(s []layout.SlotRef, n int) []layout.SlotRef {
 func resizeF64(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeVacs(s []wire.Vacancy, n int) []wire.Vacancy {
+	if cap(s) < n {
+		return make([]wire.Vacancy, n)
 	}
 	return s[:n]
 }

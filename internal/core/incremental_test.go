@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"simevo/internal/fuzzy"
+)
+
+// TestIncrementalReproducesReferenceTrajectory asserts the tentpole
+// invariant: a full run on the incremental net-cost engine follows
+// bitwise the same trajectory as the from-scratch reference mode — same
+// μ trace, same best solution, same best μ — for both estimator-relevant
+// objective sets.
+func TestIncrementalReproducesReferenceTrajectory(t *testing.T) {
+	for _, obj := range []fuzzy.Objectives{fuzzy.WirePower, fuzzy.WirePowerDelay} {
+		iters := 25
+		if obj == fuzzy.WirePowerDelay {
+			iters = 12
+		}
+		run := func(disable bool) *Result {
+			p := testProblem(t, obj, iters)
+			p.Cfg.DisableIncremental = disable
+			// A short checksum interval exercises the rebuild path mid-run.
+			p.Cfg.FullEvalEvery = 7
+			return p.NewEngine(0).Run()
+		}
+		ref := run(true)
+		inc := run(false)
+		if ref.BestMu != inc.BestMu {
+			t.Fatalf("obj %v: best μ diverged: reference %v, incremental %v", obj, ref.BestMu, inc.BestMu)
+		}
+		if ref.Best.Fingerprint() != inc.Best.Fingerprint() {
+			t.Fatalf("obj %v: best placements diverged", obj)
+		}
+		if len(ref.MuTrace) != len(inc.MuTrace) {
+			t.Fatalf("obj %v: trace lengths %d vs %d", obj, len(ref.MuTrace), len(inc.MuTrace))
+		}
+		for i := range ref.MuTrace {
+			if ref.MuTrace[i] != inc.MuTrace[i] {
+				t.Fatalf("obj %v: μ trace diverged at %d: %v vs %v",
+					obj, i, ref.MuTrace[i], inc.MuTrace[i])
+			}
+		}
+	}
+}
+
+// TestParallelAllocScanMatchesSerial asserts the bounded worker pool picks
+// identical vacancies: with the fan-out forced on (tiny threshold, several
+// workers) the trajectory must equal the serial scan's, bit for bit.
+func TestParallelAllocScanMatchesSerial(t *testing.T) {
+	oldMin := allocScanMinVacancies
+	allocScanMinVacancies = 1
+	defer func() { allocScanMinVacancies = oldMin }()
+
+	run := func(workers int) *Result {
+		p := testProblem(t, fuzzy.WirePower, 20)
+		p.Cfg.AllocWorkers = workers
+		return p.NewEngine(0).Run()
+	}
+	serial := run(-1) // negative: keep the scan serial
+	par := run(4)
+	if serial.BestMu != par.BestMu {
+		t.Fatalf("parallel scan diverged: best μ %v vs %v", par.BestMu, serial.BestMu)
+	}
+	if serial.Best.Fingerprint() != par.Best.Fingerprint() {
+		t.Fatal("parallel scan produced a different best placement")
+	}
+	for i := range serial.MuTrace {
+		if serial.MuTrace[i] != par.MuTrace[i] {
+			t.Fatalf("μ trace diverged at %d: %v vs %v", i, par.MuTrace[i], serial.MuTrace[i])
+		}
+	}
+}
+
+// TestMuTraceRingCap asserts the trace ring keeps the most recent
+// evaluations in order, and that recording can be disabled entirely.
+func TestMuTraceRingCap(t *testing.T) {
+	full := testProblem(t, fuzzy.WirePower, 20)
+	ef := full.NewEngine(0)
+	rf := ef.Run()
+
+	capped := testProblem(t, fuzzy.WirePower, 20)
+	capped.Cfg.MuTraceCap = 5
+	ec := capped.NewEngine(0)
+	rc := ec.Run()
+
+	if len(rc.MuTrace) != 5 {
+		t.Fatalf("capped trace has %d entries, want 5", len(rc.MuTrace))
+	}
+	tail := rf.MuTrace[len(rf.MuTrace)-5:]
+	for i := range tail {
+		if rc.MuTrace[i] != tail[i] {
+			t.Fatalf("ring entry %d = %v, want %v (tail of full trace)", i, rc.MuTrace[i], tail[i])
+		}
+	}
+
+	off := testProblem(t, fuzzy.WirePower, 20)
+	off.Cfg.DisableMuTrace = true
+	ro := off.NewEngine(0).Run()
+	if len(ro.MuTrace) != 0 {
+		t.Fatalf("disabled trace recorded %d entries", len(ro.MuTrace))
+	}
+	if ro.BestMu != rf.BestMu {
+		t.Fatalf("trace recording changed the trajectory: %v vs %v", ro.BestMu, rf.BestMu)
+	}
+}

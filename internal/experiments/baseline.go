@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/gen"
+)
+
+// Baseline captures the incremental-vs-from-scratch performance of the
+// engine's hot paths at the BenchmarkProfileShare scale (s1196, the
+// wire+power objective, 60 iterations), so future PRs have a recorded
+// perf trajectory. simevo-bench -baseline writes it as JSON
+// (BENCH_baseline.json at the repo root).
+type Baseline struct {
+	Circuit   string `json:"circuit"`
+	Objective string `json:"objective"`
+	Iters     int    `json:"iters"`
+	Seed      uint64 `json:"seed"`
+
+	// Incremental is the default engine; Scratch is the
+	// DisableIncremental reference — the paper-faithful from-scratch
+	// evaluation the pre-incremental engine used.
+	Incremental BaselineRun `json:"incremental"`
+	Scratch     BaselineRun `json:"scratch"`
+
+	// AllocSpeedup and TotalSpeedup compare scratch vs incremental.
+	AllocSpeedup float64 `json:"alloc_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+
+	// TrajectoryMatch records the tentpole invariant: both modes must
+	// reach the identical best solution (bitwise equal μ).
+	TrajectoryMatch bool `json:"trajectory_match"`
+}
+
+// BaselineRun is one mode's measurement.
+type BaselineRun struct {
+	NsPerIter      float64 `json:"ns_per_iter"`
+	EvalNsPerIter  float64 `json:"eval_ns_per_iter"`
+	AllocNsPerIter float64 `json:"alloc_ns_per_iter"`
+	AllocShare     float64 `json:"alloc_share"`
+	BestMu         float64 `json:"best_mu"`
+}
+
+// MeasureBaseline runs both modes and assembles the report.
+func MeasureBaseline() (*Baseline, error) {
+	const (
+		circuit = "s1196"
+		iters   = 60
+		seed    = 2006
+	)
+	run := func(scratch bool) (BaselineRun, uint64, error) {
+		ckt, err := gen.Benchmark(circuit)
+		if err != nil {
+			return BaselineRun{}, 0, err
+		}
+		cfg := core.DefaultConfig(fuzzy.WirePower)
+		cfg.MaxIters = iters
+		cfg.Seed = seed
+		cfg.DisableIncremental = scratch
+		prob, err := core.NewProblem(ckt, cfg)
+		if err != nil {
+			return BaselineRun{}, 0, err
+		}
+		eng := prob.NewEngine(0)
+		start := time.Now()
+		res := eng.Run()
+		total := time.Since(start)
+		p := eng.Profile()
+		_, _, allocShare := p.Shares()
+		return BaselineRun{
+			NsPerIter:      float64(total.Nanoseconds()) / iters,
+			EvalNsPerIter:  float64(p.Eval.Nanoseconds()) / iters,
+			AllocNsPerIter: float64(p.Alloc.Nanoseconds()) / iters,
+			AllocShare:     allocShare,
+			BestMu:         res.BestMu,
+		}, res.Best.Fingerprint(), nil
+	}
+
+	inc, incFP, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	scr, scrFP, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{
+		Circuit:         circuit,
+		Objective:       "wire+power",
+		Iters:           iters,
+		Seed:            seed,
+		Incremental:     inc,
+		Scratch:         scr,
+		AllocSpeedup:    scr.AllocNsPerIter / inc.AllocNsPerIter,
+		TotalSpeedup:    scr.NsPerIter / inc.NsPerIter,
+		TrajectoryMatch: inc.BestMu == scr.BestMu && incFP == scrFP,
+	}, nil
+}
+
+// WriteBaseline measures the baseline, writes it as JSON to path, and
+// prints a summary table.
+func WriteBaseline(path string, w io.Writer) error {
+	b, err := MeasureBaseline()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline: %s, %s, %d iters, seed %d\n", b.Circuit, b.Objective, b.Iters, b.Seed)
+	fmt.Fprintf(w, "  %-12s %14s %14s %12s %8s\n", "mode", "ns/iter", "alloc-ns/iter", "alloc-share", "best-mu")
+	row := func(name string, r BaselineRun) {
+		fmt.Fprintf(w, "  %-12s %14.0f %14.0f %12.3f %8.4f\n",
+			name, r.NsPerIter, r.AllocNsPerIter, r.AllocShare, r.BestMu)
+	}
+	row("incremental", b.Incremental)
+	row("scratch", b.Scratch)
+	fmt.Fprintf(w, "  alloc speedup %.2fx, total speedup %.2fx, trajectory match %v\n",
+		b.AllocSpeedup, b.TotalSpeedup, b.TrajectoryMatch)
+	fmt.Fprintf(w, "  written to %s\n", path)
+	return nil
+}

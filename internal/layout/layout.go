@@ -49,6 +49,14 @@ type Placement struct {
 	rowWidth []int // summed widths per row (holes keep their last width? no: recomputed)
 	estWidth float64
 	dirty    bool // true when Recompute is needed
+
+	// Coordinate-change journal: when enabled, every cell whose physical
+	// coordinates change (through Recompute or SetCoordHint) is recorded
+	// once until drained. Incremental net-cost evaluators use it to
+	// re-estimate only the nets touched since their last sync.
+	journal   bool
+	changed   []netlist.CellID
+	inJournal []bool
 }
 
 // DefaultNumRows picks a row count giving a roughly square die for the
@@ -140,22 +148,62 @@ func (p *Placement) Row(r int) []netlist.CellID { return p.rows[r] }
 func (p *Placement) Slot(id netlist.CellID) SlotRef { return p.slotOf[id] }
 
 // Recompute refreshes physical coordinates and row widths from the slot
-// assignment. Holes occupy no width.
+// assignment. Holes occupy no width. With journaling enabled, cells whose
+// coordinates actually change are recorded — covering every slot-level
+// mutation path (swaps, hole fills, external row merges) without those
+// paths needing journal awareness of their own.
 func (p *Placement) Recompute() {
 	for row := 0; row < p.numRows; row++ {
 		xoff := 0
+		y := RowY(row) // the single source of the centerline expression
 		for _, id := range p.rows[row] {
 			if id == netlist.NoCell {
 				continue
 			}
 			w := p.ckt.Cells[id].Width
-			p.x[id] = float64(xoff) + float64(w)/2
-			p.y[id] = (float64(row) + 0.5) * RowPitch
+			x := float64(xoff) + float64(w)/2
+			if p.journal && (p.x[id] != x || p.y[id] != y) {
+				p.recordChange(id)
+			}
+			p.x[id] = x
+			p.y[id] = y
 			xoff += w
 		}
 		p.rowWidth[row] = xoff
 	}
 	p.dirty = false
+}
+
+// JournalCoords enables or disables coordinate-change journaling.
+// Enabling is idempotent and keeps any undrained entries.
+func (p *Placement) JournalCoords(on bool) {
+	p.journal = on
+	if on && p.inJournal == nil {
+		p.inJournal = make([]bool, len(p.ckt.Cells))
+	}
+}
+
+// DrainChangedCells appends the journaled cells to dst, clears the
+// journal, and returns the extended slice.
+func (p *Placement) DrainChangedCells(dst []netlist.CellID) []netlist.CellID {
+	dst = append(dst, p.changed...)
+	p.ResetJournal()
+	return dst
+}
+
+// ResetJournal discards all undrained journal entries.
+func (p *Placement) ResetJournal() {
+	for _, id := range p.changed {
+		p.inJournal[id] = false
+	}
+	p.changed = p.changed[:0]
+}
+
+func (p *Placement) recordChange(id netlist.CellID) {
+	if !p.inJournal[id] {
+		p.inJournal[id] = true
+		p.changed = append(p.changed, id)
+	}
 }
 
 // X returns the physical x coordinate (site units) of the cell's center.
@@ -176,6 +224,9 @@ func RowY(row int) float64 { return (float64(row) + 0.5) * RowPitch }
 // this iteration are scored at their new (approximate) location rather than
 // their stale one.
 func (p *Placement) SetCoordHint(id netlist.CellID, x, y float64) {
+	if p.journal && (p.x[id] != x || p.y[id] != y) {
+		p.recordChange(id)
+	}
 	p.x[id], p.y[id] = x, y
 }
 

@@ -40,9 +40,21 @@ type Result struct {
 // Swap deltas use the same coordinate approximation as SimE's allocation
 // operator (cells score at the swapped slot's last-recomputed coordinates);
 // a periodic full recompute kills the accumulated drift.
+//
+// Move deltas go through a wire.Incremental bound lazily to the working
+// placement: trial lengths are read from the cached net geometry in
+// O(log p) per net instead of re-collecting every pin, and full() after a
+// placement Recompute re-estimates only the journaled (moved) cells' nets.
+// Fitness-only users (the GA evaluates fresh placements and never asks for
+// deltas) keep the plain from-scratch path and never pay for the cache.
+// core.Config.DisableIncremental forces the from-scratch path here too —
+// the trajectories are bitwise identical either way (tested), so the
+// switch isolates the caching machinery.
 type evaluator struct {
 	prob    *core.Problem
 	ev      *wire.Evaluator
+	inc     *wire.Incremental
+	boundTo *layout.Placement // placement the incremental state mirrors
 	lengths []float64
 	wireSum float64
 	powSum  float64
@@ -56,14 +68,64 @@ func newEvaluator(prob *core.Problem) *evaluator {
 	}
 }
 
-// full recomputes the totals from scratch for the given placement.
+// scratchMode reports whether the from-scratch reference mode is forced —
+// the same escape hatch the SimE engine honors. Both modes compute
+// bitwise-identical deltas (the trial formulas are canonical), so the
+// switch isolates the caching machinery, not the math.
+func (e *evaluator) scratchMode() bool { return e.prob.Cfg.DisableIncremental }
+
+// full recomputes the totals for the given placement: a dirty-net resync
+// when the incremental state already mirrors this placement, a from-scratch
+// pass otherwise. Per-net values are bitwise identical either way, and the
+// totals are always freshly summed over the whole array.
 func (e *evaluator) full(place *layout.Placement) {
 	if place.Dirty() {
 		place.Recompute()
 	}
-	e.lengths = e.ev.Lengths(place, e.lengths)
+	if e.boundTo == place {
+		e.inc.Sync(place)
+		e.lengths = e.inc.Lengths(e.lengths)
+	} else {
+		e.boundTo = nil
+		e.lengths = e.ev.Lengths(place, e.lengths)
+	}
 	e.wireSum = wire.Total(e.lengths)
 	e.powSum = power.Cost(e.lengths, e.prob.Acts)
+}
+
+// fullBound is full for move-generating users (SA/TS): it binds the
+// incremental state first and reads the lengths from it, so adopting or
+// decoding a placement costs one net-length pass (inside Rebuild) instead
+// of a scratch pass followed by the first swapDelta's rebuild. Fitness-
+// only users (the GA) should keep calling full.
+func (e *evaluator) fullBound(place *layout.Placement) {
+	if e.scratchMode() {
+		e.full(place)
+		return
+	}
+	if place.Dirty() {
+		place.Recompute()
+	}
+	e.bind(place)
+	e.lengths = e.inc.Lengths(e.lengths)
+	e.wireSum = wire.Total(e.lengths)
+	e.powSum = power.Cost(e.lengths, e.prob.Acts)
+}
+
+// bind points the incremental state at the placement, rebuilding the
+// cached geometry if it mirrors a different one.
+func (e *evaluator) bind(place *layout.Placement) {
+	if e.boundTo == place {
+		e.inc.Sync(place)
+		return
+	}
+	if e.inc == nil {
+		e.inc = wire.NewIncremental(e.prob.Ckt, e.prob.Cfg.WireEstimator)
+	}
+	place.JournalCoords(true)
+	place.ResetJournal()
+	e.inc.Rebuild(place)
+	e.boundTo = place
 }
 
 // mu returns μ(s) for the current totals.
@@ -88,13 +150,24 @@ func (e *evaluator) energy() float64 {
 // swapDelta computes the exact energy change of swapping cells a and b at
 // the current (possibly hinted) coordinates, without mutating the
 // placement. Nets containing both cells are evaluated with both endpoints
-// moved simultaneously.
+// moved simultaneously. Both cells are lifted out of the cached multisets
+// for the duration, so each net's trial is a pure candidate-composition
+// over the remaining pins — bitwise equal to the Evaluator's canonical
+// NetLengthWithCellAt / NetLengthWithCellsAt.
 func (e *evaluator) swapDelta(place *layout.Placement, a, b netlist.CellID) float64 {
 	ax, ay := place.Coord(a)
 	bx, by := place.Coord(b)
 	e.nets = e.nets[:0]
 	e.nets = e.prob.Ckt.CellNets(a, e.nets)
 	e.nets = e.prob.Ckt.CellNets(b, e.nets)
+
+	var view *wire.View
+	if !e.scratchMode() {
+		e.bind(place)
+		e.inc.RemoveCell(a)
+		e.inc.RemoveCell(b)
+		view = e.inc.BaseView()
+	}
 	var dWire, dPow float64
 	for _, n := range dedupNets(e.nets) {
 		old := e.lengths[n]
@@ -102,14 +175,30 @@ func (e *evaluator) swapDelta(place *layout.Placement, a, b netlist.CellID) floa
 		var nu float64
 		switch {
 		case hasA && hasB:
-			nu = e.ev.NetLengthWithCellsAt(n, a, bx, by, b, ax, ay, place)
+			if view != nil {
+				nu = view.TrialNetAt2(n, bx, by, ax, ay)
+			} else {
+				nu = e.ev.NetLengthWithCellsAt(n, a, bx, by, b, ax, ay, place)
+			}
 		case hasA:
-			nu = e.ev.NetLengthWithCellAt(n, a, bx, by, place)
+			if view != nil {
+				nu = view.TrialNetAt(n, bx, by)
+			} else {
+				nu = e.ev.NetLengthWithCellAt(n, a, bx, by, place)
+			}
 		default:
-			nu = e.ev.NetLengthWithCellAt(n, b, ax, ay, place)
+			if view != nil {
+				nu = view.TrialNetAt(n, ax, ay)
+			} else {
+				nu = e.ev.NetLengthWithCellAt(n, b, ax, ay, place)
+			}
 		}
 		dWire += nu - old
 		dPow += (nu - old) * e.prob.Acts[n]
+	}
+	if view != nil {
+		e.inc.RestoreCell(b)
+		e.inc.RestoreCell(a)
 	}
 	return dWire/e.prob.Lower.Wire + dPow/e.prob.Lower.Power
 }
@@ -129,18 +218,31 @@ func (e *evaluator) netHas(n netlist.NetID, id netlist.CellID) bool {
 
 // applySwap commits a swap and incrementally updates the totals.
 func (e *evaluator) applySwap(place *layout.Placement, a, b netlist.CellID) {
+	scratch := e.scratchMode()
+	if !scratch {
+		e.bind(place)
+	}
 	ax, ay := place.Coord(a)
 	bx, by := place.Coord(b)
 	place.SwapCells(a, b)
 	place.SetCoordHint(a, bx, by)
 	place.SetCoordHint(b, ax, ay)
-	// Recompute the affected nets' lengths at the hinted coordinates.
+	if !scratch {
+		e.inc.MoveCell(a, bx, by)
+		e.inc.MoveCell(b, ax, ay)
+	}
+	// Re-estimate the affected nets' lengths at the hinted coordinates.
 	e.nets = e.nets[:0]
 	e.nets = e.prob.Ckt.CellNets(a, e.nets)
 	e.nets = e.prob.Ckt.CellNets(b, e.nets)
 	for _, n := range dedupNets(e.nets) {
 		old := e.lengths[n]
-		nu := e.ev.NetLength(n, place)
+		var nu float64
+		if scratch {
+			nu = e.ev.NetLength(n, place)
+		} else {
+			nu = e.inc.NetLength(n)
+		}
 		e.lengths[n] = nu
 		e.wireSum += nu - old
 		e.powSum += (nu - old) * e.prob.Acts[n]

@@ -358,3 +358,36 @@ func TestAllHeuristicsProduceComparableQuality(t *testing.T) {
 	}
 	_ = ga // GA converges slower; presence and validity are checked above
 }
+
+// TestScratchModeMatchesIncremental pins the DisableIncremental escape
+// hatch for the metaheuristics: SA and TS must follow bitwise-identical
+// trajectories with the cached evaluator and the from-scratch reference.
+func TestScratchModeMatchesIncremental(t *testing.T) {
+	runSA := func(scratch bool) *Result {
+		prob := testProblem(t, 50)
+		prob.Cfg.DisableIncremental = scratch
+		res, err := RunSA(prob, SAConfig{Moves: 3000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sa1, sa2 := runSA(false), runSA(true)
+	if sa1.BestMu != sa2.BestMu || sa1.Best.Fingerprint() != sa2.Best.Fingerprint() {
+		t.Fatalf("SA diverged across modes: μ %v vs %v", sa1.BestMu, sa2.BestMu)
+	}
+
+	runTS := func(scratch bool) *Result {
+		prob := testProblem(t, 50)
+		prob.Cfg.DisableIncremental = scratch
+		res, err := RunTS(prob, TSConfig{Iters: 40, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ts1, ts2 := runTS(false), runTS(true)
+	if ts1.BestMu != ts2.BestMu || ts1.Best.Fingerprint() != ts2.Best.Fingerprint() {
+		t.Fatalf("TS diverged across modes: μ %v vs %v", ts1.BestMu, ts2.BestMu)
+	}
+}

@@ -108,7 +108,7 @@ func newSAChain(prob *core.Problem, cfg SAConfig, stream uint64) *saChain {
 	eng := prob.EngineFromReference(0) // canonical start, rng unused
 	place := eng.Placement()
 	ev := newEvaluator(prob)
-	ev.full(place)
+	ev.fullBound(place)
 	sa := &saChain{
 		prob: prob, cfg: cfg, ev: ev, place: place,
 		rnd: rng.NewStream(prob.Cfg.Seed^cfg.Seed, stream),
@@ -156,12 +156,12 @@ func (sa *saChain) runChain(n int) {
 			sa.accepted++
 			if sa.accepted%sa.cfg.RecomputeEvery == 0 {
 				sa.place.Recompute()
-				sa.ev.full(sa.place)
+				sa.ev.fullBound(sa.place)
 			}
 			if mu := sa.ev.mu(sa.place); mu > sa.bestMu {
 				// Confirm against an exact evaluation before recording.
 				sa.place.Recompute()
-				sa.ev.full(sa.place)
+				sa.ev.fullBound(sa.place)
 				if mu = sa.ev.mu(sa.place); mu > sa.bestMu {
 					sa.bestMu = mu
 					sa.bestCosts = sa.ev.costs()
@@ -176,7 +176,7 @@ func (sa *saChain) runChain(n int) {
 func (sa *saChain) adopt(place *layout.Placement, mu float64) {
 	sa.place = place.Clone()
 	sa.place.Recompute()
-	sa.ev.full(sa.place)
+	sa.ev.fullBound(sa.place)
 	if mu > sa.bestMu {
 		sa.bestMu = mu
 		sa.bestCosts = sa.ev.costs()

@@ -53,7 +53,7 @@ func newTS(prob *core.Problem, cfg TSConfig) *tsState {
 	eng := prob.EngineFromReference(0)
 	place := eng.Placement()
 	ev := newEvaluator(prob)
-	ev.full(place)
+	ev.fullBound(place)
 	ts := &tsState{
 		prob: prob, cfg: cfg, ev: ev, place: place,
 		rnd:       rng.NewStream(prob.Cfg.Seed^cfg.Seed, 0x7ab0),
@@ -111,7 +111,7 @@ func (ts *tsState) applyCandidate(cand [2]netlist.CellID) {
 	ts.tabuUntil[cand[0]] = ts.iter + ts.cfg.Tenure
 	ts.tabuUntil[cand[1]] = ts.iter + ts.cfg.Tenure
 	ts.place.Recompute()
-	ts.ev.full(ts.place)
+	ts.ev.fullBound(ts.place)
 	if mu := ts.ev.mu(ts.place); mu > ts.bestMu {
 		ts.bestMu = mu
 		ts.bestCosts = ts.ev.costs()
@@ -275,7 +275,7 @@ func parallelTSSlave(prob *core.Problem, c *parallel.Comm) error {
 		if err != nil {
 			return err
 		}
-		ev.full(place)
+		ev.fullBound(place)
 		lo, hi := chunkRange(len(cands), c.Rank(), c.Size())
 		out := make([]float64, 0, hi-lo)
 		for i := lo; i < hi; i++ {

@@ -43,6 +43,11 @@ func buildProblem(spec Spec) (*core.Problem, error) {
 	cfg.Bias = spec.Bias
 	cfg.TargetMu = spec.TargetMu
 	cfg.NumRows = spec.Rows
+	// Server jobs stream progress instead of reading the trace, and
+	// long-running jobs must not accumulate one μ sample per iteration
+	// indefinitely — recording is off here (it stays on by default for
+	// library and benchmark use).
+	cfg.DisableMuTrace = true
 	return core.NewProblem(ckt, cfg)
 }
 

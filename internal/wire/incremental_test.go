@@ -1,0 +1,327 @@
+package wire
+
+import (
+	"testing"
+
+	"simevo/internal/gen"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/rng"
+)
+
+func testCircuit(t testing.TB, seed int64) *netlist.Circuit {
+	t.Helper()
+	ckt, err := gen.Generate(gen.Params{
+		Name: "inc", Gates: 120, DFFs: 8, PIs: 6, POs: 6, Depth: 8, Seed: uint64(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+var allEstimators = []Estimator{HPWL, Steiner, RMST}
+
+// mutableCoords is a plain coordinate table implementing ChangeSource, so
+// the tests can drive arbitrary move sequences through Sync.
+type mutableCoords struct {
+	x, y    []float64
+	changed []netlist.CellID
+}
+
+func newMutableCoords(ckt *netlist.Circuit, p *layout.Placement) *mutableCoords {
+	m := &mutableCoords{
+		x: make([]float64, len(ckt.Cells)),
+		y: make([]float64, len(ckt.Cells)),
+	}
+	for i := range ckt.Cells {
+		m.x[i], m.y[i] = p.Coord(netlist.CellID(i))
+	}
+	return m
+}
+
+func (m *mutableCoords) Coord(id netlist.CellID) (float64, float64) { return m.x[id], m.y[id] }
+
+func (m *mutableCoords) DrainChangedCells(dst []netlist.CellID) []netlist.CellID {
+	dst = append(dst, m.changed...)
+	m.changed = m.changed[:0]
+	return dst
+}
+
+func (m *mutableCoords) move(id netlist.CellID, x, y float64) {
+	m.x[id], m.y[id] = x, y
+	m.changed = append(m.changed, id)
+}
+
+// TestIncrementalMatchesScratchUnderMoves drives randomized move sequences
+// through Sync and asserts every committed net length stays bitwise equal
+// to a from-scratch evaluation, for every estimator.
+func TestIncrementalMatchesScratchUnderMoves(t *testing.T) {
+	ckt := testCircuit(t, 31)
+	movable := ckt.Movable()
+	for _, est := range allEstimators {
+		place := layout.NewRandom(ckt, 8, rng.New(7))
+		coords := newMutableCoords(ckt, place)
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(coords)
+		ev := NewEvaluator(ckt, est)
+		r := rng.New(99)
+
+		var got, want []float64
+		for step := 0; step < 200; step++ {
+			// Move 1-3 random cells to random positions (half-site grid with
+			// occasional coincident values to exercise duplicate handling).
+			for k := 0; k <= r.Intn(3); k++ {
+				id := movable[r.Intn(len(movable))]
+				coords.move(id, float64(r.Intn(160))/2, float64(r.Intn(48))/2)
+			}
+			inc.Sync(coords)
+			got = inc.Lengths(got)
+			want = ev.Lengths(coords, want)
+			for n := range want {
+				if got[n] != want[n] {
+					t.Fatalf("est %d step %d: net %d incremental %v != scratch %v",
+						est, step, n, got[n], want[n])
+				}
+			}
+		}
+	}
+}
+
+// TestTrialMatchesScratch asserts View trials (one and two candidates) are
+// bitwise equal to the Evaluator's canonical trial functions across random
+// states, for every estimator.
+func TestTrialMatchesScratch(t *testing.T) {
+	ckt := testCircuit(t, 32)
+	movable := ckt.Movable()
+	for _, est := range allEstimators {
+		place := layout.NewRandom(ckt, 8, rng.New(11))
+		coords := newMutableCoords(ckt, place)
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(coords)
+		ev := NewEvaluator(ckt, est)
+		view := inc.View()
+		r := rng.New(5)
+		var nets []netlist.NetID
+
+		for step := 0; step < 300; step++ {
+			a := movable[r.Intn(len(movable))]
+			b := movable[r.Intn(len(movable))]
+			for b == a {
+				b = movable[r.Intn(len(movable))]
+			}
+			x1, y1 := float64(r.Intn(160))/2, float64(r.Intn(48))/2
+			x2, y2 := float64(r.Intn(160))/2, float64(r.Intn(48))/2
+
+			// Single-cell trials over a's nets.
+			inc.RemoveCell(a)
+			nets = ckt.CellNets(a, nets[:0])
+			for _, n := range nets {
+				got := view.TrialNetAt(n, x1, y1)
+				want := ev.NetLengthWithCellAt(n, a, x1, y1, coords)
+				if got != want {
+					t.Fatalf("est %d step %d: net %d 1-cand trial %v != scratch %v",
+						est, step, n, got, want)
+				}
+			}
+
+			// Two-cell trials over nets containing both a and b.
+			inc.RemoveCell(b)
+			nets = ckt.CellNets(b, nets[:0])
+			for _, n := range nets {
+				got := view.TrialNetAt2(n, x1, y1, x2, y2)
+				want := ev.NetLengthWithCellsAt(n, a, x1, y1, b, x2, y2, coords)
+				if got != want {
+					t.Fatalf("est %d step %d: net %d 2-cand trial %v != scratch %v",
+						est, step, n, got, want)
+				}
+			}
+			inc.RestoreCell(b)
+			inc.RestoreCell(a)
+
+			// Occasionally commit a move so trials run against varied states.
+			if step%3 == 0 {
+				coords.move(a, x1, y1)
+				inc.Sync(coords)
+			}
+		}
+	}
+}
+
+// TestRemoveRestoreKeepsLengthsValid asserts that a remove/restore pair
+// (the trial-scanning pattern) leaves the cached lengths untouched.
+func TestRemoveRestoreKeepsLengthsValid(t *testing.T) {
+	ckt := testCircuit(t, 33)
+	place := layout.NewRandom(ckt, 8, rng.New(3))
+	inc := NewIncremental(ckt, Steiner)
+	inc.Rebuild(place)
+	before := inc.Lengths(nil)
+
+	movable := ckt.Movable()
+	r := rng.New(17)
+	for i := 0; i < 50; i++ {
+		id := movable[r.Intn(len(movable))]
+		inc.RemoveCell(id)
+		inc.RestoreCell(id)
+	}
+	after := inc.Lengths(nil)
+	for n := range before {
+		if before[n] != after[n] {
+			t.Fatalf("net %d length changed across remove/restore: %v -> %v", n, before[n], after[n])
+		}
+	}
+}
+
+// TestRebuildIsChecksum asserts the periodic full-recompute invariant:
+// rebuilding from a consistent state reproduces identical lengths.
+func TestRebuildIsChecksum(t *testing.T) {
+	ckt := testCircuit(t, 34)
+	for _, est := range allEstimators {
+		place := layout.NewRandom(ckt, 8, rng.New(21))
+		coords := newMutableCoords(ckt, place)
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(coords)
+		movable := ckt.Movable()
+		r := rng.New(8)
+		for i := 0; i < 120; i++ {
+			id := movable[r.Intn(len(movable))]
+			coords.move(id, float64(r.Intn(100))/2, float64(r.Intn(30))/2)
+		}
+		inc.Sync(coords)
+		incLengths := inc.Lengths(nil)
+		inc.Rebuild(coords)
+		rebuilt := inc.Lengths(nil)
+		for n := range incLengths {
+			if incLengths[n] != rebuilt[n] {
+				t.Fatalf("est %d: net %d drifted: incremental %v, rebuilt %v",
+					est, n, incLengths[n], rebuilt[n])
+			}
+		}
+	}
+}
+
+// TestTrialSetMatchesViewTrials pins the compiled scorer to the scalar
+// paths: Score must equal the weighted sum of View trials bitwise, and
+// ScanBest must pick exactly the vacancy a ScoreBounded loop picks.
+func TestTrialSetMatchesViewTrials(t *testing.T) {
+	ckt := testCircuit(t, 36)
+	movable := ckt.Movable()
+	for _, est := range allEstimators {
+		place := layout.NewRandom(ckt, 8, rng.New(5))
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(place)
+		view := inc.View()
+		r := rng.New(77)
+		var nets []netlist.NetID
+		var set TrialSet
+
+		for step := 0; step < 100; step++ {
+			id := movable[r.Intn(len(movable))]
+			nets = ckt.CellNets(id, nets[:0])
+			weights := make([]float64, len(nets))
+			for i := range weights {
+				weights[i] = 1 + float64(r.Intn(8))/4
+			}
+			inc.RemoveCell(id)
+			inc.CompileTrials(&set, nets, weights, place.NumRows())
+			set.PrefillClasses(layout.RowY)
+
+			// Build a vacancy pool on row centerlines.
+			nVac := 12
+			vacs := make([]Vacancy, nVac)
+			free := make([]int32, nVac)
+			rowOK := make([]bool, place.NumRows())
+			for i := range rowOK {
+				rowOK[i] = true
+			}
+			for i := range vacs {
+				row := int32(r.Intn(place.NumRows()))
+				vacs[i] = Vacancy{X: float64(r.Intn(120)) / 2, Y: layout.RowY(int(row)), Row: row}
+				free[i] = int32(i)
+			}
+
+			// Score == Σ TrialNetAt · w, bitwise.
+			v0 := vacs[0]
+			want := 0.0
+			for i, n := range nets {
+				want += view.TrialNetAt(n, v0.X, v0.Y) * weights[i]
+			}
+			if got := set.Score(view, v0.X, v0.Y, int(v0.Row)); got != want {
+				t.Fatalf("est %d: Score %v != Σ trials %v", est, got, want)
+			}
+
+			// ScanBest == ScoreBounded loop.
+			wantBest, wantBound := -1, 1e308
+			for _, f := range free {
+				vac := vacs[f]
+				if s, ok := set.ScoreBounded(view, vac.X, vac.Y, int(vac.Row), wantBound); ok {
+					wantBest, wantBound = int(f), s
+				}
+			}
+			gotBest, gotBound := set.ScanBest(view, vacs, free, rowOK, 0, len(free), 1e308)
+			if gotBest != wantBest || gotBound != wantBound {
+				t.Fatalf("est %d: ScanBest (%d, %v) != ScoreBounded loop (%d, %v)",
+					est, gotBest, gotBound, wantBest, wantBound)
+			}
+			inc.RestoreCell(id)
+		}
+	}
+}
+
+// TestScanBestTrailingZeroTieBreak pins the first-minimum tie-break when a
+// cell's trial records end in a zero record (a net whose pins all belong
+// to the trialled cell — orderTrials always sorts its zero span last):
+// a later vacancy scoring exactly the current best must NOT steal the win.
+func TestScanBestTrailingZeroTieBreak(t *testing.T) {
+	set := TrialSet{items: []compiledTrial{
+		{kind: trialBBox, w: 1, minX: 10, maxX: 20, minY: 1.5, maxY: 1.5},
+		{kind: trialZero},
+	}}
+	// Two vacancies with identical coordinates — identical scores.
+	vacs := []Vacancy{{X: 0, Y: 1.5, Row: 0}, {X: 0, Y: 1.5, Row: 0}}
+	free := []int32{0, 1}
+	rowOK := []bool{true}
+
+	best, _ := set.ScanBest(nil, vacs, free, rowOK, 0, len(free), 1e308)
+	if best != 0 {
+		t.Fatalf("ScanBest picked vacancy %d, want the first of the tie (0)", best)
+	}
+	// ScoreBounded must report the tie as inadmissible (ok=false) even
+	// though the trailing record contributes nothing.
+	s0 := set.Score(nil, vacs[0].X, vacs[0].Y, -1)
+	if _, ok := set.ScoreBounded(nil, vacs[1].X, vacs[1].Y, -1, s0); ok {
+		t.Fatal("ScoreBounded admitted a tied vacancy past a trailing zero record")
+	}
+}
+
+// TestPlacementJournalFeedsSync exercises the real layout journal: slot
+// mutations followed by Recompute must surface every coordinate change.
+func TestPlacementJournalFeedsSync(t *testing.T) {
+	ckt := testCircuit(t, 35)
+	place := layout.NewRandom(ckt, 8, rng.New(2))
+	place.JournalCoords(true)
+	inc := NewIncremental(ckt, Steiner)
+	inc.Rebuild(place)
+	ev := NewEvaluator(ckt, Steiner)
+
+	movable := ckt.Movable()
+	r := rng.New(12)
+	var got, want []float64
+	for step := 0; step < 60; step++ {
+		a := movable[r.Intn(len(movable))]
+		b := movable[r.Intn(len(movable))]
+		for b == a {
+			b = movable[r.Intn(len(movable))]
+		}
+		place.SwapCells(a, b)
+		place.Recompute()
+		inc.Sync(place)
+		got = inc.Lengths(got)
+		want = ev.Lengths(place, want)
+		for n := range want {
+			if got[n] != want[n] {
+				t.Fatalf("step %d: net %d incremental %v != scratch %v", step, n, got[n], want[n])
+			}
+		}
+	}
+}

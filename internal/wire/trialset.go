@@ -1,0 +1,435 @@
+package wire
+
+import (
+	"math"
+	"sort"
+
+	"simevo/internal/netlist"
+)
+
+// TrialSet is a compiled scorer for one cell's weighted allocation trial
+// cost. The allocation operator scores every vacancy for every selected
+// cell — O(|S|²) trials per iteration — so per-trial dispatch matters:
+// CompileTrials collapses each incident net into a tagged record once per
+// cell, and Score runs a tight loop over the records:
+//
+//	trialZero  — the cell owns every pin; the trial length is 0.
+//	trialBBox  — the trial degenerates to a bounding box (HPWL estimator,
+//	             or a Steiner net with <= 3 total pins): four precomputed
+//	             bounds, pure arithmetic per trial.
+//	trialTrunk — general Steiner net: precomputed spans and median anchors
+//	             (the merged median of "sorted pins plus one point" is a
+//	             clamp between middle anchors).
+//	trialRMST  — RMST estimator: collect-and-Prim through the View.
+//
+// Vacancies sit on row centerlines, so the candidate y takes only numRows
+// distinct values. When compiled with yClasses > 0, the y-dependent half
+// of every record — the y branch total of a trunk, the extended y-span —
+// is memoized per y-class (row) on first use, leaving only the x-side
+// arithmetic per trial.
+//
+// Score sums net costs in compile order with the same multiply-add
+// sequence as the scalar path, so its result is bitwise identical to
+// Σ View.TrialNetAt(nets[i], x, y) · weights[i] — and to the engine's
+// from-scratch reference mode.
+type TrialSet struct {
+	items    []compiledTrial
+	yClasses int
+	memo     []float64 // per (item, class): [ySpanExt|0, yBranch|ySpanExt]
+	filled   []bool    // per (item, class)
+}
+
+type trialKind uint8
+
+const (
+	trialZero trialKind = iota
+	trialBBox
+	trialTrunk
+	trialRMST
+)
+
+type compiledTrial struct {
+	kind trialKind
+	oddM bool // trunk: merged pin count (stored+1) is odd
+	w    float64
+
+	// Stored pin bounds per axis (bbox and trunk kinds).
+	minX, maxX, minY, maxY float64
+
+	// Trunk: median anchors around the merged middle. Odd merged count
+	// uses a0..a1 (med = clamp(c, a0, a1)); even uses a0..a2
+	// (med = (clamp(c,a0,a1)+clamp(c,a1,a2))/2). Same values mergedAt1
+	// selects — precomputed to avoid per-trial indexing.
+	ax0, ax1, ax2 float64
+	ay0, ay1, ay2 float64
+
+	// Trunk: sorted values and prefix sums for the branch sums.
+	xv, xp, yv, yp []float64
+
+	// Trunk: precomputed branch-sum split indices. The merged median is
+	// confined to [a0, a1] (odd) or [a0, a2] (even), so the lower bound
+	// branchSum needs resolves to: i?0 when med <= a0 (a compile-time
+	// sort.Search — duplicates may pull it below the middle), ixMid when
+	// med <= a1 (everything below the middle is strictly below med), and
+	// ixMid+1 (even only) when med > a1. ixMid is positional and shared
+	// by both axes.
+	ix0, iy0, ixMid int32
+
+	net netlist.NetID // trialRMST
+}
+
+// CompileTrials fills dst with the trial records for the given nets and
+// parallel weights. yClasses > 0 sizes the per-row memo (pass the row
+// count when candidates sit on row centerlines; 0 disables memoization).
+// The trialled cell must already be lifted out with RemoveCell; the
+// records alias the live cached arrays, so they are valid until the next
+// mutation of the incremental state.
+func (inc *Incremental) CompileTrials(dst *TrialSet, nets []netlist.NetID, weights []float64, yClasses int) {
+	dst.items = dst.items[:0]
+	for i, n := range nets {
+		g := &inc.geoms[n]
+		it := compiledTrial{w: weights[i], net: n}
+		stored := len(g.xv)
+		switch {
+		case inc.est == RMST:
+			it.kind = trialRMST
+		case stored == 0:
+			it.kind = trialZero
+		case inc.est == HPWL || stored <= 2:
+			it.kind = trialBBox
+			it.minX, it.maxX = g.xv[0], g.xv[stored-1]
+			it.minY, it.maxY = g.yv[0], g.yv[stored-1]
+		default:
+			it.kind = trialTrunk
+			it.minX, it.maxX = g.xv[0], g.xv[stored-1]
+			it.minY, it.maxY = g.yv[0], g.yv[stored-1]
+			it.xv, it.xp, it.yv, it.yp = g.xv, g.xp, g.yv, g.yp
+			m := stored + 1
+			if m%2 == 1 {
+				k := m / 2
+				it.oddM = true
+				it.ax0, it.ax1 = g.xv[k-1], g.xv[k]
+				it.ay0, it.ay1 = g.yv[k-1], g.yv[k]
+				it.ixMid = int32(k)
+			} else {
+				j := m / 2
+				it.ax0, it.ax1, it.ax2 = g.xv[j-2], g.xv[j-1], g.xv[j]
+				it.ay0, it.ay1, it.ay2 = g.yv[j-2], g.yv[j-1], g.yv[j]
+				it.ixMid = int32(j - 1)
+			}
+			it.ix0 = int32(sort.SearchFloat64s(g.xv, it.ax0))
+			it.iy0 = int32(sort.SearchFloat64s(g.yv, it.ay0))
+		}
+		dst.items = append(dst.items, it)
+	}
+	dst.yClasses = yClasses
+	if yClasses > 0 {
+		n := len(dst.items) * yClasses
+		if cap(dst.memo) < 2*n {
+			dst.memo = make([]float64, 2*n)
+		}
+		dst.memo = dst.memo[:2*n]
+		if cap(dst.filled) < n {
+			dst.filled = make([]bool, n)
+		}
+		dst.filled = dst.filled[:n]
+		for i := range dst.filled {
+			dst.filled[i] = false
+		}
+	}
+}
+
+// PrefillClasses eagerly computes every per-class memo entry. Required
+// before concurrent Score/ScoreBounded calls (lazy filling is not
+// goroutine-safe); the parallel vacancy scanner calls it once per cell.
+func (t *TrialSet) PrefillClasses(yOf func(class int) float64) {
+	for i := range t.items {
+		if t.items[i].kind != trialTrunk {
+			continue
+		}
+		for c := 0; c < t.yClasses; c++ {
+			t.fillClass(i, c, yOf(c))
+		}
+	}
+}
+
+func (t *TrialSet) fillClass(i, class int, y float64) {
+	it := &t.items[i]
+	slot := i*t.yClasses + class
+	var medY float64
+	if it.oddM {
+		medY = clampMed(y, it.ay0, it.ay1)
+	} else {
+		medY = (clampMed(y, it.ay0, it.ay1) + clampMed(y, it.ay1, it.ay2)) / 2
+	}
+	var si int
+	switch {
+	case medY <= it.ay0:
+		si = int(it.iy0)
+	case medY <= it.ay1:
+		si = int(it.ixMid)
+	default:
+		si = int(it.ixMid) + 1
+	}
+	b := branchSumAt(it.yv, it.yp, medY, si)
+	if y > medY {
+		b += y - medY
+	} else {
+		b += medY - y
+	}
+	t.memo[2*slot] = b // horizontal trunk: y branch total
+	loy, hiy := it.minY, it.maxY
+	if y < loy {
+		loy = y
+	}
+	if y > hiy {
+		hiy = y
+	}
+	t.memo[2*slot+1] = hiy - loy // vertical trunk: along-y span
+	t.filled[slot] = true
+}
+
+// Score returns the weighted trial cost of placing the compiled cell at
+// (x, y). yClass identifies y's memo class (pass a negative class, or
+// compile with yClasses 0, to bypass the memo). Read-only apart from lazy
+// memo fills; concurrent use requires PrefillClasses first and one View
+// per goroutine (the RMST fallback needs per-goroutine scratch).
+func (t *TrialSet) Score(view *View, x, y float64, yClass int) float64 {
+	cost, _ := t.ScoreBounded(view, x, y, yClass, math.Inf(1))
+	return cost
+}
+
+// ScoreBounded is Score with early exit: once the partial cost reaches
+// bound, scoring stops and ok is false. Net contributions are
+// non-negative, so a bailed trial's full cost would be >= bound — under a
+// strict-minimum scan with bound set to the best score so far, the bail
+// can only drop vacancies that would not have won (ties keep the earlier
+// vacancy), leaving the selected slot — and the search trajectory —
+// identical to an unbounded scan. When ok is true, cost is the complete
+// sum, bitwise equal to Score's.
+func (t *TrialSet) ScoreBounded(view *View, x, y float64, yClass int, bound float64) (cost float64, ok bool) {
+	memo := yClass >= 0 && t.yClasses > 0
+	for i := range t.items {
+		it := &t.items[i]
+		switch it.kind {
+		case trialBBox:
+			// Direct arithmetic beats the memo for the bbox degeneration.
+			lox, hix, loy, hiy := it.minX, it.maxX, it.minY, it.maxY
+			if x < lox {
+				lox = x
+			}
+			if x > hix {
+				hix = x
+			}
+			if y < loy {
+				loy = y
+			}
+			if y > hiy {
+				hiy = y
+			}
+			cost += ((hix - lox) + (hiy - loy)) * it.w
+		case trialTrunk:
+			var yBranch, ySpan float64
+			if memo {
+				slot := i*t.yClasses + yClass
+				if !t.filled[slot] {
+					t.fillClass(i, yClass, y)
+				}
+				yBranch, ySpan = t.memo[2*slot], t.memo[2*slot+1]
+			} else {
+				var medY float64
+				if it.oddM {
+					medY = clampMed(y, it.ay0, it.ay1)
+				} else {
+					medY = (clampMed(y, it.ay0, it.ay1) + clampMed(y, it.ay1, it.ay2)) / 2
+				}
+				yBranch = branchSum(it.yv, it.yp, medY)
+				if y > medY {
+					yBranch += y - medY
+				} else {
+					yBranch += medY - y
+				}
+				loy, hiy := it.minY, it.maxY
+				if y < loy {
+					loy = y
+				}
+				if y > hiy {
+					hiy = y
+				}
+				ySpan = hiy - loy
+			}
+
+			// Horizontal trunk: along-x span plus the y branch total.
+			lox, hix := it.minX, it.maxX
+			if x < lox {
+				lox = x
+			}
+			if x > hix {
+				hix = x
+			}
+			h := (hix - lox) + yBranch
+
+			// Vertical trunk: along-y span plus the x branch total.
+			var medX float64
+			if it.oddM {
+				medX = clampMed(x, it.ax0, it.ax1)
+			} else {
+				medX = (clampMed(x, it.ax0, it.ax1) + clampMed(x, it.ax1, it.ax2)) / 2
+			}
+			var si int
+			switch {
+			case medX <= it.ax0:
+				si = int(it.ix0)
+			case medX <= it.ax1:
+				si = int(it.ixMid)
+			default:
+				si = int(it.ixMid) + 1
+			}
+			xBranch := branchSumAt(it.xv, it.xp, medX, si)
+			if x > medX {
+				xBranch += x - medX
+			} else {
+				xBranch += medX - x
+			}
+			v := ySpan + xBranch
+
+			if v < h {
+				h = v
+			}
+			cost += h * it.w
+		case trialRMST:
+			cost += view.TrialNetAt(it.net, x, y) * it.w
+		case trialZero:
+			// Trial length 0: contributes +0.0, which cannot change the
+			// (non-negative) accumulator — skip the multiply-add. The
+			// bound check below must still run: a trailing zero record
+			// with cost exactly at bound is a tie, and ties must report
+			// ok=false so the earlier vacancy keeps the win.
+		}
+		if cost >= bound {
+			return cost, false
+		}
+	}
+	// cost < bound holds whenever items is non-empty (the per-item check
+	// ran); the explicit guard also covers a degenerate empty trial set.
+	return cost, cost < bound
+}
+
+func clampMed(c, lo, hi float64) float64 {
+	if c < lo {
+		return lo
+	}
+	if c > hi {
+		return hi
+	}
+	return c
+}
+
+// Vacancy is one candidate slot for ScanBest: physical center plus the
+// row, which doubles as the y memo class.
+type Vacancy struct {
+	X, Y float64
+	Row  int32
+}
+
+// ScanBest runs the full vacancy scan for the compiled cell over
+// free[lo:hi] — the ascending indices of still-free vacancies — skipping
+// width-infeasible rows, scoring the rest with the bounded early exit, and
+// returning the first vacancy index holding the strictly smallest score
+// (-1 if none is admissible under bound0). One call replaces the per-
+// vacancy ScoreBounded calls — this is the innermost allocation loop, so
+// the scoring is inlined here; the equivalence test pins it bitwise to the
+// ScoreBounded loop it replaces. The memo must be compiled with yClasses
+// covering every row AND prefilled (PrefillClasses) before any call;
+// concurrent chunked use additionally needs one View per goroutine.
+func (t *TrialSet) ScanBest(view *View, vacs []Vacancy, free []int32,
+	rowOK []bool, lo, hi int, bound0 float64) (int, float64) {
+	best, bound := -1, bound0
+	items := t.items
+scan:
+	for _, v32 := range free[lo:hi] {
+		v := int(v32)
+		row := vacs[v].Row
+		if !rowOK[row] {
+			continue
+		}
+		x, y := vacs[v].X, vacs[v].Y
+		yClass := int(row)
+		cost := 0.0
+		for i := range items {
+			it := &items[i]
+			switch it.kind {
+			case trialBBox:
+				lox, hix, loy, hiy := it.minX, it.maxX, it.minY, it.maxY
+				if x < lox {
+					lox = x
+				}
+				if x > hix {
+					hix = x
+				}
+				if y < loy {
+					loy = y
+				}
+				if y > hiy {
+					hiy = y
+				}
+				cost += ((hix - lox) + (hiy - loy)) * it.w
+			case trialTrunk:
+				// The memo is prefilled for every row (PrefillClasses —
+				// ScanBest's precondition), so no lazy-fill check here.
+				slot := i*t.yClasses + yClass
+				yBranch, ySpan := t.memo[2*slot], t.memo[2*slot+1]
+
+				lox, hix := it.minX, it.maxX
+				if x < lox {
+					lox = x
+				}
+				if x > hix {
+					hix = x
+				}
+				h := (hix - lox) + yBranch
+
+				var medX float64
+				if it.oddM {
+					medX = clampMed(x, it.ax0, it.ax1)
+				} else {
+					medX = (clampMed(x, it.ax0, it.ax1) + clampMed(x, it.ax1, it.ax2)) / 2
+				}
+				var si int
+				switch {
+				case medX <= it.ax0:
+					si = int(it.ix0)
+				case medX <= it.ax1:
+					si = int(it.ixMid)
+				default:
+					si = int(it.ixMid) + 1
+				}
+				xBranch := branchSumAt(it.xv, it.xp, medX, si)
+				if x > medX {
+					xBranch += x - medX
+				} else {
+					xBranch += medX - x
+				}
+				v2 := ySpan + xBranch
+
+				if v2 < h {
+					h = v2
+				}
+				cost += h * it.w
+			case trialRMST:
+				cost += view.TrialNetAt(it.net, x, y) * it.w
+			case trialZero:
+				// Falls through to the bound check: a trailing zero
+				// record at cost == bound is a tie and must not reach
+				// the winner assignment (first minimum wins).
+			}
+			if cost >= bound {
+				continue scan
+			}
+		}
+		if cost < bound { // unconditional first-minimum, even for an empty set
+			best, bound = v, cost
+		}
+	}
+	return best, bound
+}

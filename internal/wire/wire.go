@@ -8,7 +8,7 @@
 package wire
 
 import (
-	"sort"
+	"slices"
 
 	"simevo/internal/netlist"
 )
@@ -42,6 +42,12 @@ type Evaluator struct {
 	ys  []float64
 	med []float64 // scratch for median / MST keys
 	inT []bool    // scratch for MST membership
+
+	// Trial scratch: candidate points plus sorted copies with prefix sums
+	// for the canonical trial formulas (trial.go).
+	candX, candY []float64
+	sxs, sys     []float64
+	pxs, pys     []float64
 }
 
 // NewEvaluator returns an evaluator using the given estimator.
@@ -86,17 +92,20 @@ func (e *Evaluator) NetLengthExcluding(id netlist.NetID, exclude netlist.CellID,
 }
 
 // NetLengthWithCellAt estimates the net length with one cell's pins moved
-// to (x, y) — the trial-position evaluation used by the allocation operator.
+// to (x, y) — the trial-position evaluation used by the allocation
+// operator. It computes the canonical trial formulas of trial.go over the
+// remaining pins, producing bitwise the same value as an Incremental View
+// trial with the cell removed.
 func (e *Evaluator) NetLengthWithCellAt(id netlist.NetID, cell netlist.CellID, x, y float64, coords Coords) float64 {
 	e.collect(e.ckt.Net(id), cell, coords)
-	e.xs = append(e.xs, x)
-	e.ys = append(e.ys, y)
-	return e.lengthOf()
+	e.cand1(x, y)
+	return e.trialLength()
 }
 
 // NetLengthWithCellsAt estimates the net length with two cells moved to new
 // positions simultaneously — the pairwise-swap trial evaluation used by the
-// SA/TS move generators for nets containing both cells.
+// SA/TS move generators for nets containing both cells. Canonical like
+// NetLengthWithCellAt; candidate order is (x1,y1) then (x2,y2).
 func (e *Evaluator) NetLengthWithCellsAt(id netlist.NetID, c1 netlist.CellID, x1, y1 float64,
 	c2 netlist.CellID, x2, y2 float64, coords Coords) float64 {
 	net := e.ckt.Net(id)
@@ -113,9 +122,58 @@ func (e *Evaluator) NetLengthWithCellsAt(id netlist.NetID, c1 netlist.CellID, x1
 	for _, s := range net.Sinks {
 		add(s)
 	}
-	e.xs = append(e.xs, x1, x2)
-	e.ys = append(e.ys, y1, y2)
-	return e.lengthOf()
+	e.cand2(x1, y1, x2, y2)
+	return e.trialLength()
+}
+
+func (e *Evaluator) cand1(x, y float64) {
+	e.candX = append(e.candX[:0], x)
+	e.candY = append(e.candY[:0], y)
+}
+
+func (e *Evaluator) cand2(x1, y1, x2, y2 float64) {
+	e.candX = append(e.candX[:0], x1, x2)
+	e.candY = append(e.candY[:0], y1, y2)
+}
+
+// trialLength scores the collected pins (e.xs/e.ys) plus the staged
+// candidates through the canonical trial formulas. For HPWL (and the
+// small-net Steiner degeneration) the bounding box is order-independent, so
+// the candidates are simply appended; for larger Steiner nets the pins are
+// sorted with fresh prefix sums and handed to steinerTrial; RMST appends
+// the candidates and runs Prim over the collect order, matching the
+// Incremental View's RMST path.
+func (e *Evaluator) trialLength() float64 {
+	m := len(e.xs) + len(e.candX)
+	if m < 2 {
+		return 0
+	}
+	switch e.est {
+	case HPWL:
+		// The bounding box is order-independent, so appending and scanning
+		// yields bitwise the same value as hpwlTrial over sorted storage.
+		e.xs = append(e.xs, e.candX...)
+		e.ys = append(e.ys, e.candY...)
+		return hpwl(e.xs, e.ys)
+	case Steiner:
+		if m <= 3 {
+			e.xs = append(e.xs, e.candX...)
+			e.ys = append(e.ys, e.candY...)
+			return hpwl(e.xs, e.ys)
+		}
+		e.sxs = append(e.sxs[:0], e.xs...)
+		e.sys = append(e.sys[:0], e.ys...)
+		slices.Sort(e.sxs)
+		slices.Sort(e.sys)
+		e.pxs = prefixInto(e.pxs, e.sxs)
+		e.pys = prefixInto(e.pys, e.sys)
+		return steinerTrial(e.sxs, e.pxs, e.sys, e.pys, e.candX, e.candY)
+	case RMST:
+		e.xs = append(e.xs, e.candX...)
+		e.ys = append(e.ys, e.candY...)
+		return e.rmstLength()
+	}
+	panic("wire: unknown estimator")
 }
 
 func (e *Evaluator) lengthOf() float64 {
@@ -199,7 +257,7 @@ func median(v []float64, scratch *[]float64) float64 {
 	}
 	s := (*scratch)[:len(v)]
 	copy(s, v)
-	sort.Float64s(s)
+	slices.Sort(s) // non-reflective pdqsort; scratch is reused across calls
 	n := len(s)
 	if n%2 == 1 {
 		return s[n/2]
