@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"simevo"
+	"simevo/internal/service/jobs"
+	"simevo/internal/transport"
+)
+
+// runWorker serves one coordinator as a cluster rank and exits — the
+// -join mode that "spawn" relies on (a dedicated simevo-worker binary does
+// the same job with re-join support).
+func runWorker(addr string) {
+	w, err := transport.Join(context.Background(), addr)
+	fatal(err)
+	err = w.Serve(context.Background(), func(t transport.Transport) error {
+		return jobs.ServeRank(context.Background(), t)
+	})
+	fatal(err)
+}
+
+// runCluster executes a parallel strategy with real worker processes: this
+// process is the coordinator and rank 0; the remaining ranks join over TCP.
+func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, procs int, pattern string, retry int) {
+	spec := jobs.Spec{
+		Strategy:  strategy,
+		MaxIters:  iters,
+		Seed:      seed,
+		Procs:     procs,
+		Pattern:   pattern,
+		Retry:     retry,
+		Transport: jobs.TransportTCP,
+	}
+	switch objectives {
+	case "wp":
+		spec.Objectives = "wire+power"
+	case "wpd":
+		spec.Objectives = "wire+power+delay"
+	default:
+		fatal(fmt.Errorf("unknown objectives %q", objectives))
+	}
+	if isBenchmark(ckt) {
+		spec.Circuit = ckt
+	} else {
+		blob, err := os.ReadFile(ckt)
+		fatal(err)
+		spec.Bench = string(blob)
+	}
+	norm, err := spec.Normalize()
+	fatal(err)
+	if norm.Transport != jobs.TransportTCP {
+		fatal(fmt.Errorf("strategy %q does not run on a cluster (pick type1, type2, or type3)", strategy))
+	}
+
+	addr := "127.0.0.1:0"
+	spawn := false
+	switch {
+	case mode == "spawn":
+		spawn = true
+	case strings.HasPrefix(mode, "listen="):
+		addr = strings.TrimPrefix(mode, "listen=")
+	default:
+		fatal(fmt.Errorf(`unknown -cluster mode %q (use "spawn" or "listen=ADDR")`, mode))
+	}
+
+	hub, err := transport.Listen(addr)
+	fatal(err)
+	defer hub.Close()
+	fmt.Printf("coordinator listening on %s\n", hub.Addr())
+
+	workers := norm.Procs - 1
+	if spawn {
+		self, err := os.Executable()
+		fatal(err)
+		for i := 0; i < workers; i++ {
+			cmd := exec.Command(self, "-join", hub.Addr().String())
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			fatal(cmd.Start())
+			// The workers exit when the coordinator dismisses them (or the
+			// connection drops); reaping is detached from the run.
+			go cmd.Wait()
+		}
+	} else {
+		fmt.Printf("waiting for %d workers (simevo-worker -join %s)\n", workers, hub.Addr())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	group, err := hub.Acquire(ctx, workers)
+	fatal(err)
+	fmt.Printf("cluster formed: %d ranks (this process is rank 0)\n", group.Size())
+
+	res, err := jobs.RunSpecOn(context.Background(), group, norm, nil)
+	group.Close()
+	fatal(err)
+
+	fmt.Printf("best μ(s) = %.3f\n", res.BestMu)
+	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f\n", res.Wire, res.Power, res.Delay)
+	fmt.Printf("runtime: %.2f s\n", res.VirtualTimeMS/1000)
+}
+
+func isBenchmark(name string) bool {
+	for _, n := range simevo.BenchmarkNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

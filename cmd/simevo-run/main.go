@@ -6,6 +6,17 @@
 //	simevo-run -ckt s1196 -strategy serial -iters 350
 //	simevo-run -ckt s3330 -strategy type2 -procs 4 -pattern random -objectives wpd
 //	simevo-run -ckt s1238 -strategy type3 -procs 4 -retry 100
+//
+// Parallel strategies run on the in-process virtual-time cluster by
+// default. With -cluster they run across real OS processes over TCP:
+//
+//	simevo-run -ckt s1196 -strategy type2 -procs 3 -cluster spawn
+//	simevo-run -ckt s1196 -strategy type2 -procs 3 -cluster listen=:9090
+//	simevo-run -join host:9090        (worker process; simevo-worker works too)
+//
+// "spawn" forks procs-1 local worker processes (re-executing this binary
+// with -join); "listen=ADDR" waits for external workers to join. Same-seed
+// runs produce identical placements on either transport.
 package main
 
 import (
@@ -27,7 +38,18 @@ func main() {
 	pattern := flag.String("pattern", "fixed", "type2 row pattern: fixed | random")
 	retry := flag.Int("retry", 100, "type3 retry threshold")
 	ideal := flag.Bool("ideal-net", false, "use a zero-cost interconnect instead of fast Ethernet")
+	cluster := flag.String("cluster", "", `run parallel ranks as real processes: "spawn" or "listen=ADDR"`)
+	join := flag.String("join", "", "run as a cluster worker joining this coordinator address, then exit")
 	flag.Parse()
+
+	if *join != "" {
+		runWorker(*join)
+		return
+	}
+	if *cluster != "" {
+		runCluster(*cluster, *ckt, *strategy, *objectives, *iters, *seed, *procs, *pattern, *retry)
+		return
+	}
 
 	circuit, err := loadCircuit(*ckt)
 	fatal(err)

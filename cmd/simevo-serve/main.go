@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	simevo-serve [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
+//	simevo-serve [-addr :8080] [-workers 2] [-queue 64] [-cache 128] \
+//	             [-cluster-listen :9090]
+//
+// With -cluster-listen the server also runs a cluster coordinator:
+// simevo-worker processes that join it serve parallel jobs submitted with
+// "transport": "tcp", each worker holding one rank of the run while the
+// server is rank 0.
 //
 // Endpoints:
 //
@@ -34,6 +40,7 @@ import (
 
 	"simevo/internal/service/api"
 	"simevo/internal/service/jobs"
+	"simevo/internal/transport"
 )
 
 func main() {
@@ -42,13 +49,25 @@ func main() {
 	queue := flag.Int("queue", 64, "submission queue depth")
 	cache := flag.Int("cache", 128, "LRU result-cache entries (negative disables)")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records")
+	clusterAddr := flag.String("cluster-listen", "", "TCP address for simevo-worker registration (empty disables cluster jobs)")
 	flag.Parse()
 
+	var hub *transport.Hub
+	if *clusterAddr != "" {
+		var err error
+		hub, err = transport.Listen(*clusterAddr)
+		if err != nil {
+			log.Fatalf("simevo-serve: cluster listener: %v", err)
+		}
+		defer hub.Close()
+		log.Printf("simevo-serve cluster coordinator on %s", hub.Addr())
+	}
 	mgr := jobs.NewManager(jobs.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
 		MaxJobs:    *maxJobs,
+		Hub:        hub,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,77 @@
+// Command simevo-worker is a cluster rank: it joins a coordinator (a
+// simevo-serve instance started with -cluster-listen, or a simevo-run
+// -cluster master), parks in the worker pool, and serves one rank of each
+// parallel placement job the coordinator assigns — receiving the job spec
+// over the wire, rebuilding the identical problem locally, and running the
+// Type I/II/III slave protocol over TCP.
+//
+// Usage:
+//
+//	simevo-worker -join host:9090 [-retry 5s]
+//
+// The worker keeps serving jobs on one connection until the coordinator
+// dismisses it or the connection drops; with -retry it then re-joins,
+// which lets workers outlive coordinator restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simevo/internal/service/jobs"
+	"simevo/internal/transport"
+)
+
+func main() {
+	join := flag.String("join", "", "coordinator address (host:port), required")
+	retry := flag.Duration("retry", 0, "re-join after connection loss, waiting this long between attempts (0 = exit)")
+	flag.Parse()
+	if *join == "" {
+		log.Fatal("simevo-worker: -join address is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	for {
+		err := serveOnce(ctx, *join)
+		switch {
+		case err == nil:
+			log.Print("simevo-worker: dismissed by coordinator")
+			return
+		case ctx.Err() != nil:
+			log.Print("simevo-worker: interrupted")
+			return
+		case *retry <= 0:
+			log.Fatalf("simevo-worker: %v", err)
+		}
+		log.Printf("simevo-worker: %v; re-joining in %v", err, *retry)
+		select {
+		case <-time.After(*retry):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func serveOnce(ctx context.Context, addr string) error {
+	w, err := transport.Join(ctx, addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("simevo-worker: joined coordinator at %s", addr)
+	return w.Serve(ctx, func(t transport.Transport) error {
+		log.Printf("simevo-worker: serving rank %d/%d", t.Rank(), t.Size())
+		err := jobs.ServeRank(ctx, t)
+		if err != nil {
+			log.Printf("simevo-worker: rank %d failed: %v", t.Rank(), err)
+		} else {
+			log.Printf("simevo-worker: rank %d done", t.Rank())
+		}
+		return err
+	})
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterSmokeMultiProcess is the end-to-end cluster check: it builds
+// the real binaries, launches a coordinator plus two simevo-worker
+// processes on localhost, runs a small Type II placement over TCP, and
+// asserts the result matches the same-seed single-process (simulated
+// transport) run line for line. CI runs it as the multi-process smoke job.
+func TestClusterSmokeMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runBin := filepath.Join(dir, "simevo-run")
+	workerBin := filepath.Join(dir, "simevo-worker")
+	for bin, pkg := range map[string]string{runBin: "simevo/cmd/simevo-run", workerBin: "simevo/cmd/simevo-worker"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	args := []string{"-ckt", "s1196", "-strategy", "type2", "-procs", "3", "-iters", "40", "-seed", "2006"}
+
+	// Coordinator: listen on an ephemeral port and report it on stdout.
+	coord := exec.Command(runBin, append(args, "-cluster", "listen=127.0.0.1:0")...)
+	coord.Stderr = os.Stderr
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	addr := ""
+	deadline := time.After(60 * time.Second)
+	var clusterOut []string
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("coordinator exited before announcing its address")
+			}
+			if rest, found := strings.CutPrefix(line, "coordinator listening on "); found {
+				addr = strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the coordinator address")
+		}
+	}
+
+	// Two worker processes join; the coordinator is rank 0 of 3.
+	for i := 0; i < 2; i++ {
+		w := exec.Command(workerBin, "-join", addr)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		defer w.Process.Kill()
+		go w.Wait()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				goto drained
+			}
+			clusterOut = append(clusterOut, line)
+		case <-deadline:
+			t.Fatal("timed out waiting for the cluster run")
+		}
+	}
+drained:
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("coordinator failed: %v\n%s", err, strings.Join(clusterOut, "\n"))
+		}
+	case <-deadline:
+		t.Fatal("timed out waiting for the coordinator to exit")
+	}
+
+	// Reference: the same seed on the in-process simulated transport.
+	var simOut bytes.Buffer
+	sim := exec.Command(runBin, args...)
+	sim.Stdout = &simOut
+	sim.Stderr = os.Stderr
+	if err := sim.Run(); err != nil {
+		t.Fatalf("simulated run failed: %v", err)
+	}
+
+	want := resultLines(t, strings.Split(simOut.String(), "\n"))
+	got := resultLines(t, clusterOut)
+	for _, key := range []string{"best μ(s)", "best costs"} {
+		if got[key] == "" || got[key] != want[key] {
+			t.Errorf("cluster %q = %q, simulated %q", key, got[key], want[key])
+		}
+	}
+	if !t.Failed() {
+		t.Logf("TCP cluster run matches simulated run: %s | %s", got["best μ(s)"], got["best costs"])
+	}
+}
+
+func resultLines(t *testing.T, lines []string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, line := range lines {
+		for _, key := range []string{"best μ(s)", "best costs"} {
+			if strings.HasPrefix(line, key) {
+				out[key] = strings.TrimSpace(line)
+			}
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("result lines missing from output:\n%s", strings.Join(lines, "\n"))
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"simevo/internal/wire"
 )
@@ -17,22 +18,36 @@ import (
 // smallest score wins — so parallel and serial scans pick identical slots
 // and the search trajectory is unchanged.
 //
-// The pool lives for one allocate call: workers are spawned when the
-// vacancy pool is large enough to amortize the per-cell synchronization
-// and exit when the scan channel closes.
+// The pool is engine-lifetime: workers spawn lazily on the first eligible
+// allocation, park on the job channel between cells and between iterations,
+// and retire themselves after an idle period (so dropped engines leak
+// nothing past it). Reusing the pool across iterations removes the
+// per-allocate spawn cost that used to set the fan-out break-even; what
+// remains per cell is one channel send per worker.
 
-// allocScanMinVacancies is the vacancy-pool size below which the fan-out
-// is not worth the per-cell synchronization. Variable so tests can force
-// the parallel path on small circuits.
-var allocScanMinVacancies = 512
+// allocScanMinVacancies is the free-vacancy count below which a cell's scan
+// is not worth the per-cell synchronization. With the persistent pool the
+// break-even sits far below the former spawn-per-allocate threshold of 512
+// (see BenchmarkAllocScanBreakEven). Variable so tests can force the
+// parallel path on small circuits.
+var allocScanMinVacancies = 160
+
+// allocScanIdle is how long a parked worker outlives its last job. Long
+// enough to bridge the evaluation+selection phases between allocations,
+// short enough to bound goroutine leakage from abandoned engines.
+const allocScanIdle = 2 * time.Second
 
 type allocScan struct {
 	e       *Engine
-	workers int
+	workers int // target pool size
 	jobs    chan scanJob
 	wg      sync.WaitGroup
 	res     []scanResult
 	bound0  float64 // per-cell seed bound, written before jobs are posted
+
+	mu      sync.Mutex
+	alive   int       // workers currently running
+	lastUse time.Time // last ensure() under mu; staleness gates retirement
 }
 
 type scanJob struct{ slot, lo, hi int }
@@ -42,12 +57,8 @@ type scanResult struct {
 	score float64
 }
 
-// startScan spins up the bounded worker pool for this allocation, or
-// returns nil when the scan should stay serial.
-func (e *Engine) startScan(n int, useInc bool) *allocScan {
-	if !useInc || n < allocScanMinVacancies {
-		return nil
-	}
+// scanWorkers resolves the configured pool size (0 = auto).
+func (e *Engine) scanWorkers() int {
 	w := e.prob.Cfg.AllocWorkers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -55,28 +66,81 @@ func (e *Engine) startScan(n int, useInc bool) *allocScan {
 			w = 8
 		}
 	}
+	return w
+}
+
+// startScan returns the engine's persistent scan pool when this allocation
+// is large enough to use it, or nil to keep the scan serial. Cheap: the
+// pool is created once and workers are (re)spawned inside scanCell.
+func (e *Engine) startScan(n int, useInc bool) *allocScan {
+	if !useInc || n < allocScanMinVacancies {
+		return nil
+	}
+	w := e.scanWorkers()
 	if w <= 1 {
 		return nil
 	}
-	s := &allocScan{
-		e:       e,
-		workers: w,
-		jobs:    make(chan scanJob, w),
-		res:     make([]scanResult, w),
+	if e.scan == nil {
+		e.scan = &allocScan{
+			e:       e,
+			workers: w,
+			jobs:    make(chan scanJob, w),
+			res:     make([]scanResult, w),
+		}
 	}
-	for i := 0; i < w; i++ {
-		go s.worker(e.inc.View())
-	}
-	return s
+	return e.scan
 }
 
-// stop winds the pool down.
-func (s *allocScan) stop() { close(s.jobs) }
+// ensure tops the pool back up to its target size and stamps it in-use.
+// Holding mu for both linearizes against worker retirement: a worker that
+// observed a stale stamp has already decremented alive (and will drain the
+// channel once more before exiting), so jobs posted after ensure always
+// have a live consumer.
+func (s *allocScan) ensure() {
+	s.mu.Lock()
+	s.lastUse = time.Now()
+	for s.alive < s.workers {
+		s.alive++
+		go s.worker(s.e.inc.View())
+	}
+	s.mu.Unlock()
+}
 
 func (s *allocScan) worker(view *wire.View) {
-	for j := range s.jobs {
-		s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
-		s.wg.Done()
+	timer := time.NewTimer(allocScanIdle)
+	defer timer.Stop()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
+			s.wg.Done()
+		case <-timer.C:
+			s.mu.Lock()
+			if time.Since(s.lastUse) < allocScanIdle {
+				s.mu.Unlock()
+				timer.Reset(allocScanIdle)
+				continue
+			}
+			s.alive--
+			s.mu.Unlock()
+			// Retired under mu; catch any job that raced the decision.
+			for {
+				select {
+				case j := <-s.jobs:
+					s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
+					s.wg.Done()
+				default:
+					return
+				}
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(allocScanIdle)
 	}
 }
 
@@ -85,6 +149,7 @@ func (s *allocScan) worker(view *wire.View) {
 // returns the serial winner: the lowest-index vacancy among those with the
 // strictly smallest score.
 func (s *allocScan) scanCell(n int, bound0 float64) (int, float64) {
+	s.ensure()
 	s.bound0 = bound0
 	s.wg.Add(s.workers)
 	for i := 0; i < s.workers; i++ {

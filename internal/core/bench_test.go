@@ -84,3 +84,39 @@ func BenchmarkAllocate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAllocScanBreakEven sweeps the parallel-scan threshold so the
+// break-even of the persistent worker pool is directly measurable: Serial
+// disables the fan-out entirely; the numeric variants engage it for cells
+// with at least that many free vacancies. The shipped default of
+// allocScanMinVacancies is chosen from this sweep.
+func BenchmarkAllocScanBreakEven(b *testing.B) {
+	thresholds := []struct {
+		name string
+		min  int
+	}{
+		{"Serial", 1 << 30},
+		{"Min512", 512},
+		{"Min256", 256},
+		{"Min160", 160},
+		{"Min96", 96},
+	}
+	for _, th := range thresholds {
+		b.Run(th.name, func(b *testing.B) {
+			old := allocScanMinVacancies
+			allocScanMinVacancies = th.min
+			defer func() { allocScanMinVacancies = old }()
+			p := benchProblem(b, false)
+			e := p.NewEngine(0)
+			e.Step()
+			start := e.Profile()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+			b.StopTimer()
+			d := e.Profile().Alloc - start.Alloc
+			b.ReportMetric(float64(d.Nanoseconds())/float64(b.N), "alloc-ns/op")
+		})
+	}
+}

@@ -102,7 +102,11 @@ type Config struct {
 	// min(GOMAXPROCS, 8); 1 (or any negative value) keeps the scan serial.
 	// Results are identical in either mode: each worker scores its chunk
 	// through a read-only evaluator view and the reduction reproduces the
-	// serial first-minimum tie-breaking.
+	// serial first-minimum tie-breaking. The pool persists across
+	// iterations (workers retire after an idle period), so the fan-out
+	// engages once a cell has ~160 free vacancies instead of the former
+	// spawn-per-allocate break-even of ~512; see
+	// BenchmarkAllocScanBreakEven for the sweep on a given host.
 	AllocWorkers int
 
 	// DisableMuTrace turns off recording μ(s) after every evaluation

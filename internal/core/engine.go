@@ -54,14 +54,16 @@ type Engine struct {
 	muHead    int  // ring position when the trace cap is reached
 	muWrapped bool // the ring has overwritten at least one entry
 
+	scan *allocScan // persistent parallel vacancy-scan pool (lazy)
+
 	// scratch buffers
 	selected []netlist.CellID
 	netsBuf  []netlist.NetID
 	trialW   []float64     // per-net trial weights, parallel to netsBuf
 	trialKey []float64     // per-net scan-ordering keys, parallel to netsBuf
 	trials   wire.TrialSet // compiled per-cell trial scorer (incremental mode)
-	goodsBuf []float64 // per-objective goodness scratch (cellGoodness)
-	goodsOut []float64 // per-domain goodness scratch (Step)
+	goodsBuf []float64     // per-objective goodness scratch (cellGoodness)
+	goodsOut []float64     // per-domain goodness scratch (Step)
 	vacRef   []layout.SlotRef
 	vacs     []wire.Vacancy
 	vacUsed  []bool
@@ -188,6 +190,22 @@ func (e *Engine) SetPlacement(p *layout.Placement) {
 	e.incStale = true
 }
 
+// PatchPlacement applies broadcast slot deltas to the current placement and
+// refreshes coordinates. Unlike SetPlacement it keeps the engine's
+// incremental net-cost state warm: the coordinate journal records exactly
+// the cells the patch (and row repacking) moved, so the next evaluation
+// re-estimates only the dirty nets instead of rebuilding from scratch —
+// the point of the Type II delta broadcasts. On error the incremental
+// state is marked stale; the placement itself may be left inconsistent.
+func (e *Engine) PatchPlacement(deltas []layout.SlotDelta) error {
+	if err := e.place.ApplySlotDeltas(deltas); err != nil {
+		e.incStale = true
+		return err
+	}
+	e.place.Recompute()
+	return nil
+}
+
 // EvaluateCosts refreshes net lengths, objective costs, timing analysis
 // (when delay is active) and μ(s), and updates the best-solution tracking.
 // It does not touch per-cell goodness.
@@ -303,10 +321,25 @@ func (e *Engine) cellGoodness(id netlist.CellID) float64 {
 	e.netsBuf = e.netsBuf[:0]
 	e.netsBuf = ckt.CellNets(id, e.netsBuf)
 
+	// With the incremental engine active (and synced by the preceding
+	// EvaluateCosts), the excluding lengths come from the cached sorted
+	// multisets in O(log p) per net; the reference path re-collects the
+	// pins. Both evaluate the canonical formulas of wire/excl.go, so the
+	// goodness values — and with them selection — are bitwise identical.
+	var view *wire.View
+	if e.inc != nil {
+		view = e.inc.BaseView()
+	}
 	var cw, ow, cp, op float64
 	for _, n := range e.netsBuf {
 		l := e.lengths[n]
-		opt := e.ev.NetLengthExcluding(n, id, e.place) + e.minAttach(n, id)
+		var excl float64
+		if view != nil {
+			excl = view.NetLengthExcluding(n, id)
+		} else {
+			excl = e.ev.NetLengthExcluding(n, id, e.place)
+		}
+		opt := excl + e.minAttach(n, id)
 		if opt > l {
 			opt = l // clamp: O_i may not exceed the achieved cost
 		}
@@ -471,9 +504,6 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 
 	useInc := e.inc != nil && e.inc.Built()
 	scan := e.startScan(n, useInc)
-	if scan != nil {
-		defer scan.stop()
-	}
 
 	if cap(e.rowOK) < e.place.NumRows() {
 		e.rowOK = make([]bool, e.place.NumRows())
@@ -491,7 +521,10 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		// considered in the fallback pass, by smallest violation.
 		best := -1
 		switch {
-		case scan != nil:
+		case scan != nil && len(e.freeVac) >= allocScanMinVacancies:
+			// The pool shrinks as cells are placed; late cells with few
+			// vacancies left drop back to the serial bounded scan, which
+			// picks identical winners without the per-cell synchronization.
 			best, _ = scan.scanCell(len(e.freeVac), e.seedBound(own))
 		case useInc:
 			// Bounded scoring: a vacancy bails out once its partial cost

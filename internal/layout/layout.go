@@ -267,6 +267,75 @@ func (p *Placement) FillHole(ref SlotRef, id netlist.CellID) {
 	p.dirty = true
 }
 
+// SlotDelta relocates one cell to a new slot. A batch of deltas describes
+// a permutation: the vacated slots of the listed cells are exactly the
+// target slots, which is what the SimE allocation operator produces (a
+// bijection between selected cells and vacated slots) and what one Type II
+// master merge amounts to. Entries whose cell already sits in the target
+// slot are allowed and are no-ops.
+type SlotDelta struct {
+	Cell netlist.CellID
+	Row  int32
+	Idx  int32
+}
+
+// SnapshotSlots copies every cell's current slot into dst (allocated if too
+// small) — the reference state DiffSlots compares against.
+func (p *Placement) SnapshotSlots(dst []SlotRef) []SlotRef {
+	if cap(dst) < len(p.slotOf) {
+		dst = make([]SlotRef, len(p.slotOf))
+	}
+	dst = dst[:len(p.slotOf)]
+	copy(dst, p.slotOf)
+	return dst
+}
+
+// DiffSlots appends a delta for every cell whose slot differs from the
+// snapshot and returns the extended slice. Applying the result to a
+// placement in the snapshot state reproduces this placement's slot
+// assignment exactly.
+func (p *Placement) DiffSlots(prev []SlotRef, dst []SlotDelta) []SlotDelta {
+	for id, ref := range p.slotOf {
+		if ref != prev[id] {
+			dst = append(dst, SlotDelta{Cell: netlist.CellID(id), Row: ref.Row, Idx: ref.Idx})
+		}
+	}
+	return dst
+}
+
+// ApplySlotDeltas relocates the listed cells: all are lifted out of their
+// current slots first, then placed into their target slots. The batch must
+// be a permutation (see SlotDelta) — every target must be one of the
+// vacated slots — otherwise an error is returned and the placement may be
+// left with holes. The caller must Recompute before reading coordinates.
+func (p *Placement) ApplySlotDeltas(ds []SlotDelta) error {
+	for _, d := range ds {
+		if int(d.Row) < 0 || int(d.Row) >= p.numRows {
+			return fmt.Errorf("layout: delta row %d out of range", d.Row)
+		}
+		if int(d.Idx) < 0 || int(d.Idx) >= len(p.rows[d.Row]) {
+			return fmt.Errorf("layout: delta slot %d:%d out of range", d.Row, d.Idx)
+		}
+		ref := p.slotOf[d.Cell]
+		if ref == NoSlot {
+			return fmt.Errorf("layout: delta moves unplaced (or repeated) cell %d", d.Cell)
+		}
+		p.rows[ref.Row][ref.Idx] = netlist.NoCell
+		p.slotOf[d.Cell] = NoSlot
+	}
+	for _, d := range ds {
+		if p.rows[d.Row][d.Idx] != netlist.NoCell {
+			return fmt.Errorf("layout: delta target %d:%d is occupied", d.Row, d.Idx)
+		}
+		p.rows[d.Row][d.Idx] = d.Cell
+		p.slotOf[d.Cell] = SlotRef{Row: d.Row, Idx: d.Idx}
+	}
+	if len(ds) > 0 {
+		p.dirty = true
+	}
+	return nil
+}
+
 // SwapCells exchanges the slots of two placed cells.
 func (p *Placement) SwapCells(a, b netlist.CellID) {
 	ra, rb := p.slotOf[a], p.slotOf[b]

@@ -377,3 +377,95 @@ func TestCoordJournal(t *testing.T) {
 		t.Fatalf("journal not cleared: %v", rest)
 	}
 }
+
+// TestSlotDeltasPatchToTarget is the delta-codec core property at the
+// layout level: for two random placements differing by a slot permutation,
+// applying DiffSlots output to the first reproduces the second exactly —
+// same fingerprint and bitwise-identical physical coordinates.
+func TestSlotDeltasPatchToTarget(t *testing.T) {
+	ckt := testCircuit(t)
+	prop := func(seed uint64) bool {
+		base := NewRandom(ckt, 10, rng.New(seed))
+		target := base.Clone()
+		// Permute a random subset of slots: shuffle cells among their own
+		// vacated positions, across rows, as allocation does.
+		r := rng.New(seed ^ 0xdecade)
+		movable := ckt.Movable()
+		k := 2 + int(r.Uint64()%16)
+		cells := make([]netlist.CellID, 0, k)
+		seen := make(map[netlist.CellID]bool)
+		for len(cells) < k {
+			id := movable[int(r.Uint64()%uint64(len(movable)))]
+			if !seen[id] {
+				seen[id] = true
+				cells = append(cells, id)
+			}
+		}
+		refs := make([]SlotRef, len(cells))
+		for i, id := range cells {
+			refs[i] = target.RemoveToHole(id)
+		}
+		perm := r.Perm(len(cells))
+		for i, id := range cells {
+			target.FillHole(refs[perm[i]], id)
+		}
+		target.Recompute()
+
+		snap := base.SnapshotSlots(nil)
+		deltas := target.DiffSlots(snap, nil)
+		if err := base.ApplySlotDeltas(deltas); err != nil {
+			t.Logf("apply: %v", err)
+			return false
+		}
+		base.Recompute()
+		if base.Fingerprint() != target.Fingerprint() {
+			return false
+		}
+		if err := base.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		for _, id := range movable {
+			bx, by := base.Coord(id)
+			tx, ty := target.Coord(id)
+			if bx != tx || by != ty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplySlotDeltasRejectsCorrupt asserts malformed batches error out
+// instead of corrupting the placement silently.
+func TestApplySlotDeltasRejectsCorrupt(t *testing.T) {
+	ckt := testCircuit(t)
+	mv := ckt.Movable()
+	fresh := func() *Placement { return NewRandom(ckt, 10, rng.New(77)) }
+
+	p := fresh()
+	if err := p.ApplySlotDeltas([]SlotDelta{{Cell: mv[0], Row: 99, Idx: 0}}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	p = fresh()
+	if err := p.ApplySlotDeltas([]SlotDelta{{Cell: mv[0], Row: 0, Idx: 1 << 20}}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	p = fresh()
+	ref := p.Slot(mv[0])
+	dup := []SlotDelta{
+		{Cell: mv[0], Row: ref.Row, Idx: ref.Idx},
+		{Cell: mv[0], Row: ref.Row, Idx: ref.Idx},
+	}
+	if err := p.ApplySlotDeltas(dup); err == nil {
+		t.Fatal("repeated cell accepted")
+	}
+	p = fresh()
+	other := p.Slot(mv[1])
+	if err := p.ApplySlotDeltas([]SlotDelta{{Cell: mv[0], Row: other.Row, Idx: other.Idx}}); err == nil {
+		t.Fatal("occupied target accepted")
+	}
+}

@@ -291,7 +291,7 @@ func RunParallelGA(prob *core.Problem, cfg ParallelGAConfig) (*parallel.Result, 
 	}
 	results := make([]island, cfg.Procs)
 
-	runErr := cl.Run(func(comm *parallel.Comm) error {
+	runErr := cl.Run(func(comm *mpi.Comm) error {
 		g := newGA(prob, c, uint64(0x15a0+comm.Rank()))
 		next := (comm.Rank() + 1) % comm.Size()
 		prev := (comm.Rank() - 1 + comm.Size()) % comm.Size()

@@ -197,7 +197,7 @@ func RunParallelTS(prob *core.Problem, cfg ParallelTSConfig) (*parallel.Result, 
 		return nil, runErr
 	}
 	var out *parallel.Result
-	err := cl.Run(func(comm *parallel.Comm) error {
+	err := cl.Run(func(comm *mpi.Comm) error {
 		if comm.Rank() == 0 {
 			res, err := parallelTSMaster(prob, c, comm)
 			if err != nil {
@@ -216,7 +216,7 @@ func RunParallelTS(prob *core.Problem, cfg ParallelTSConfig) (*parallel.Result, 
 	return out, nil
 }
 
-func parallelTSMaster(prob *core.Problem, cfg TSConfig, c *parallel.Comm) (*parallel.Result, error) {
+func parallelTSMaster(prob *core.Problem, cfg TSConfig, c parallel.Comm) (*parallel.Result, error) {
 	ts := newTS(prob, cfg)
 	var cands [][2]netlist.CellID
 	deltas := make([]float64, cfg.Candidates)
@@ -260,7 +260,7 @@ func parallelTSMaster(prob *core.Problem, cfg TSConfig, c *parallel.Comm) (*para
 	}, nil
 }
 
-func parallelTSSlave(prob *core.Problem, c *parallel.Comm) error {
+func parallelTSSlave(prob *core.Problem, c parallel.Comm) error {
 	ev := newEvaluator(prob)
 	for {
 		msg := c.Bcast(0, nil)

@@ -461,3 +461,41 @@ func TestMakeSpanIsMaxClock(t *testing.T) {
 		t.Fatalf("MakeSpan = %v, want 2s", got)
 	}
 }
+
+func TestSendToSelfEnqueuesLocally(t *testing.T) {
+	cl := NewCluster(2, detOptions(FastEthernet()))
+	var got []byte
+	var st Status
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() != 1 {
+			return nil
+		}
+		c.Send(1, 9, []byte("loop"))
+		got, st = c.Recv(1, 9)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "loop" {
+		t.Fatalf("self-send payload = %q", got)
+	}
+	if st.Source != 1 || st.Tag != 9 {
+		t.Fatalf("self-send status = %+v", st)
+	}
+}
+
+func TestSendToSelfMatchesWildcards(t *testing.T) {
+	cl := NewCluster(1, detOptions(Ideal()))
+	err := cl.Run(func(c *Comm) error {
+		c.Send(0, 3, []byte("a"))
+		data, st := c.Recv(AnySource, AnyTag)
+		if string(data) != "a" || st.Source != 0 || st.Tag != 3 {
+			return fmt.Errorf("wildcard self-recv got %q %+v", data, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
 )
 
 // Wire helpers for the strategy protocols. All integers are little-endian.
@@ -31,6 +34,51 @@ func decodeF64s(data []byte) ([]float64, error) {
 	out := make([]float64, len(data)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// Type II broadcast payload kinds: a full placement encoding, or a batch of
+// coordinate deltas patching the previous broadcast state in place.
+const (
+	bcastFull  = 0xF1
+	bcastDelta = 0xD2
+)
+
+// appendSlotDeltas serializes a slot-delta batch: count, then per entry the
+// cell id and its target slot — 12 bytes per moved cell, against 4 bytes
+// per cell (plus row headers) for a full placement.
+func appendSlotDeltas(buf []byte, ds []layout.SlotDelta) []byte {
+	buf = appendU32(buf, uint32(len(ds)))
+	for _, d := range ds {
+		buf = appendU32(buf, uint32(d.Cell))
+		buf = appendU32(buf, uint32(d.Row))
+		buf = appendU32(buf, uint32(d.Idx))
+	}
+	return buf
+}
+
+// decodeSlotDeltas parses appendSlotDeltas output. Slot validity is checked
+// by layout.Placement.ApplySlotDeltas against the live placement.
+func decodeSlotDeltas(data []byte) ([]layout.SlotDelta, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("parallel: truncated delta batch (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	if count > 1<<24 {
+		return nil, fmt.Errorf("parallel: absurd delta count %d", count)
+	}
+	if len(data) != 4+12*int(count) {
+		return nil, fmt.Errorf("parallel: delta batch of %d entries has %d bytes", count, len(data))
+	}
+	out := make([]layout.SlotDelta, count)
+	for i := range out {
+		off := 4 + 12*i
+		out[i] = layout.SlotDelta{
+			Cell: netlist.CellID(binary.LittleEndian.Uint32(data[off:])),
+			Row:  int32(binary.LittleEndian.Uint32(data[off+4:])),
+			Idx:  int32(binary.LittleEndian.Uint32(data[off+8:])),
+		}
 	}
 	return out, nil
 }

@@ -44,7 +44,7 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 	o := Options{Procs: opt.Procs, Net: opt.Net, MeasureCompute: opt.MeasureCompute}
 	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: o.net(), MeasureCompute: o.measure()})
 	var out *Result
-	err := cl.Run(func(c *Comm) error {
+	err := cl.Run(func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
 			res, err := typeIIIStore(prob, c)
 			if err != nil {

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/rng"
+)
+
+// TestSlotDeltaCodecRoundTrip asserts encode → decode is the identity on
+// delta batches produced by real placement diffs.
+func TestSlotDeltaCodecRoundTrip(t *testing.T) {
+	prob := testProblem(t, fuzzy.WirePower, 5, 2006)
+	base := layout.NewRandom(prob.Ckt, 10, rng.New(3))
+	snap := base.SnapshotSlots(nil)
+	// The target differs from the base by a slot permutation — the shape
+	// allocation merges produce (row lengths never change).
+	target := base.Clone()
+	r := rng.New(9)
+	movable := prob.Ckt.Movable()
+	cells := movable[:24]
+	refs := make([]layout.SlotRef, len(cells))
+	for i, id := range cells {
+		refs[i] = target.RemoveToHole(id)
+	}
+	for i, j := range r.Perm(len(cells)) {
+		target.FillHole(refs[j], cells[i])
+	}
+	target.Recompute()
+	deltas := target.DiffSlots(snap, nil)
+	if len(deltas) == 0 {
+		t.Fatal("slot permutation produced no deltas")
+	}
+	buf := appendSlotDeltas(nil, deltas)
+	got, err := decodeSlotDeltas(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(deltas) {
+		t.Fatalf("decoded %d deltas, want %d", len(got), len(deltas))
+	}
+	for i := range got {
+		if got[i] != deltas[i] {
+			t.Fatalf("delta %d = %+v, want %+v", i, got[i], deltas[i])
+		}
+	}
+	// The round-tripped batch must patch the base to the target state.
+	if err := base.ApplySlotDeltas(got); err != nil {
+		t.Fatal(err)
+	}
+	base.Recompute()
+	if base.Fingerprint() != target.Fingerprint() {
+		t.Fatal("round-tripped deltas did not reproduce the target placement")
+	}
+}
+
+// FuzzSlotDeltaDecode hardens the delta decoder against corrupt payloads:
+// it must return an error or a valid batch, never panic, and must be
+// byte-exact on re-encode of whatever it accepts.
+func FuzzSlotDeltaDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add(appendSlotDeltas(nil, []layout.SlotDelta{{Cell: 3, Row: 1, Idx: 2}}))
+	f.Add(appendSlotDeltas(nil, []layout.SlotDelta{{Cell: 0, Row: 0, Idx: 0}, {Cell: 9, Row: 4, Idx: 7}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := decodeSlotDeltas(data)
+		if err != nil {
+			return
+		}
+		if got := appendSlotDeltas(nil, ds); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode of accepted batch differs: %x vs %x", got, data)
+		}
+	})
+}
+
+// TestTypeIIDeltaMatchesFullBroadcast is the delta-codec end-to-end
+// invariant: a Type II run with delta broadcasts (slaves patch their warm
+// incremental state) follows bitwise the same trajectory as the reference
+// full-broadcast run (slaves rebuild from a fresh decode every iteration) —
+// and ships measurably fewer broadcast bytes.
+func TestTypeIIDeltaMatchesFullBroadcast(t *testing.T) {
+	run := func(full bool) *Result {
+		prob := testProblem(t, fuzzy.WirePower, 30, 2006)
+		opt := detOpts(3)
+		opt.FullBroadcast = full
+		res, err := RunTypeII(prob, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(true)
+	delta := run(false)
+	if ref.BestMu != delta.BestMu {
+		t.Fatalf("best μ diverged: full %v, delta %v", ref.BestMu, delta.BestMu)
+	}
+	if ref.Best.Fingerprint() != delta.Best.Fingerprint() {
+		t.Fatal("best placements diverged between full and delta broadcasts")
+	}
+	if len(ref.MuTrace) != len(delta.MuTrace) {
+		t.Fatalf("trace lengths %d vs %d", len(ref.MuTrace), len(delta.MuTrace))
+	}
+	for i := range ref.MuTrace {
+		if ref.MuTrace[i] != delta.MuTrace[i] {
+			t.Fatalf("μ trace diverged at %d: %v vs %v", i, ref.MuTrace[i], delta.MuTrace[i])
+		}
+	}
+	fullBytes := ref.RankStats[0].BytesSent
+	deltaBytes := delta.RankStats[0].BytesSent
+	if deltaBytes >= fullBytes {
+		t.Fatalf("delta broadcasts sent %d bytes, full %d — no saving", deltaBytes, fullBytes)
+	}
+	t.Logf("master bytes sent: full %d, delta %d (%.1f%%)",
+		fullBytes, deltaBytes, 100*float64(deltaBytes)/float64(fullBytes))
+}
+
+// TestTypeIIDeltaMatchesWithRandomPattern repeats the equivalence under the
+// random row pattern, whose cross-iteration reshuffling exercises deltas
+// spanning every rank's rows.
+func TestTypeIIDeltaMatchesWithRandomPattern(t *testing.T) {
+	run := func(full bool) *Result {
+		prob := testProblem(t, fuzzy.WirePower, 20, 7)
+		opt := detOpts(4)
+		opt.Pattern = NewRandomPattern(7)
+		opt.FullBroadcast = full
+		res, err := RunTypeII(prob, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(true)
+	delta := run(false)
+	if ref.BestMu != delta.BestMu || ref.Best.Fingerprint() != delta.Best.Fingerprint() {
+		t.Fatalf("random-pattern trajectories diverged: μ %v vs %v", ref.BestMu, delta.BestMu)
+	}
+}
+
+// TestTypeIIDeltaMatchesReferenceEngine ties the two switches together:
+// delta broadcasts over the incremental engine must equal full broadcasts
+// over the from-scratch reference engine — the strongest cross-equivalence
+// (wire state warm-patched vs rebuilt per iteration from first principles).
+func TestTypeIIDeltaMatchesReferenceEngine(t *testing.T) {
+	run := func(full, disableInc bool) *Result {
+		prob := testProblem(t, fuzzy.WirePower, 25, 11)
+		prob.Cfg.DisableIncremental = disableInc
+		opt := detOpts(3)
+		opt.FullBroadcast = full
+		res, err := RunTypeII(prob, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(true, true)
+	delta := run(false, false)
+	if ref.BestMu != delta.BestMu {
+		t.Fatalf("best μ diverged: reference %v, delta+incremental %v", ref.BestMu, delta.BestMu)
+	}
+	if ref.Best.Fingerprint() != delta.Best.Fingerprint() {
+		t.Fatal("best placements diverged between reference and delta+incremental runs")
+	}
+}

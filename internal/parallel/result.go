@@ -26,6 +26,13 @@ type Options struct {
 	TargetMu float64
 	// Pattern is the Type II row allocation pattern (default FixedPattern).
 	Pattern RowPattern
+	// FullBroadcast disables the Type II delta codec: every iteration
+	// broadcasts the full placement (and slaves rebuild their net-cost
+	// state from scratch) instead of the moved-cell deltas that patch the
+	// slaves' warm incremental state. The two modes follow bitwise-identical
+	// trajectories; this switch is the reference for equivalence tests and
+	// for measuring the broadcast-byte savings.
+	FullBroadcast bool
 	// Retry is the Type III retry threshold (iterations without
 	// improvement before consulting the central store).
 	Retry int

@@ -7,6 +7,7 @@ import (
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
 	"simevo/internal/netlist"
+	"simevo/internal/transport"
 )
 
 // Type I protocol tags.
@@ -37,16 +38,12 @@ func RunTypeI(prob *core.Problem, opt Options) (*Result, error) {
 
 	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
 	var out *Result
-	err := cl.Run(func(c *Comm) error {
-		if c.Rank() == 0 {
-			res, err := typeIMaster(prob, c, opt)
-			if err != nil {
-				return err
-			}
+	err := cl.Run(func(c *mpi.Comm) error {
+		res, err := TypeIRank(c, prob, opt)
+		if res != nil {
 			out = res
-			return nil
 		}
-		return typeISlave(prob, c)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -56,8 +53,25 @@ func RunTypeI(prob *core.Problem, opt Options) (*Result, error) {
 	return out, nil
 }
 
-// Comm aliases mpi.Comm for the strategy implementations.
-type Comm = mpi.Comm
+// TypeIRank executes this rank's role in a Type I run over an existing
+// transport — the entry point worker processes use on a real cluster. Rank
+// 0 returns the result; other ranks return (nil, nil) on success.
+func TypeIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("parallel: Type I needs >= 2 ranks, got %d", c.Size())
+	}
+	if len(prob.Ckt.Movable()) < c.Size() {
+		return nil, fmt.Errorf("parallel: %d cells cannot feed %d ranks", len(prob.Ckt.Movable()), c.Size())
+	}
+	if c.Rank() == 0 {
+		return typeIMaster(prob, c, opt)
+	}
+	return nil, typeISlave(prob, c)
+}
+
+// Comm is the per-rank communication handle the strategies run against: a
+// simulated rank (*mpi.Comm) or a TCP endpoint (internal/transport).
+type Comm = transport.Transport
 
 // cellChunk returns rank r's contiguous slice of the movable cells.
 func cellChunk(movable []netlist.CellID, r, p int) []netlist.CellID {
@@ -66,7 +80,7 @@ func cellChunk(movable []netlist.CellID, r, p int) []netlist.CellID {
 	return movable[lo:hi]
 }
 
-func typeIMaster(prob *core.Problem, c *Comm, opt Options) (*Result, error) {
+func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 	eng := prob.NewEngine(0) // identical construction to the serial run
 	movable := prob.Ckt.Movable()
 	chunk := cellChunk(movable, 0, c.Size())
@@ -113,7 +127,7 @@ func typeIMaster(prob *core.Problem, c *Comm, opt Options) (*Result, error) {
 	}, nil
 }
 
-func typeISlave(prob *core.Problem, c *Comm) error {
+func typeISlave(prob *core.Problem, c Comm) error {
 	eng := prob.EngineFrom(layout.New(prob.Ckt, prob.Cfg.NumRows), nil)
 	movable := prob.Ckt.Movable()
 	chunk := cellChunk(movable, c.Rank(), c.Size())

@@ -26,23 +26,15 @@ func RunTypeII(prob *core.Problem, opt Options) (*Result, error) {
 	if opt.Procs < 2 {
 		return nil, fmt.Errorf("parallel: Type II needs >= 2 ranks, got %d", opt.Procs)
 	}
-	pattern := opt.Pattern
-	if pattern == nil {
-		pattern = FixedPattern{}
-	}
 
 	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
 	var out *Result
-	err := cl.Run(func(c *Comm) error {
-		if c.Rank() == 0 {
-			res, err := typeIIMaster(prob, c, pattern, opt)
-			if err != nil {
-				return err
-			}
+	err := cl.Run(func(c *mpi.Comm) error {
+		res, err := TypeIIRank(c, prob, opt)
+		if res != nil {
 			out = res
-			return nil
 		}
-		return typeIISlave(prob, c)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -52,13 +44,38 @@ func RunTypeII(prob *core.Problem, opt Options) (*Result, error) {
 	return out, nil
 }
 
-func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, opt Options) (*Result, error) {
+// TypeIIRank executes this rank's role in a Type II run over an existing
+// transport — the entry point worker processes use on a real cluster. Rank
+// 0 returns the result; other ranks return (nil, nil) on success.
+func TypeIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("parallel: Type II needs >= 2 ranks, got %d", c.Size())
+	}
+	if c.Rank() == 0 {
+		pattern := opt.Pattern
+		if pattern == nil {
+			pattern = FixedPattern{}
+		}
+		return typeIIMaster(prob, c, pattern, opt)
+	}
+	return nil, typeIISlave(prob, c)
+}
+
+func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (*Result, error) {
 	eng := prob.NewEngine(0)
 	targetMu := opt.TargetMu
 	numRows := eng.Placement().NumRows()
 	if numRows < c.Size() {
 		return nil, fmt.Errorf("parallel: %d rows cannot feed %d ranks", numRows, c.Size())
 	}
+	numCells := len(prob.Ckt.Cells)
+
+	// Delta-codec state: the slot assignment as of the previous broadcast.
+	// Every rank's placement agrees with it up to that rank's own last
+	// merge contribution, so one shared delta batch patches every slave
+	// (a slave's own moves re-apply as no-ops).
+	var prevSlots []layout.SlotRef
+	var deltaBuf []layout.SlotDelta
 
 	res := &Result{}
 	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
@@ -67,9 +84,26 @@ func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, opt Options) 
 			return nil, err
 		}
 
-		// Broadcast assignment + placement in one message.
-		header := encodeAssignment(assign)
-		c.Bcast(0, append(header, eng.Placement().Encode()...))
+		// Broadcast assignment + placement in one message: the full
+		// encoding on the first iteration (and when deltas would not pay —
+		// a delta entry costs 3 words against 1 word per cell, so deltas
+		// win while under a third of the cells moved), a moved-cell delta
+		// batch against the previous broadcast otherwise.
+		msg := encodeAssignment(assign)
+		place := eng.Placement()
+		deltaBuf = deltaBuf[:0]
+		if prevSlots != nil && !opt.FullBroadcast {
+			deltaBuf = place.DiffSlots(prevSlots, deltaBuf)
+		}
+		if prevSlots != nil && !opt.FullBroadcast && 3*len(deltaBuf) < numCells+numRows {
+			msg = append(msg, bcastDelta)
+			msg = appendSlotDeltas(msg, deltaBuf)
+		} else {
+			msg = append(msg, bcastFull)
+			msg = append(msg, place.Encode()...)
+		}
+		prevSlots = place.SnapshotSlots(prevSlots)
+		c.Bcast(0, msg)
 
 		// The master works its own partition like any slave. Step's
 		// evaluation sees the previous iteration's merged solution, so μ
@@ -112,10 +146,11 @@ func typeIIMaster(prob *core.Problem, c *Comm, pattern RowPattern, opt Options) 
 
 const tagT2Rows = 20
 
-func typeIISlave(prob *core.Problem, c *Comm) error {
+func typeIISlave(prob *core.Problem, c Comm) error {
 	// Each slave draws selection randomness from its own stream.
 	slaveRng := rng.NewStream(prob.Cfg.Seed, uint64(1000+c.Rank()))
 	eng := prob.EngineFrom(layout.New(prob.Ckt, prob.Cfg.NumRows), slaveRng)
+	havePlacement := false
 	for {
 		data := c.Bcast(0, nil)
 		if len(data) == 0 {
@@ -128,11 +163,36 @@ func typeIISlave(prob *core.Problem, c *Comm) error {
 		if len(assign) != c.Size() {
 			return fmt.Errorf("parallel: assignment for %d ranks, cluster has %d", len(assign), c.Size())
 		}
-		place, err := layout.DecodePlacement(prob.Ckt, rest)
-		if err != nil {
-			return fmt.Errorf("parallel: rank %d decoding placement: %w", c.Rank(), err)
+		if len(rest) == 0 {
+			return fmt.Errorf("parallel: rank %d received broadcast without payload kind", c.Rank())
 		}
-		eng.SetPlacement(place)
+		kind, rest := rest[0], rest[1:]
+		switch kind {
+		case bcastFull:
+			place, err := layout.DecodePlacement(prob.Ckt, rest)
+			if err != nil {
+				return fmt.Errorf("parallel: rank %d decoding placement: %w", c.Rank(), err)
+			}
+			eng.SetPlacement(place)
+			havePlacement = true
+		case bcastDelta:
+			// Patch the previous broadcast state in place: the entries for
+			// this rank's own last contribution are no-ops, the rest move
+			// cells the other ranks reallocated. The engine's cached net
+			// state stays warm — only the dirty nets are re-estimated.
+			if !havePlacement {
+				return fmt.Errorf("parallel: rank %d received delta before any full placement", c.Rank())
+			}
+			deltas, err := decodeSlotDeltas(rest)
+			if err != nil {
+				return err
+			}
+			if err := eng.PatchPlacement(deltas); err != nil {
+				return fmt.Errorf("parallel: rank %d patching placement: %w", c.Rank(), err)
+			}
+		default:
+			return fmt.Errorf("parallel: rank %d received unknown broadcast kind %#x", c.Rank(), kind)
+		}
 		myRows := assign[c.Rank()]
 		eng.DomainFromRows(myRows)
 		eng.Step()

@@ -34,30 +34,42 @@ func RunTypeIII(prob *core.Problem, opt Options) (*Result, error) {
 	if opt.Procs < 3 {
 		return nil, fmt.Errorf("parallel: Type III needs >= 3 ranks (one is the central store), got %d", opt.Procs)
 	}
-	retry := opt.Retry
-	if retry <= 0 {
-		retry = 100
-	}
-
 	cl := mpi.NewCluster(opt.Procs, mpi.Options{Net: opt.net(), MeasureCompute: opt.measure()})
 	var out *Result
-	err := cl.Run(func(c *Comm) error {
-		if c.Rank() == 0 {
-			res, err := typeIIIStore(prob, c)
-			if err != nil {
-				return err
-			}
+	err := cl.Run(func(c *mpi.Comm) error {
+		res, err := TypeIIIRank(c, prob, opt)
+		if res != nil {
 			out = res
-			return nil
 		}
-		return typeIIISearcher(prob, c, retry, opt)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	out.VirtualTime = cl.MakeSpan()
 	out.RankStats = cl.Stats()
+	return out, nil
+}
 
+// TypeIIIRank executes this rank's role in a Type III run over an existing
+// transport — the entry point worker processes use on a real cluster. Rank
+// 0 (the central store) returns the result with the winner's cost breakdown
+// recovered; searcher ranks return (nil, nil) on success.
+func TypeIIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
+	if c.Size() < 3 {
+		return nil, fmt.Errorf("parallel: Type III needs >= 3 ranks (one is the central store), got %d", c.Size())
+	}
+	retry := opt.Retry
+	if retry <= 0 {
+		retry = 100
+	}
+	if c.Rank() != 0 {
+		return nil, typeIIISearcher(prob, c, retry, opt)
+	}
+	out, err := typeIIIStore(prob, c)
+	if err != nil {
+		return nil, err
+	}
 	// The store tracks only μ; recover the cost breakdown of the winner.
 	if out.Best != nil {
 		eng := prob.EngineFrom(out.Best.Clone(), nil)
@@ -94,7 +106,7 @@ func decodeSolution(prob *core.Problem, data []byte) (float64, *layout.Placement
 	return mu, place, nil
 }
 
-func typeIIIStore(prob *core.Problem, c *Comm) (*Result, error) {
+func typeIIIStore(prob *core.Problem, c Comm) (*Result, error) {
 	bestMu := -1.0
 	var bestData []byte // encoded solution, kept serialized for cheap replies
 	var best *layout.Placement
@@ -147,7 +159,7 @@ func typeIIIStore(prob *core.Problem, c *Comm) (*Result, error) {
 	return res, nil
 }
 
-func typeIIISearcher(prob *core.Problem, c *Comm, retry int, opt Options) error {
+func typeIIISearcher(prob *core.Problem, c Comm, retry int, opt Options) error {
 	// Same starting solution on every searcher, different random streams
 	// (the paper's Table 4 setup).
 	eng := prob.EngineFromReference(uint64(c.Rank()))

@@ -1,12 +1,14 @@
 package jobs
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"simevo/internal/gen"
 	"simevo/internal/netlist"
+	"simevo/internal/transport"
 )
 
 // smallBench renders a tiny deterministic circuit as .bench text, for the
@@ -39,13 +41,13 @@ func TestSpecNormalize(t *testing.T) {
 	}
 
 	bad := []Spec{
-		{Strategy: "serial"},                                  // no circuit
-		{Circuit: "s1196", Bench: "x", Strategy: "serial"},    // both
-		{Circuit: "nope", Strategy: "serial"},                 // unknown circuit
-		{Circuit: "s1196", Strategy: "quantum"},               // unknown strategy
+		{Strategy: "serial"}, // no circuit
+		{Circuit: "s1196", Bench: "x", Strategy: "serial"},     // both
+		{Circuit: "nope", Strategy: "serial"},                  // unknown circuit
+		{Circuit: "s1196", Strategy: "quantum"},                // unknown strategy
 		{Circuit: "s1196", Strategy: "sa", Objectives: "wire"}, // metaheur restriction
-		{Circuit: "s1196", Strategy: "type3", Procs: 2},       // too few ranks
-		{Circuit: "s1196", Strategy: "type2", Pattern: "zig"}, // unknown pattern
+		{Circuit: "s1196", Strategy: "type3", Procs: 2},        // too few ranks
+		{Circuit: "s1196", Strategy: "type2", Pattern: "zig"},  // unknown pattern
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); err == nil {
@@ -342,6 +344,95 @@ func TestManagerParallelStrategies(t *testing.T) {
 		}
 		if got.Result == nil || got.Result.BestMu <= 0 {
 			t.Fatalf("%s: bad result %+v", strat, got.Result)
+		}
+	}
+}
+
+// TestManagerClusterDispatch exercises the TCP-transport job path end to
+// end inside one process: a hub with two joined workers serves a Type II
+// job farmed out by the manager, and the result must equal the same-seed
+// simulated-transport job.
+func TestManagerClusterDispatch(t *testing.T) {
+	hub, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	for i := 0; i < 2; i++ {
+		w, err := transport.Join(context.Background(), hub.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve(context.Background(), func(tr transport.Transport) error {
+			return ServeRank(context.Background(), tr)
+		})
+	}
+
+	m := NewManager(Options{Workers: 1, Hub: hub})
+	defer m.Close()
+
+	spec := Spec{Circuit: "s1196", Strategy: "type2", Procs: 3, MaxIters: 15, Seed: 41}
+
+	spec.Transport = TransportTCP
+	tcpView, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpDone := waitTerminal(t, m, tcpView.ID)
+	if tcpDone.State != StateDone {
+		t.Fatalf("tcp job state %v (%s)", tcpDone.State, tcpDone.Error)
+	}
+
+	spec.Transport = TransportSim
+	simView, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDone := waitTerminal(t, m, simView.ID)
+	if simDone.State != StateDone {
+		t.Fatalf("sim job state %v (%s)", simDone.State, simDone.Error)
+	}
+
+	if tcpDone.Result.BestMu != simDone.Result.BestMu {
+		t.Fatalf("tcp best μ %v != simulated %v", tcpDone.Result.BestMu, simDone.Result.BestMu)
+	}
+	if tcpDone.Result.Wire != simDone.Result.Wire || tcpDone.Result.Power != simDone.Result.Power {
+		t.Fatalf("tcp costs %+v != simulated %+v", tcpDone.Result, simDone.Result)
+	}
+	// Workers must be parked again for the next job.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Workers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers not re-parked after job (have %d)", hub.Workers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestManagerRejectsClusterWithoutHub asserts a tcp-transport submission
+// fails fast when the service has no cluster listener.
+func TestManagerRejectsClusterWithoutHub(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+	_, err := m.Submit(Spec{Circuit: "s1196", Strategy: "type2", Transport: "tcp"})
+	if err == nil {
+		t.Fatal("tcp job accepted without a hub")
+	}
+}
+
+// TestSpecRejectsTransportOnInProcessStrategies asserts a tcp transport on
+// serial/metaheuristic jobs errors instead of silently running locally.
+func TestSpecRejectsTransportOnInProcessStrategies(t *testing.T) {
+	for _, strategy := range []string{"serial", "sa", "ga", "ts"} {
+		if _, err := (Spec{Circuit: "s1196", Strategy: strategy, Transport: "tcp"}).Normalize(); err == nil {
+			t.Fatalf("strategy %s accepted transport tcp", strategy)
+		}
+		norm, err := (Spec{Circuit: "s1196", Strategy: strategy, Transport: "sim"}).Normalize()
+		if err != nil {
+			t.Fatalf("strategy %s rejected redundant sim transport: %v", strategy, err)
+		}
+		if norm.Transport != "" {
+			t.Fatalf("strategy %s kept transport %q", strategy, norm.Transport)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"simevo/internal/core"
+	"simevo/internal/transport"
 )
 
 // Manager errors surfaced to the API layer.
@@ -33,6 +34,11 @@ type Options struct {
 	// MaxJobs bounds the in-memory job store; the oldest terminal jobs
 	// are evicted past it (default 1024).
 	MaxJobs int
+	// Hub, when non-nil, is the cluster coordinator whose registered
+	// simevo-worker processes serve jobs submitted with transport "tcp".
+	// Nil rejects such jobs at submission. The manager does not own the
+	// hub; the caller closes it.
+	Hub *transport.Hub
 }
 
 func (o *Options) defaults() {
@@ -58,6 +64,9 @@ type Stats struct {
 	Completed int `json:"completed"`
 	Stored    int `json:"stored"`
 	Cached    int `json:"cached"`
+	// ClusterWorkers is the number of idle simevo-worker processes
+	// registered with the cluster hub (-1 when no hub is configured).
+	ClusterWorkers int `json:"cluster_workers"`
 }
 
 // Manager owns the job store, the result cache, and the worker pool.
@@ -122,6 +131,9 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	}
 	fp := norm.Fingerprint()
 
+	if norm.Transport == TransportTCP && m.opt.Hub == nil {
+		return View{}, fmt.Errorf("jobs: transport %q needs the service started with a cluster listener", norm.Transport)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -272,7 +284,10 @@ func (m *Manager) Stats() Stats {
 	for _, id := range m.order {
 		jobs = append(jobs, m.jobs[id])
 	}
-	st := Stats{Workers: m.opt.Workers, Stored: len(jobs), Cached: m.cache.len()}
+	st := Stats{Workers: m.opt.Workers, Stored: len(jobs), Cached: m.cache.len(), ClusterWorkers: -1}
+	if m.opt.Hub != nil {
+		st.ClusterWorkers = m.opt.Hub.Workers()
+	}
 	m.mu.Unlock()
 	for _, j := range jobs {
 		j.mu.Lock()
@@ -344,7 +359,7 @@ func (m *Manager) runJob(job *Job) {
 		}
 	}
 
-	res, err := runSpec(ctx, spec, progress)
+	res, err := runSpec(ctx, spec, progress, m.opt.Hub)
 	switch {
 	case err != nil:
 		job.finish(StateFailed, nil, err.Error())

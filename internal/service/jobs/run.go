@@ -12,7 +12,16 @@ import (
 	"simevo/internal/metaheur"
 	"simevo/internal/netlist"
 	"simevo/internal/parallel"
+	"simevo/internal/transport"
 )
+
+// clusterAcquireTimeout bounds how long a TCP-transport job waits for
+// enough registered workers before failing.
+const clusterAcquireTimeout = 30 * time.Second
+
+// clusterCancelGrace is how long a cancelled TCP-transport job may keep
+// winding down cooperatively before its group is interrupted.
+const clusterCancelGrace = 30 * time.Second
 
 // buildCircuit materializes the spec's design: a catalog benchmark or an
 // uploaded .bench netlist.
@@ -70,8 +79,38 @@ func placementRows(p *layout.Placement, ckt *netlist.Circuit) [][]string {
 
 // runSpec executes a normalized spec to completion (or cancellation),
 // reporting progress through the callback. On cancellation the
-// best-so-far result is returned with a nil error.
-func runSpec(ctx context.Context, spec Spec, progress core.Progress) (*Result, error) {
+// best-so-far result is returned with a nil error. Parallel specs with the
+// TCP transport are dispatched onto registered workers from the hub; every
+// other spec runs in-process.
+func runSpec(ctx context.Context, spec Spec, progress core.Progress, hub *transport.Hub) (*Result, error) {
+	if spec.Transport == TransportTCP {
+		if hub == nil {
+			return nil, fmt.Errorf("jobs: tcp transport requested but the service has no cluster listener")
+		}
+		acquireCtx, cancel := context.WithTimeout(ctx, clusterAcquireTimeout)
+		group, err := hub.Acquire(acquireCtx, spec.Procs-1)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("jobs: acquiring %d cluster workers: %w", spec.Procs-1, err)
+		}
+		defer group.Release()
+		// Cancellation is cooperative first: the master winds the run down
+		// between iterations and keeps the best-so-far result. A master
+		// wedged in a blocking receive (stalled or failed worker) cannot
+		// observe the context, so past a grace period the group is
+		// interrupted outright — the job fails but the pool slot is freed.
+		finished := make(chan struct{})
+		defer close(finished)
+		stop := context.AfterFunc(ctx, func() {
+			select {
+			case <-finished:
+			case <-time.After(clusterCancelGrace):
+				group.Interrupt(ctx.Err())
+			}
+		})
+		defer stop()
+		return RunSpecOn(ctx, group, spec, progress)
+	}
 	prob, err := buildProblem(spec)
 	if err != nil {
 		return nil, err
@@ -93,17 +132,7 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress) (*Result, e
 		}, nil
 
 	case StrategyTypeI, StrategyTypeII, StrategyTypeIII:
-		opt := parallel.Options{
-			Procs:     spec.Procs,
-			TargetMu:  spec.TargetMu,
-			Retry:     spec.Retry,
-			Diversify: spec.Diversify,
-			Context:   ctx,
-			Progress:  progress,
-		}
-		if spec.Pattern == "random" {
-			opt.Pattern = parallel.NewRandomPattern(spec.Seed)
-		}
+		opt := specOptions(ctx, spec, progress)
 		var res *parallel.Result
 		switch spec.Strategy {
 		case StrategyTypeI:
@@ -116,16 +145,7 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
-			BestMu:        res.BestMu,
-			Wire:          res.BestCosts.Wire,
-			Power:         res.BestCosts.Power,
-			Delay:         res.BestCosts.Delay,
-			Iters:         res.Iters,
-			RuntimeMS:     msSince(start),
-			VirtualTimeMS: float64(res.VirtualTime) / float64(time.Millisecond),
-			Placement:     placementRows(res.Best, prob.Ckt),
-		}, nil
+		return convertParallel(res, prob, start), nil
 
 	case StrategySA, StrategyGA, StrategyTS:
 		var res *metaheur.Result

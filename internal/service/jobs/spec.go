@@ -28,6 +28,12 @@ const (
 	StrategyTS      = "ts"
 )
 
+// Transport names accepted by Spec.Transport.
+const (
+	TransportSim = "sim" // in-process virtual-time cluster (default)
+	TransportTCP = "tcp" // registered simevo-worker processes over TCP
+)
+
 // Strategies lists the accepted strategy names.
 func Strategies() []string {
 	return []string{StrategySerial, StrategyTypeI, StrategyTypeII,
@@ -63,8 +69,14 @@ type Spec struct {
 	TargetMu float64 `json:"target_mu,omitempty"`
 	// Rows overrides the placement row count (0: layout default).
 	Rows int `json:"rows,omitempty"`
-	// Procs is the virtual cluster size for type1/type2/type3 (default 4).
+	// Procs is the cluster size for type1/type2/type3 (default 4).
 	Procs int `json:"procs,omitempty"`
+	// Transport selects where a parallel strategy's ranks run: "sim" (the
+	// default) for the in-process virtual-time cluster, "tcp" to farm the
+	// slave ranks out to simevo-worker processes registered with the
+	// service (the service itself is rank 0). Requires the server to run
+	// with a cluster listener and Procs-1 registered workers.
+	Transport string `json:"transport,omitempty"`
 	// Pattern is the Type II row pattern: "fixed" (default) or "random".
 	Pattern string `json:"pattern,omitempty"`
 	// Retry is the Type III retry threshold (0: strategy default).
@@ -87,8 +99,8 @@ var strategyAliases = map[string]string{
 
 // objectiveSets maps objective strings to fuzzy objective sets.
 var objectiveSets = map[string]fuzzy.Objectives{
-	"wire":            fuzzy.Wire,
-	"wire+power":      fuzzy.WirePower,
+	"wire":             fuzzy.Wire,
+	"wire+power":       fuzzy.WirePower,
 	"wire+power+delay": fuzzy.WirePowerDelay,
 }
 
@@ -176,8 +188,22 @@ func (s Spec) Normalize() (Spec, error) {
 		if s.Procs < min {
 			return Spec{}, fmt.Errorf("jobs: strategy %s needs procs >= %d, got %d", s.Strategy, min, s.Procs)
 		}
+		if s.Transport == "" {
+			s.Transport = TransportSim
+		}
+		s.Transport = strings.ToLower(s.Transport)
+		if s.Transport != TransportSim && s.Transport != TransportTCP {
+			return Spec{}, fmt.Errorf("jobs: unknown transport %q (have %s, %s)", s.Transport, TransportSim, TransportTCP)
+		}
 	} else {
 		s.Procs = 0
+		// In-process strategies accept only the (redundant) "sim"; a tcp
+		// request on them would otherwise be silently ignored.
+		s.Transport = strings.ToLower(s.Transport)
+		if s.Transport != "" && s.Transport != TransportSim {
+			return Spec{}, fmt.Errorf("jobs: strategy %s runs in-process; transport %q applies only to type1/type2/type3", s.Strategy, s.Transport)
+		}
+		s.Transport = ""
 	}
 
 	if s.Strategy == StrategyTypeII {

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"simevo/internal/mpi"
+)
+
+// Wire framing: every message is a length-prefixed frame
+//
+//	uint32 length   (bytes after this field)
+//	int32  src      (sender rank)
+//	int32  dst      (destination rank)
+//	int32  tag
+//	payload
+//
+// all little-endian. Control frames (join handshake, rank assignment,
+// job boundaries) use reserved negative tags below the collective range.
+
+const (
+	frameHeader = 12      // src + dst + tag
+	maxFrame    = 1 << 28 // 256 MiB payload guard against corrupt prefixes
+)
+
+// Control tags of the coordinator/worker protocol.
+const (
+	tagCtrlJoin  = -(3001 + iota) // worker -> hub: join handshake (payload: magic)
+	tagCtrlStart                  // hub -> worker: job start (payload: rank, size)
+	tagCtrlDone                   // worker -> hub: rank function returned (payload: status byte)
+	tagCtrlEnd                    // hub -> worker: job closed, return to the pool
+	tagCtrlBye                    // hub -> worker: shut down for good
+)
+
+// joinMagic identifies (and versions) the join handshake.
+const joinMagic = "simevo-transport-v1"
+
+type frame struct {
+	src, dst, tag int
+	data          []byte
+}
+
+// writeFrame serializes one frame to w. Callers serialize access per
+// connection (see connWriter).
+func writeFrame(w io.Writer, f frame) error {
+	var hdr [4 + frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frameHeader+len(f.data)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(f.src)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(f.dst)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(int32(f.tag)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.data) > 0 {
+		if _, err := w.Write(f.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame from r.
+func readFrame(r *bufio.Reader) (frame, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if n < frameHeader || n > maxFrame+frameHeader {
+		return frame{}, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		src: int(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		dst: int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		tag: int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+	}
+	if len(buf) > frameHeader {
+		f.data = buf[frameHeader:]
+	}
+	return f, nil
+}
+
+// connWriter serializes frame writes to one connection: the coordinator
+// writes to a worker from the rank-0 strategy goroutine and from relay
+// readers concurrently.
+type connWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (cw *connWriter) write(f frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return writeFrame(cw.w, f)
+}
+
+// inbox is a rank's received-message queue: FIFO per (src, tag) match,
+// blocking receive, poisoned by the first connection failure.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []frame
+	err  error
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(f frame) {
+	ib.mu.Lock()
+	ib.msgs = append(ib.msgs, f)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// fail poisons the inbox: pending and future receives panic with *Fatal.
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	if ib.err == nil {
+		ib.err = err
+	}
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// matches mirrors the simulator's matching rule: wildcards match only
+// non-internal (>= 0) tags.
+func frameMatches(f *frame, src, tag int) bool {
+	if src != mpi.AnySource && f.src != src {
+		return false
+	}
+	if tag == mpi.AnyTag {
+		return f.tag >= 0
+	}
+	return f.tag == tag
+}
+
+// recv blocks until a matching message arrives, in arrival order.
+func (ib *inbox) recv(src, tag int) ([]byte, mpi.Status) {
+	ib.mu.Lock()
+	for {
+		for i := range ib.msgs {
+			f := ib.msgs[i]
+			if !frameMatches(&f, src, tag) {
+				continue
+			}
+			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+			ib.mu.Unlock()
+			return f.data, mpi.Status{Source: f.src, Tag: f.tag}
+		}
+		if ib.err != nil {
+			err := ib.err
+			ib.mu.Unlock()
+			panic(&Fatal{Err: err})
+		}
+		ib.cond.Wait()
+	}
+}

@@ -1,0 +1,542 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simevo/internal/mpi"
+)
+
+// Hub is the cluster coordinator: it accepts worker connections, parks them
+// in a pool after the join handshake, and forms rank Groups on demand. One
+// hub serves any number of sequential or concurrent Groups (each worker
+// belongs to at most one group at a time).
+type Hub struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked []*wconn
+	closed bool
+}
+
+// wconn is one worker connection, alive from join handshake to disconnect.
+type wconn struct {
+	conn     net.Conn
+	r        *bufio.Reader
+	w        connWriter
+	group    atomic.Pointer[Group]
+	rank     int32 // valid while in a group
+	dead     atomic.Bool
+	reported atomic.Bool // end-of-job notice already counted
+}
+
+// Listen starts a hub on addr ("host:port"; ":0" picks a free port).
+func Listen(addr string) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewHub(ln), nil
+}
+
+// NewHub starts a hub on an existing listener, taking ownership of it.
+func NewHub(ln net.Listener) *Hub {
+	h := &Hub{ln: ln}
+	h.cond = sync.NewCond(&h.mu)
+	go h.acceptLoop()
+	return h
+}
+
+// Addr returns the hub's listen address (useful with ":0").
+func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
+
+// Workers returns the number of parked (joined, idle) workers.
+func (h *Hub) Workers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.parked)
+}
+
+// Close shuts the hub down: stops accepting, dismisses parked workers, and
+// wakes Acquire waiters with an error. Groups already formed keep running.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	parked := h.parked
+	h.parked = nil
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	for _, w := range parked {
+		w.w.write(frame{tag: tagCtrlBye})
+		w.conn.Close()
+	}
+	return h.ln.Close()
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go h.admit(conn)
+	}
+}
+
+// admit performs the join handshake and parks the worker.
+func (h *Hub) admit(conn net.Conn) {
+	w := &wconn{conn: conn, r: bufio.NewReader(conn)}
+	w.w.w = conn
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := readFrame(w.r)
+	if err != nil || f.tag != tagCtrlJoin || string(f.data) != joinMagic {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.parked = append(h.parked, w)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	go h.serveConn(w)
+}
+
+// serveConn reads one worker's frames for the connection's whole life,
+// dispatching them into whatever group the worker currently belongs to.
+// Frames between two workers are relayed here.
+func (h *Hub) serveConn(w *wconn) {
+	for {
+		f, err := readFrame(w.r)
+		if err != nil {
+			w.dead.Store(true)
+			h.unpark(w)
+			if g := w.group.Load(); g != nil {
+				g.workerLost(w, err)
+			}
+			w.conn.Close()
+			return
+		}
+		g := w.group.Load()
+		switch {
+		case g == nil:
+			// A parked worker has nothing to say; drop stray frames.
+		case f.tag == tagCtrlDone:
+			// A failed rank function means the rank abandoned the strategy
+			// protocol: poison rank 0 so a master blocked on that rank's
+			// traffic aborts instead of deadlocking. The connection itself
+			// is healthy — the worker re-parks and serves the next job.
+			if len(f.data) > 0 && f.data[0] != 0 {
+				g.in.fail(fmt.Errorf("rank %d reported a failed rank function", w.rank))
+			}
+			g.workerDone(w)
+		case f.dst == 0:
+			g.in.push(f)
+		case f.dst > 0 && f.dst < g.size:
+			g.relay(f)
+		default:
+			g.workerLost(w, fmt.Errorf("transport: rank %d sent frame to invalid rank %d", f.src, f.dst))
+		}
+	}
+}
+
+// unpark removes a worker from the parked pool if present.
+func (h *Hub) unpark(w *wconn) {
+	h.mu.Lock()
+	for i, p := range h.parked {
+		if p == w {
+			h.parked = append(h.parked[:i], h.parked[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Acquire blocks until `workers` parked workers are available (or ctx ends)
+// and forms a Group of size workers+1 with the caller as rank 0. Ranks are
+// assigned in park order and each worker receives a start notice carrying
+// its rank and the cluster size.
+func (h *Hub) Acquire(ctx context.Context, workers int) (*Group, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("transport: Acquire needs >= 1 worker, got %d", workers)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() { h.cond.Broadcast() })
+	defer stop()
+
+	h.mu.Lock()
+	for len(h.parked) < workers && !h.closed && ctx.Err() == nil {
+		h.cond.Wait()
+	}
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errors.New("transport: hub is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("transport: waiting for %d workers (%d joined): %w", workers, len(h.parked), err)
+	}
+	ws := h.parked[:workers:workers]
+	h.parked = append([]*wconn(nil), h.parked[workers:]...)
+	h.mu.Unlock()
+
+	g := &Group{
+		hub:   h,
+		ws:    ws,
+		size:  workers + 1,
+		start: time.Now(),
+		in:    newInbox(),
+		done:  make(chan *wconn, workers),
+	}
+	for i, w := range ws {
+		w.rank = int32(i + 1)
+		w.reported.Store(false)
+		w.group.Store(g)
+	}
+	// Publish the group before the start notices: a worker's first frame
+	// can race the later start writes, and the relay path must be live.
+	var payload [8]byte
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(payload[0:], uint32(i+1))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(g.size))
+		if err := w.w.write(frame{dst: i + 1, tag: tagCtrlStart, data: payload[:]}); err != nil {
+			g.abort()
+			return nil, fmt.Errorf("transport: starting rank %d: %w", i+1, err)
+		}
+	}
+	return g, nil
+}
+
+// Group is a formed cluster: rank 0 (the coordinator process) plus one
+// connected worker per remaining rank. It implements Transport for rank 0.
+type Group struct {
+	hub   *Hub
+	ws    []*wconn // index = rank-1
+	size  int
+	start time.Time
+	in    *inbox
+	done  chan *wconn
+
+	closeOnce sync.Once
+}
+
+// Rank implements Transport (the coordinator is always rank 0).
+func (g *Group) Rank() int { return 0 }
+
+// Size implements Transport.
+func (g *Group) Size() int { return g.size }
+
+// Elapsed implements Transport: wall time since the group formed.
+func (g *Group) Elapsed() time.Duration { return time.Since(g.start) }
+
+// Send implements Transport.
+func (g *Group) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= g.size {
+		fatalf("send to invalid rank %d", dst)
+	}
+	if dst == 0 {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		g.in.push(frame{src: 0, dst: 0, tag: tag, data: cp})
+		return
+	}
+	w := g.ws[dst-1]
+	if err := w.w.write(frame{src: 0, dst: dst, tag: tag, data: data}); err != nil {
+		g.workerLost(w, err)
+		fatalf("send to rank %d: %v", dst, err)
+	}
+}
+
+// Recv implements Transport.
+func (g *Group) Recv(src, tag int) ([]byte, mpi.Status) { return g.in.recv(src, tag) }
+
+// Bcast implements Transport.
+func (g *Group) Bcast(root int, data []byte) []byte { return bcast(g, root, data) }
+
+// Gather implements Transport.
+func (g *Group) Gather(root int, data []byte) [][]byte { return gather(g, root, data) }
+
+// Barrier implements Transport.
+func (g *Group) Barrier() { barrier(g) }
+
+// relay forwards a worker-to-worker frame through the hub.
+func (g *Group) relay(f frame) {
+	w := g.ws[f.dst-1]
+	if err := w.w.write(f); err != nil {
+		g.workerLost(w, err)
+	}
+}
+
+// Interrupt poisons rank 0's inbox: a master blocked in Recv aborts with a
+// *Fatal carrying err. The workers and their connections are untouched —
+// pair with Release (or Close) as usual. Interrupting a group whose run
+// already finished is harmless. Callers use it to break a wedged run (a
+// stalled worker, a cancelled job past its cooperative grace period).
+func (g *Group) Interrupt(err error) {
+	g.in.fail(fmt.Errorf("interrupted: %w", err))
+}
+
+// workerDone records a worker's end-of-job notice exactly once per job.
+func (g *Group) workerDone(w *wconn) {
+	if w.reported.CompareAndSwap(false, true) {
+		g.done <- w // capacity len(g.ws); dedup keeps this non-blocking
+	}
+}
+
+// workerLost poisons the group when a member connection fails: rank 0's
+// pending receives abort with *Fatal.
+func (g *Group) workerLost(w *wconn, err error) {
+	w.dead.Store(true)
+	g.in.fail(fmt.Errorf("rank %d connection: %w", w.rank, err))
+	g.workerDone(w) // unblock Release/Close waiting on the worker
+}
+
+// drain waits until every worker reported done (or died), bounded by the
+// timeout, so job frames cannot leak into a worker's next assignment.
+func (g *Group) drain(timeout time.Duration) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	seen := make(map[*wconn]bool)
+	for len(seen) < len(g.ws) {
+		select {
+		case w := <-g.done:
+			seen[w] = true
+		case <-deadline.C:
+			for _, w := range g.ws {
+				if !seen[w] {
+					g.workerLost(w, errors.New("transport: worker did not finish"))
+					seen[w] = true
+				}
+			}
+		}
+	}
+}
+
+// Release dissolves the group and parks surviving workers back in the hub
+// pool for the next job. It waits for every worker's end-of-job notice
+// first; a worker that does not report within the grace period is dropped.
+func (g *Group) Release() {
+	g.closeOnce.Do(func() {
+		g.drain(30 * time.Second)
+		for _, w := range g.ws {
+			w.group.Store(nil)
+			if w.dead.Load() {
+				w.conn.Close()
+				continue
+			}
+			if w.w.write(frame{tag: tagCtrlEnd}) != nil {
+				w.conn.Close()
+				continue
+			}
+			g.hub.mu.Lock()
+			if g.hub.closed {
+				g.hub.mu.Unlock()
+				w.conn.Close()
+				continue
+			}
+			g.hub.parked = append(g.hub.parked, w)
+			g.hub.cond.Broadcast()
+			g.hub.mu.Unlock()
+		}
+	})
+}
+
+// Close dissolves the group and dismisses its workers (they are told to
+// shut down and their connections are closed). Use Release to return the
+// workers to the pool instead.
+func (g *Group) Close() {
+	g.closeOnce.Do(func() {
+		g.drain(10 * time.Second)
+		for _, w := range g.ws {
+			w.group.Store(nil)
+			w.w.write(frame{tag: tagCtrlBye})
+			w.conn.Close()
+		}
+		// A Close while rank 0 is still blocked in Recv (hard abort) must
+		// unblock it; after a completed run nobody reads the inbox and the
+		// poison is inert.
+		g.in.fail(errors.New("group closed"))
+	})
+}
+
+// abort dissolves a group that never started (no drain: no worker will
+// report done), dismissing its workers.
+func (g *Group) abort() {
+	g.closeOnce.Do(func() {
+		for _, w := range g.ws {
+			w.group.Store(nil)
+			w.w.write(frame{tag: tagCtrlBye})
+			w.conn.Close()
+		}
+		g.in.fail(errors.New("group aborted"))
+	})
+}
+
+// Worker is the worker-process side of the TCP transport: one connection to
+// the hub, serving rank assignments until dismissed.
+type Worker struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    connWriter
+}
+
+// Join dials the hub at addr and performs the join handshake.
+func Join(ctx context.Context, addr string) (*Worker, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{conn: conn, r: bufio.NewReader(conn)}
+	w.w.w = conn
+	if err := w.w.write(frame{tag: tagCtrlJoin, data: []byte(joinMagic)}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: join handshake: %w", err)
+	}
+	return w, nil
+}
+
+// remote is a worker's per-job Transport endpoint.
+type remote struct {
+	w     *Worker
+	rank  int
+	size  int
+	start time.Time
+	in    *inbox
+}
+
+func (r *remote) Rank() int              { return r.rank }
+func (r *remote) Size() int              { return r.size }
+func (r *remote) Elapsed() time.Duration { return time.Since(r.start) }
+
+func (r *remote) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.size {
+		fatalf("send to invalid rank %d", dst)
+	}
+	if dst == r.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		r.in.push(frame{src: r.rank, dst: dst, tag: tag, data: cp})
+		return
+	}
+	if err := r.w.w.write(frame{src: r.rank, dst: dst, tag: tag, data: data}); err != nil {
+		r.in.fail(err)
+		fatalf("send to rank %d: %v", dst, err)
+	}
+}
+
+func (r *remote) Recv(src, tag int) ([]byte, mpi.Status) { return r.in.recv(src, tag) }
+func (r *remote) Bcast(root int, data []byte) []byte     { return bcast(r, root, data) }
+func (r *remote) Gather(root int, data []byte) [][]byte  { return gather(r, root, data) }
+func (r *remote) Barrier()                               { barrier(r) }
+
+// Serve runs the worker loop: wait for a rank assignment, execute fn as
+// that rank, report completion, and return to waiting — until the hub says
+// goodbye (returns nil), the connection fails, or ctx is cancelled (both
+// return an error). Rank function errors are reported to the hub and end
+// that job only, not the loop: a registered worker survives failed jobs.
+func (w *Worker) Serve(ctx context.Context, fn func(Transport) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() { w.conn.Close() })
+	defer stop()
+	defer w.conn.Close()
+
+	// The reader classifies frames as they arrive. It installs the job
+	// inbox itself when a start notice comes in — the master's first data
+	// frames follow the start notice immediately, so deferring inbox
+	// installation to the serve loop below would drop them.
+	type ctrlMsg struct {
+		tag int
+		job *remote // set for start notices
+		err error   // set when the connection failed
+	}
+	ctrl := make(chan ctrlMsg, 16)
+	var cur atomic.Pointer[remote]
+	go func() {
+		for {
+			f, err := readFrame(w.r)
+			if err != nil {
+				if r := cur.Load(); r != nil {
+					r.in.fail(err)
+				}
+				ctrl <- ctrlMsg{err: err}
+				return
+			}
+			switch f.tag {
+			case tagCtrlStart:
+				if len(f.data) < 8 {
+					ctrl <- ctrlMsg{err: errors.New("malformed start notice")}
+					return
+				}
+				rank := int(binary.LittleEndian.Uint32(f.data[0:]))
+				size := int(binary.LittleEndian.Uint32(f.data[4:]))
+				if rank < 1 || size <= rank {
+					ctrl <- ctrlMsg{err: fmt.Errorf("invalid rank assignment %d/%d", rank, size)}
+					return
+				}
+				r := &remote{w: w, rank: rank, size: size, start: time.Now(), in: newInbox()}
+				cur.Store(r)
+				ctrl <- ctrlMsg{tag: tagCtrlStart, job: r}
+			case tagCtrlEnd, tagCtrlBye:
+				ctrl <- ctrlMsg{tag: f.tag}
+			default:
+				if r := cur.Load(); r != nil {
+					r.in.push(f)
+				}
+				// Data frames outside a job are stale remnants; drop them.
+			}
+		}
+	}()
+
+	for m := range ctrl {
+		switch {
+		case m.err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("transport: hub connection lost: %w", m.err)
+		case m.tag == tagCtrlBye:
+			return nil
+		case m.tag == tagCtrlEnd:
+			// Job already wound down on our side.
+		case m.tag == tagCtrlStart:
+			status := byte(0)
+			if err := Run(m.job, fn); err != nil {
+				status = 1
+			}
+			// Detach the finished job's inbox so late frames are dropped
+			// (and the inbox freed) instead of accumulating unread.
+			cur.Store(nil)
+			if err := w.w.write(frame{src: m.job.rank, tag: tagCtrlDone, data: []byte{status}}); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("transport: hub connection lost: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close tears the worker's hub connection down; a blocked Serve returns.
+func (w *Worker) Close() error { return w.conn.Close() }

@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"simevo/internal/mpi"
+)
+
+// startWorkers joins n workers to the hub, each serving fn in a goroutine.
+// The returned wait function blocks until every Serve loop has exited and
+// reports their errors.
+func startWorkers(t *testing.T, h *Hub, n int, fn func(Transport) error) func() []error {
+	t.Helper()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := Join(context.Background(), h.Addr().String())
+		if err != nil {
+			t.Fatalf("worker %d join: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Serve(context.Background(), fn)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Workers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers joined", h.Workers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() []error {
+		wg.Wait()
+		return errs
+	}
+}
+
+func mustHub(t *testing.T) *Hub {
+	t.Helper()
+	h, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// TestTCPCollectives runs every Transport primitive over a hub with two
+// workers: broadcast out, per-rank work, gather back, barrier, and the
+// point-to-point paths including self-send and worker-to-worker relay.
+func TestTCPCollectives(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 2, func(tr Transport) error {
+		data := tr.Bcast(0, nil)
+		reply := fmt.Sprintf("%s-from-%d/%d", data, tr.Rank(), tr.Size())
+		tr.Gather(0, []byte(reply))
+
+		// Self-send is a local enqueue.
+		tr.Send(tr.Rank(), 5, []byte{byte(tr.Rank())})
+		pay, st := tr.Recv(tr.Rank(), 5)
+		if st.Source != tr.Rank() || pay[0] != byte(tr.Rank()) {
+			return fmt.Errorf("self-send got %v %+v", pay, st)
+		}
+
+		// Worker-to-worker frames relay through the hub.
+		peer := 1
+		if tr.Rank() == 1 {
+			peer = 2
+		}
+		tr.Send(peer, 7, []byte{byte(tr.Rank())})
+		pay, st = tr.Recv(peer, 7)
+		if st.Source != peer || pay[0] != byte(peer) {
+			return fmt.Errorf("relay got %v %+v", pay, st)
+		}
+		tr.Barrier()
+		return nil
+	})
+
+	g, err := h.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(g, func(tr Transport) error {
+		tr.Bcast(0, []byte("ping"))
+		parts := tr.Gather(0, []byte("root"))
+		if string(parts[0]) != "root" {
+			return fmt.Errorf("gather[0] = %q", parts[0])
+		}
+		for r := 1; r < tr.Size(); r++ {
+			want := fmt.Sprintf("ping-from-%d/%d", r, tr.Size())
+			if string(parts[r]) != want {
+				return fmt.Errorf("gather[%d] = %q, want %q", r, parts[r], want)
+			}
+		}
+		tr.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	for i, err := range wait() {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestTCPWildcardsSkipInternalTraffic asserts AnySource/AnyTag match like
+// the simulator: wildcards never capture collective frames.
+func TestTCPWildcardsSkipInternalTraffic(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 1, func(tr Transport) error {
+		tr.Send(0, 3, []byte("payload"))
+		tr.Bcast(0, nil) // stop sync
+		return nil
+	})
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(g, func(tr Transport) error {
+		data, st := tr.Recv(mpi.AnySource, mpi.AnyTag)
+		if string(data) != "payload" || st.Source != 1 || st.Tag != 3 {
+			return fmt.Errorf("wildcard recv got %q %+v", data, st)
+		}
+		tr.Bcast(0, []byte("done"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHubReusesReleasedWorkers runs two sequential jobs over one pool: a
+// released worker must serve the next Acquire on the same connection.
+func TestHubReusesReleasedWorkers(t *testing.T) {
+	h := mustHub(t)
+	jobs := 0
+	var mu sync.Mutex
+	wait := startWorkers(t, h, 2, func(tr Transport) error {
+		mu.Lock()
+		jobs++
+		mu.Unlock()
+		tr.Gather(0, []byte{byte(tr.Rank())})
+		return nil
+	})
+	for round := 0; round < 2; round++ {
+		g, err := h.Acquire(context.Background(), 2)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		err = Run(g, func(tr Transport) error {
+			tr.Gather(0, nil)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		g.Release()
+		deadline := time.Now().Add(5 * time.Second)
+		for h.Workers() < 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: workers not re-parked", round)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	h.Close()
+	for i, err := range wait() {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if jobs != 4 {
+		t.Fatalf("rank executions = %d, want 4", jobs)
+	}
+}
+
+// TestWorkerLossPoisonsMaster asserts a dying worker aborts the master's
+// blocked Recv with an error instead of hanging.
+func TestWorkerLossPoisonsMaster(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 1, func(tr Transport) error {
+		return errors.New("worker gives up") // returns without sending
+	})
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(g, func(tr Transport) error {
+			_, _ = tr.Recv(1, 1) // never sent
+			return nil
+		})
+	}()
+	// The worker reports a failed job; the master is still blocked. Closing
+	// the group tears the connection down, which must poison the Recv.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		g.Close()
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("master Recv returned without error after worker loss")
+		}
+		var f *Fatal
+		if !errors.As(err, &f) {
+			t.Fatalf("master error %v is not a transport.Fatal", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master Recv hung after worker loss")
+	}
+	h.Close()
+	wait()
+}
+
+// TestAcquireHonorsContext asserts Acquire gives up when the context ends
+// before enough workers join.
+func TestAcquireHonorsContext(t *testing.T) {
+	h := mustHub(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := h.Acquire(ctx, 2); err == nil {
+		t.Fatal("Acquire succeeded with no workers")
+	}
+}
+
+// TestFailedRankPoisonsMaster asserts a worker whose rank function errors
+// (healthy connection, abandoned protocol) unblocks a master waiting on
+// that rank's traffic instead of deadlocking it — and that the worker
+// survives to serve the next job.
+func TestFailedRankPoisonsMaster(t *testing.T) {
+	h := mustHub(t)
+	first := true
+	wait := startWorkers(t, h, 1, func(tr Transport) error {
+		if first {
+			first = false
+			return errors.New("rank gives up before sending")
+		}
+		tr.Gather(0, []byte("second job ok"))
+		return nil
+	})
+
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(g, func(tr Transport) error {
+			_, _ = tr.Recv(1, 1) // the failed rank never sends this
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		var f *Fatal
+		if !errors.As(err, &f) {
+			t.Fatalf("master got %v, want transport.Fatal from the failed rank", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master Recv deadlocked on a failed rank")
+	}
+	g.Release()
+
+	// The worker's connection is healthy: it must serve the next job.
+	g2, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(g2, func(tr Transport) error {
+		parts := tr.Gather(0, nil)
+		if string(parts[1]) != "second job ok" {
+			return fmt.Errorf("second job gathered %q", parts[1])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Close()
+	h.Close()
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInterruptUnblocksMaster asserts Group.Interrupt aborts a blocked
+// receive — the hook cancelled jobs use to break a wedged run.
+func TestInterruptUnblocksMaster(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 1, func(tr Transport) error {
+		tr.Bcast(0, nil) // block until the master is done
+		return nil
+	})
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(g, func(tr Transport) error {
+			_, _ = tr.Recv(1, 1)
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	g.Interrupt(context.Canceled)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("interrupted Recv returned without error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Interrupt did not unblock the master")
+	}
+	// Unblock and dismiss the worker.
+	g.Bcast(0, []byte("done"))
+	g.Close()
+	h.Close()
+	wait()
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"sort"
+
+	"simevo/internal/netlist"
+)
+
+// Canonical excluding-length formulas shared by the from-scratch Evaluator
+// and the Incremental views.
+//
+// The goodness measure asks, per cell and net: "what would this net cost
+// without the cell's pins?" — the basis of the O_i lower bound. Like the
+// trial formulas (trial.go), both evaluation modes answer it through the
+// SAME arithmetic over the SAME sorted value sequences so the two paths are
+// bitwise identical: the full sorted pin multiset with its left-to-right
+// prefix sums, plus the excluded cell's coordinate and pin multiplicity k.
+// The excluded pins are never materialized out of the arrays — their
+// positions are resolved by binary search and their contributions removed
+// by counted subtraction, which costs O(log p) per net instead of the
+// O(p log p) re-collect-and-sort of the historical implementation.
+
+// exclSpan returns min and max of the sorted values v after removing k
+// entries of value rv (lo is rv's lower-bound insertion index). The caller
+// guarantees len(v)-k >= 1.
+func exclSpan(v []float64, lo, k int) (min, max float64) {
+	n := len(v)
+	if lo == 0 {
+		min = v[k]
+	} else {
+		min = v[0]
+	}
+	if lo+k == n {
+		max = v[n-k-1]
+	} else {
+		max = v[n-1]
+	}
+	return min, max
+}
+
+// hpwlExcl returns the half-perimeter of the pins excluding k entries at
+// (rx, ry). The caller guarantees at least two pins remain.
+func hpwlExcl(xv, yv []float64, rx, ry float64, k int) float64 {
+	minX, maxX := exclSpan(xv, sort.SearchFloat64s(xv, rx), k)
+	minY, maxY := exclSpan(yv, sort.SearchFloat64s(yv, ry), k)
+	return (maxX - minX) + (maxY - minY)
+}
+
+// exclAt returns element j of the sorted slice v with the k entries at
+// index range [lo, lo+k) virtually removed.
+func exclAt(v []float64, lo, k, j int) float64 {
+	if j >= lo {
+		j += k
+	}
+	return v[j]
+}
+
+// exclMedian returns the median of the remaining values, with the same
+// even/odd averaging as wire.median.
+func exclMedian(v []float64, lo, k int) float64 {
+	m := len(v) - k
+	if m%2 == 1 {
+		return exclAt(v, lo, k, m/2)
+	}
+	return (exclAt(v, lo, k, m/2-1) + exclAt(v, lo, k, m/2)) / 2
+}
+
+// exclBranchSum returns Σ|v_i − med| over the remaining values, using the
+// full array's prefix sums with the removed entries' contributions
+// subtracted by count: rb of the k removed entries (all of value rv) sit
+// below the split. Mirrors branchSumAt's left + right decomposition.
+func exclBranchSum(v, p []float64, rv float64, lo, k int, med float64) float64 {
+	i := sort.SearchFloat64s(v, med) // first stored value >= med
+	rb := i - lo
+	if rb < 0 {
+		rb = 0
+	}
+	if rb > k {
+		rb = k
+	}
+	n := len(v)
+	cntL := i - rb
+	sumL := p[i] - float64(rb)*rv
+	cntR := (n - i) - (k - rb)
+	sumR := (p[n] - p[i]) - float64(k-rb)*rv
+	left := med*float64(cntL) - sumL
+	right := sumR - med*float64(cntR)
+	return left + right
+}
+
+// trunkExcl computes the single-trunk length of the remaining pins with the
+// trunk along the first axis: remaining along-span plus a branch from every
+// remaining across-coordinate to the remaining median. Shapes the sum like
+// trunkTrial: span first, then the branch total.
+func trunkExcl(along []float64, rAlong float64, across, acrossP []float64, rAcross float64, k int) float64 {
+	minA, maxA := exclSpan(along, sort.SearchFloat64s(along, rAlong), k)
+	cLo := sort.SearchFloat64s(across, rAcross)
+	med := exclMedian(across, cLo, k)
+	return (maxA - minA) + exclBranchSum(across, acrossP, rAcross, cLo, k, med)
+}
+
+// steinerExcl returns the single-trunk Steiner length of the pins excluding
+// k entries at (rx, ry), taking the cheaper trunk orientation exactly like
+// lengthOf and steinerTrial. The caller guarantees more than three pins
+// remain (fewer degenerate to hpwlExcl).
+func steinerExcl(xv, xp, yv, yp []float64, rx, ry float64, k int) float64 {
+	h := trunkExcl(xv, rx, yv, yp, ry, k)
+	v := trunkExcl(yv, ry, xv, xp, rx, k)
+	if v < h {
+		return v
+	}
+	return h
+}
+
+// NetLengthExcluding estimates the net's length over the stored pins minus
+// the given cell's — the View counterpart of Evaluator.NetLengthExcluding,
+// served from the cached sorted multisets in O(log p) (O(p) for RMST). The
+// incremental state must be synced with no cells removed. Both
+// implementations evaluate the canonical formulas above over identical
+// sorted sequences and prefix sums, so their results are bitwise equal.
+func (v *View) NetLengthExcluding(n netlist.NetID, id netlist.CellID) float64 {
+	inc := v.inc
+	k := 0
+	for _, ref := range inc.pins[id] {
+		if ref.net == n {
+			k = int(ref.k)
+			break
+		}
+	}
+	g := &inc.geoms[n]
+	m := len(g.xv) - k
+	if m < 2 {
+		return 0
+	}
+	rx, ry := inc.cx[id], inc.cy[id]
+	switch inc.est {
+	case HPWL:
+		return hpwlExcl(g.xv, g.yv, rx, ry, k)
+	case Steiner:
+		if m <= 3 {
+			return hpwlExcl(g.xv, g.yv, rx, ry, k)
+		}
+		return steinerExcl(g.xv, g.xp, g.yv, g.yp, rx, ry, k)
+	case RMST:
+		v.collectRemainingExcluding(n, id)
+		return v.ev.rmstLength()
+	}
+	panic("wire: unknown estimator")
+}
+
+// collectRemainingExcluding fills the view scratch with the net's pins in
+// pin order from the mirror, skipping the excluded cell — the same order
+// Evaluator.collect produces, keeping RMST exclusion bitwise identical.
+func (v *View) collectRemainingExcluding(n netlist.NetID, exclude netlist.CellID) {
+	inc := v.inc
+	net := inc.ckt.Net(n)
+	v.ev.xs, v.ev.ys = v.ev.xs[:0], v.ev.ys[:0]
+	add := func(id netlist.CellID) {
+		if id == netlist.NoCell || id == exclude {
+			return
+		}
+		v.ev.xs = append(v.ev.xs, inc.cx[id])
+		v.ev.ys = append(v.ev.ys, inc.cy[id])
+	}
+	add(net.Driver)
+	for _, s := range net.Sinks {
+		add(s)
+	}
+}

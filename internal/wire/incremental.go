@@ -34,8 +34,8 @@ type Incremental struct {
 	ckt *netlist.Circuit
 	est Estimator
 
-	cx, cy []float64 // per-cell coordinate mirror
-	geoms  []netGeom // per-net sorted pin geometry
+	cx, cy []float64  // per-cell coordinate mirror
+	geoms  []netGeom  // per-net sorted pin geometry
 	pins   [][]pinRef // per cell: distinct incident nets with pin multiplicity
 
 	lengths  []float64        // committed per-net lengths
@@ -44,9 +44,9 @@ type Incremental struct {
 	removed  []netlist.CellID // cells lifted out for trial scanning
 	oldX     []float64        // coords of removed cells, parallel to removed
 	oldY     []float64
-	base     View              // serial-use view
-	drainBuf []netlist.CellID  // scratch for Sync
-	built    bool              // Rebuild has run at least once
+	base     View             // serial-use view
+	drainBuf []netlist.CellID // scratch for Sync
+	built    bool             // Rebuild has run at least once
 }
 
 // netGeom holds one net's cached geometry: pin coordinates sorted per axis

@@ -325,3 +325,76 @@ func TestPlacementJournalFeedsSync(t *testing.T) {
 		}
 	}
 }
+
+// TestExcludingMatchesScratch asserts the goodness-path invariant: for
+// every net and every incident cell, the View's cached-state excluding
+// length is bitwise equal to the Evaluator's from-scratch value, across all
+// estimators — including after moves synced through the journal.
+func TestExcludingMatchesScratch(t *testing.T) {
+	for _, est := range allEstimators {
+		ckt := testCircuit(t, 5)
+		p := layout.NewRandom(ckt, 8, rng.New(5))
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(p)
+		ev := NewEvaluator(ckt, est)
+		view := inc.View()
+
+		check := func(stage string, coords Coords) {
+			var nets []netlist.NetID
+			for _, id := range ckt.Movable() {
+				nets = ckt.CellNets(id, nets[:0])
+				for _, n := range nets {
+					got := view.NetLengthExcluding(n, id)
+					want := ev.NetLengthExcluding(n, id, coords)
+					if got != want {
+						t.Fatalf("est %v %s: net %d excluding cell %d: view %v, scratch %v",
+							est, stage, n, id, got, want)
+					}
+				}
+			}
+		}
+		check("initial", p)
+
+		// Move a batch of cells and re-check after a journal sync.
+		m := newMutableCoords(ckt, p)
+		r := rng.New(99)
+		movable := ckt.Movable()
+		for i := 0; i < 25; i++ {
+			id := movable[int(r.Uint64()%uint64(len(movable)))]
+			m.move(id, float64(r.Uint64()%300), float64(r.Uint64()%90))
+		}
+		inc.Sync(m)
+		inc.Lengths(nil)
+		check("after sync", m)
+	}
+}
+
+// TestExcludingPadNets covers nets whose remaining pins include pads and
+// nets that degenerate below two pins when the cell is removed.
+func TestExcludingPadNets(t *testing.T) {
+	ckt := testCircuit(t, 6)
+	p := layout.NewRandom(ckt, 8, rng.New(6))
+	inc := NewIncremental(ckt, Steiner)
+	inc.Rebuild(p)
+	ev := NewEvaluator(ckt, Steiner)
+	view := inc.View()
+	var nets []netlist.NetID
+	seen2 := false
+	for i := range ckt.Cells {
+		id := netlist.CellID(i)
+		nets = ckt.CellNets(id, nets[:0])
+		for _, n := range nets {
+			if ckt.Net(n).Degree() == 2 {
+				seen2 = true
+			}
+			got := view.NetLengthExcluding(n, id)
+			want := ev.NetLengthExcluding(n, id, p)
+			if got != want {
+				t.Fatalf("net %d excluding cell %d: view %v, scratch %v", n, id, got, want)
+			}
+		}
+	}
+	if !seen2 {
+		t.Log("no 2-pin nets in the generated circuit; degenerate path untested here")
+	}
+}

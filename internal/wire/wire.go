@@ -86,9 +86,47 @@ func (e *Evaluator) NetLength(id netlist.NetID, coords Coords) float64 {
 // the excluded cell. This is the basis of the per-cell "optimal cost"
 // estimate O_i used by the goodness measure: a cell placed optimally can
 // always reach the remaining pins' tree at zero marginal bounding-box cost.
+//
+// It computes the canonical excluding formulas of excl.go over the full
+// sorted pin multiset, producing bitwise the same value as an Incremental
+// View's NetLengthExcluding over the cached state — the reference side of
+// the goodness-equivalence invariant.
 func (e *Evaluator) NetLengthExcluding(id netlist.NetID, exclude netlist.CellID, coords Coords) float64 {
-	e.collect(e.ckt.Net(id), exclude, coords)
-	return e.lengthOf()
+	net := e.ckt.Net(id)
+	if e.est == RMST {
+		// RMST has no sorted-multiset shortcut; both modes collect the
+		// remaining pins in pin order and run Prim.
+		e.collect(net, exclude, coords)
+		return e.lengthOf()
+	}
+	e.collect(net, netlist.NoCell, coords)
+	k := 0
+	if net.Driver == exclude {
+		k++
+	}
+	for _, s := range net.Sinks {
+		if s == exclude {
+			k++
+		}
+	}
+	if k == 0 {
+		return e.lengthOf() // the cell has no pin on this net
+	}
+	m := len(e.xs) - k
+	if m < 2 {
+		return 0
+	}
+	rx, ry := coords.Coord(exclude)
+	e.sxs = append(e.sxs[:0], e.xs...)
+	e.sys = append(e.sys[:0], e.ys...)
+	slices.Sort(e.sxs)
+	slices.Sort(e.sys)
+	if e.est == HPWL || m <= 3 {
+		return hpwlExcl(e.sxs, e.sys, rx, ry, k)
+	}
+	e.pxs = prefixInto(e.pxs, e.sxs)
+	e.pys = prefixInto(e.pys, e.sys)
+	return steinerExcl(e.sxs, e.pxs, e.sys, e.pys, rx, ry, k)
 }
 
 // NetLengthWithCellAt estimates the net length with one cell's pins moved
