@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"simevo/internal/experiments"
 )
@@ -24,18 +26,63 @@ func main() {
 	table := flag.String("table", "all", `experiment to run: "profile", "1".."4", "compare", or "all"`)
 	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
 	baseline := flag.String("baseline", "", "write the incremental-engine perf baseline JSON to this path and exit")
+	check := flag.String("check-baseline", "", "re-measure and fail if ns/iter regressed >15% against the baseline JSON at this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	if *baseline != "" {
-		if err := experiments.WriteBaseline(*baseline, os.Stdout); err != nil {
+	// run's failures return an exit code instead of calling os.Exit so the
+	// deferred profile writers always flush — a regressed bench gate run
+	// is exactly the one worth profiling.
+	os.Exit(run(*table, *scale, *baseline, *check, *cpuprofile, *memprofile))
+}
+
+func run(table, scale, baseline, check, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+			}
+		}()
+	}
+
+	if check != "" {
+		if err := experiments.CheckBaseline(check, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if baseline != "" {
+		if err := experiments.WriteBaseline(baseline, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	var sc experiments.Scale
-	switch *scale {
+	switch scale {
 	case "paper":
 		sc = experiments.PaperScale()
 	case "quick":
@@ -43,12 +90,12 @@ func main() {
 	case "tiny":
 		sc = experiments.TinyScale()
 	default:
-		fmt.Fprintf(os.Stderr, "simevo-bench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "simevo-bench: unknown scale %q\n", scale)
+		return 2
 	}
 
 	var err error
-	switch *table {
+	switch table {
 	case "profile":
 		err = experiments.Profile(sc, os.Stdout)
 	case "1":
@@ -64,11 +111,12 @@ func main() {
 	case "all":
 		err = experiments.All(sc, os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "simevo-bench: unknown table %q\n", *table)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "simevo-bench: unknown table %q\n", table)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

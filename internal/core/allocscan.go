@@ -2,28 +2,20 @@ package core
 
 import (
 	"runtime"
-	"sync"
-	"time"
 
 	"simevo/internal/wire"
 )
 
-// Parallel vacancy scanning for the allocation operator.
+// Parallel vacancy scanning for the allocation operator, running on the
+// engine's shared worker pool (pool.go).
 //
 // For one selected cell, the trials against all free vacancies are
-// independent: each worker scores a contiguous chunk of the vacancy pool
-// through its own read-only wire.View (trial scoring never mutates the
-// incremental state; the View carries the only scratch). The reduction
-// reproduces the serial tie-breaking — the first vacancy with the strictly
-// smallest score wins — so parallel and serial scans pick identical slots
-// and the search trajectory is unchanged.
-//
-// The pool is engine-lifetime: workers spawn lazily on the first eligible
-// allocation, park on the job channel between cells and between iterations,
-// and retire themselves after an idle period (so dropped engines leak
-// nothing past it). Reusing the pool across iterations removes the
-// per-allocate spawn cost that used to set the fan-out break-even; what
-// remains per cell is one channel send per worker.
+// independent: each chunk of the vacancy pool is scored through its own
+// read-only wire.View (trial scoring never mutates the incremental state;
+// the View carries the only scratch). The reduction reproduces the serial
+// tie-breaking — the first vacancy with the strictly smallest score wins —
+// so parallel and serial scans pick identical slots and the search
+// trajectory is unchanged.
 
 // allocScanMinVacancies is the free-vacancy count below which a cell's scan
 // is not worth the per-cell synchronization. With the persistent pool the
@@ -32,32 +24,12 @@ import (
 // parallel path on small circuits.
 var allocScanMinVacancies = 160
 
-// allocScanIdle is how long a parked worker outlives its last job. Long
-// enough to bridge the evaluation+selection phases between allocations,
-// short enough to bound goroutine leakage from abandoned engines.
-const allocScanIdle = 2 * time.Second
-
-type allocScan struct {
-	e       *Engine
-	workers int // target pool size
-	jobs    chan scanJob
-	wg      sync.WaitGroup
-	res     []scanResult
-	bound0  float64 // per-cell seed bound, written before jobs are posted
-
-	mu      sync.Mutex
-	alive   int       // workers currently running
-	lastUse time.Time // last ensure() under mu; staleness gates retirement
-}
-
-type scanJob struct{ slot, lo, hi int }
-
 type scanResult struct {
 	idx   int
 	score float64
 }
 
-// scanWorkers resolves the configured pool size (0 = auto).
+// scanWorkers resolves the configured alloc-scan fan-out (0 = auto).
 func (e *Engine) scanWorkers() int {
 	w := e.prob.Cfg.AllocWorkers
 	if w == 0 {
@@ -69,99 +41,66 @@ func (e *Engine) scanWorkers() int {
 	return w
 }
 
-// startScan returns the engine's persistent scan pool when this allocation
-// is large enough to use it, or nil to keep the scan serial. Cheap: the
-// pool is created once and workers are (re)spawned inside scanCell.
-func (e *Engine) startScan(n int, useInc bool) *allocScan {
-	if !useInc || n < allocScanMinVacancies {
-		return nil
+// evalWorkers resolves the configured goodness-evaluation fan-out.
+// Unlike AllocWorkers, 0 keeps evaluation serial: the serial path is the
+// reference mode the trajectory invariants are stated against, and the
+// parallel path must match it bitwise (tested) before anyone opts in.
+func (e *Engine) evalWorkers() int {
+	if w := e.prob.Cfg.EvalWorkers; w > 1 {
+		return w
 	}
-	w := e.scanWorkers()
-	if w <= 1 {
-		return nil
-	}
-	if e.scan == nil {
-		e.scan = &allocScan{
-			e:       e,
-			workers: w,
-			jobs:    make(chan scanJob, w),
-			res:     make([]scanResult, w),
-		}
-	}
-	return e.scan
+	return 1
 }
 
-// ensure tops the pool back up to its target size and stamps it in-use.
-// Holding mu for both linearizes against worker retirement: a worker that
-// observed a stale stamp has already decremented alive (and will drain the
-// channel once more before exiting), so jobs posted after ensure always
-// have a live consumer.
-func (s *allocScan) ensure() {
-	s.mu.Lock()
-	s.lastUse = time.Now()
-	for s.alive < s.workers {
-		s.alive++
-		go s.worker(s.e.inc.View())
+// ensurePool returns the engine's shared worker pool, created on first use
+// with room for the wider of the two parallel phases.
+func (e *Engine) ensurePool() *Pool {
+	if e.pool == nil {
+		size := e.scanWorkers()
+		if w := e.evalWorkers(); w > size {
+			size = w
+		}
+		e.pool = NewPool(size)
+		e.slotViews = make([]*wire.View, e.pool.Size())
+		e.slotGoods = make([][]float64, e.pool.Size())
 	}
-	s.mu.Unlock()
+	return e.pool
 }
 
-func (s *allocScan) worker(view *wire.View) {
-	timer := time.NewTimer(allocScanIdle)
-	defer timer.Stop()
-	for {
-		select {
-		case j := <-s.jobs:
-			s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
-			s.wg.Done()
-		case <-timer.C:
-			s.mu.Lock()
-			if time.Since(s.lastUse) < allocScanIdle {
-				s.mu.Unlock()
-				timer.Reset(allocScanIdle)
-				continue
-			}
-			s.alive--
-			s.mu.Unlock()
-			// Retired under mu; catch any job that raced the decision.
-			for {
-				select {
-				case j := <-s.jobs:
-					s.res[j.slot] = s.scanChunk(view, j.lo, j.hi)
-					s.wg.Done()
-				default:
-					return
-				}
-			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(allocScanIdle)
+// slotView returns the per-slot read-only evaluator view, created lazily.
+// Slot-keyed state needs no locking: a batch assigns each slot to exactly
+// one worker, and batches are serialized by the blocking Batch call.
+func (e *Engine) slotView(slot int) *wire.View {
+	if e.slotViews[slot] == nil {
+		e.slotViews[slot] = e.inc.View()
 	}
+	return e.slotViews[slot]
 }
 
 // scanCell scores every free, width-feasible vacancy for the cell prepared
-// by prepTrial (feasibility via the engine's per-cell rowOK table) and
-// returns the serial winner: the lowest-index vacancy among those with the
-// strictly smallest score.
-func (s *allocScan) scanCell(n int, bound0 float64) (int, float64) {
-	s.ensure()
-	s.bound0 = bound0
-	s.wg.Add(s.workers)
-	for i := 0; i < s.workers; i++ {
-		s.jobs <- scanJob{slot: i, lo: i * n / s.workers, hi: (i + 1) * n / s.workers}
+// by prepTrial (feasibility via the engine's per-cell rowOK table) across
+// the worker pool and returns the serial winner: the lowest-index vacancy
+// among those with the strictly smallest score.
+func (e *Engine) scanCell(workers, n int, bound0 float64) (int, float64) {
+	pool := e.ensurePool()
+	// The pool (and the slot-keyed state) is sized once; if GOMAXPROCS
+	// grows mid-process the auto worker count can exceed it, and Batch
+	// would clamp the chunk count — the reduction below must read exactly
+	// the slots that ran.
+	if workers > pool.Size() {
+		workers = pool.Size()
 	}
-	s.wg.Wait()
+	if cap(e.scanRes) < workers {
+		e.scanRes = make([]scanResult, workers)
+	}
+	e.scanRes = e.scanRes[:workers]
+	e.scanBound0 = bound0
+	pool.Batch(e.runCtx, workers, n, e.allocKern)
 
 	// Chunks are index-ordered, so keeping the first strict minimum across
 	// them reproduces the serial scan's winner exactly.
 	best, bestScore := -1, 0.0
-	for i := 0; i < s.workers; i++ {
-		r := s.res[i]
+	for _, r := range e.scanRes {
 		if r.idx < 0 {
 			continue
 		}
@@ -172,9 +111,9 @@ func (s *allocScan) scanCell(n int, bound0 float64) (int, float64) {
 	return best, bestScore
 }
 
-func (s *allocScan) scanChunk(view *wire.View, lo, hi int) scanResult {
-	e := s.e
-	best, bound := e.trials.ScanBest(view, e.vacs, e.freeVac,
-		e.rowOK, lo, hi, s.bound0)
-	return scanResult{idx: best, score: bound}
+// scanChunk is the alloc-scan kernel body for one chunk of the free list.
+func (e *Engine) scanChunk(slot, lo, hi int) {
+	best, bound := e.trials.ScanBest(e.slotView(slot), e.vacs, e.freeVac,
+		e.rowOK, lo, hi, e.scanBound0)
+	e.scanRes[slot] = scanResult{idx: best, score: bound}
 }

@@ -109,6 +109,17 @@ type Config struct {
 	// BenchmarkAllocScanBreakEven for the sweep on a given host.
 	AllocWorkers int
 
+	// EvalWorkers fans the per-cell goodness evaluation across the same
+	// shared worker pool. Per-cell goodness is read-only over the cached
+	// net multisets, so partitioning the cells and evaluating chunks
+	// concurrently produces bitwise the values of the serial loop; the
+	// selection operator then consumes them in deterministic cell order,
+	// keeping the search trajectory identical. Unlike AllocWorkers, 0 (or
+	// 1, or any negative value) keeps evaluation serial — the serial path
+	// is the reference mode — and values > 1 opt into that many chunks.
+	// Requires the incremental engine (DisableIncremental forces serial).
+	EvalWorkers int
+
 	// DisableMuTrace turns off recording μ(s) after every evaluation
 	// (Engine.MuTrace). Recording is on by default — benchmarks and the
 	// paper's tables consume the trace — while long-running services

@@ -37,6 +37,7 @@ type Engine struct {
 	evalsSince int // evaluations since the last full-recompute checksum
 
 	goodness   []float64 // per cell id
+	goodClean  []bool    // per cell id: goodness[id] is valid for the current solution
 	domain     []netlist.CellID
 	allocOrder AllocOrder
 	mu         float64
@@ -54,7 +55,21 @@ type Engine struct {
 	muHead    int  // ring position when the trace cap is reached
 	muWrapped bool // the ring has overwritten at least one entry
 
-	scan *allocScan // persistent parallel vacancy-scan pool (lazy)
+	// Shared worker pool (pool.go) for the parallel phases, plus the
+	// slot-keyed per-worker state both phases draw on. runCtx is the
+	// context of the current RunContext call (Background otherwise); pool
+	// workers retire when it is cancelled, so an engine abandoned mid-run
+	// leaks no goroutines past the cancellation.
+	pool       *Pool
+	runCtx     context.Context
+	slotViews  []*wire.View // per slot: read-only scorer over e.inc
+	slotGoods  [][]float64  // per slot: goodness aggregation scratch
+	scanRes    []scanResult // per slot: alloc-scan reduction inputs
+	scanBound0 float64      // per-cell seed bound, written before a scan batch
+	evalCells  []netlist.CellID
+	evalDst    []float64
+	allocKern  func(slot, lo, hi int) // bound once: scanChunk
+	evalKern   func(slot, lo, hi int) // bound once: evalChunk
 
 	// scratch buffers
 	selected []netlist.CellID
@@ -80,6 +95,10 @@ func (e *Engine) init() {
 		e.incStale = true
 	}
 	e.goodness = make([]float64, len(ckt.Cells))
+	e.goodClean = make([]bool, len(ckt.Cells))
+	e.runCtx = context.Background()
+	e.allocKern = e.scanChunk
+	e.evalKern = e.evalChunk
 	e.domain = append([]netlist.CellID(nil), ckt.Movable()...)
 	e.allocOrder = e.prob.Cfg.AllocOrder
 	if e.prob.Cfg.Objectives.Has(fuzzy.Delay) {
@@ -215,9 +234,25 @@ func (e *Engine) EvaluateCosts() {
 	}
 	cfg := &e.prob.Cfg
 	if e.inc == nil {
+		// Reference mode re-derives everything from scratch, including
+		// every cell's goodness — the exact paper semantics the cached
+		// modes are tested against.
 		e.lengths = e.ev.Lengths(e.place, e.lengths)
+		e.invalidateAllGoodness()
 	} else {
-		e.syncIncremental()
+		if rebuilt := e.syncIncremental(); rebuilt || cfg.Objectives.Has(fuzzy.Delay) {
+			// A full rebuild loses the dirty-net record; delay goodness
+			// depends on global timing criticality. Either way every
+			// cached goodness value is suspect.
+			e.invalidateAllGoodness()
+		} else {
+			// Goodness inputs are per-cell-local: the lengths and pin
+			// geometry of the cell's nets (plus static tables). Only cells
+			// on a net touched since the last evaluation can change, so
+			// the cached values of all other cells are reused — bitwise
+			// what a recomputation would produce.
+			e.invalidateGoodnessOnNets(e.inc.Dirty())
+		}
 		e.lengths = e.inc.Lengths(e.lengths)
 	}
 	e.costs.Wire = wire.Total(e.lengths)
@@ -252,17 +287,43 @@ func (e *Engine) EvaluateCosts() {
 // the placement: normally a journal drain re-estimating only the nets
 // touched since the last evaluation; a full rebuild after the placement
 // object was replaced, and periodically as the full-recompute checksum.
-func (e *Engine) syncIncremental() {
+// It reports whether a full rebuild ran (the goodness cache must then be
+// invalidated wholesale: the dirty-net record is gone).
+func (e *Engine) syncIncremental() bool {
 	if e.incStale || !e.inc.Built() || e.evalsSince >= e.prob.Cfg.FullEvalEvery {
 		e.place.JournalCoords(true)
 		e.place.ResetJournal()
 		e.inc.Rebuild(e.place)
 		e.incStale = false
 		e.evalsSince = 0
-		return
+		return true
 	}
 	e.inc.Sync(e.place)
 	e.evalsSince++
+	return false
+}
+
+// invalidateAllGoodness drops every cached goodness value.
+func (e *Engine) invalidateAllGoodness() {
+	for i := range e.goodClean {
+		e.goodClean[i] = false
+	}
+}
+
+// invalidateGoodnessOnNets drops the cached goodness of every cell with a
+// pin on one of the given nets — exactly the cells whose goodness inputs
+// (net length, excluding-length geometry) may have changed.
+func (e *Engine) invalidateGoodnessOnNets(nets []netlist.NetID) {
+	ckt := e.prob.Ckt
+	for _, n := range nets {
+		net := &ckt.Nets[n]
+		if net.Driver != netlist.NoCell {
+			e.goodClean[net.Driver] = false
+		}
+		for _, s := range net.Sinks {
+			e.goodClean[s] = false
+		}
+	}
 }
 
 // updateNetCrit caches per-net timing criticality: the worst endpoint
@@ -282,28 +343,74 @@ func (e *Engine) updateNetCrit() {
 	}
 }
 
-// ComputeGoodness evaluates the goodness of the given cells into the
-// engine's goodness table. EvaluateCosts must have run for the current
-// placement. Returning the values in cell order supports the Type I
-// master/slave protocol.
+// evalMinCells is the cell count below which goodness evaluation is not
+// worth fanning across the pool. Variable so tests can force the parallel
+// path on small circuits.
+var evalMinCells = 128
+
+// ComputeGoodness evaluates the goodness of the given cells (which must be
+// distinct) into the engine's goodness table. EvaluateCosts must have run
+// for the current placement. Returning the values in cell order supports
+// the Type I master/slave protocol.
+//
+// Cells whose goodness inputs are untouched since their last evaluation
+// (no incident net dirty — see EvaluateCosts) are served from the cached
+// table; recomputing them would reproduce the identical bits. With
+// Config.EvalWorkers > 1 (and the incremental engine active) the remaining
+// cells are partitioned across the shared worker pool, each chunk scoring
+// through its own read-only view; values land in per-cell slots, so the
+// result — and the selection trajectory consuming it in deterministic cell
+// order — is bitwise identical to the serial reference.
 func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float64 {
 	if cap(dst) < len(cells) {
 		dst = make([]float64, len(cells))
 	}
 	dst = dst[:len(cells)]
+	if w := e.evalWorkers(); w > 1 && e.inc != nil && e.inc.Built() && len(cells) >= evalMinCells {
+		e.evalCells, e.evalDst = cells, dst
+		e.ensurePool().Batch(e.runCtx, w, len(cells), e.evalKern)
+		e.evalCells, e.evalDst = nil, nil
+		return dst
+	}
 	for i, id := range cells {
+		if e.goodClean[id] {
+			dst[i] = e.goodness[id]
+			continue
+		}
 		g := e.cellGoodness(id)
 		e.goodness[id] = g
+		e.goodClean[id] = true
 		dst[i] = g
 	}
 	return dst
 }
 
+// evalChunk is the goodness kernel for one chunk of the cell list.
+func (e *Engine) evalChunk(slot, lo, hi int) {
+	view := e.slotView(slot)
+	goods := e.slotGoods[slot]
+	for i := lo; i < hi; i++ {
+		id := e.evalCells[i]
+		if e.goodClean[id] {
+			e.evalDst[i] = e.goodness[id]
+			continue
+		}
+		var g float64
+		g, goods = e.goodnessWith(id, view, goods)
+		e.goodness[id] = g
+		e.goodClean[id] = true
+		e.evalDst[i] = g
+	}
+	e.slotGoods[slot] = goods
+}
+
 // SetGoodness installs externally computed goodness values (Type I master
-// after gathering slave results).
+// after gathering slave results). The values are as valid for the current
+// solution as locally computed ones, so they enter the cache.
 func (e *Engine) SetGoodness(cells []netlist.CellID, vals []float64) {
 	for i, id := range cells {
 		e.goodness[id] = vals[i]
+		e.goodClean[id] = true
 	}
 }
 
@@ -316,11 +423,6 @@ func (e *Engine) SetGoodness(cells []netlist.CellID, vals []float64) {
 // be non-zero). Power: the same sums weighted by switching activity.
 // Delay: 1 − timing criticality (slack-based).
 func (e *Engine) cellGoodness(id netlist.CellID) float64 {
-	cfg := &e.prob.Cfg
-	ckt := e.prob.Ckt
-	e.netsBuf = e.netsBuf[:0]
-	e.netsBuf = ckt.CellNets(id, e.netsBuf)
-
 	// With the incremental engine active (and synced by the preceding
 	// EvaluateCosts), the excluding lengths come from the cached sorted
 	// multisets in O(log p) per net; the reference path re-collects the
@@ -330,64 +432,83 @@ func (e *Engine) cellGoodness(id netlist.CellID) float64 {
 	if e.inc != nil {
 		view = e.inc.BaseView()
 	}
+	g, goods := e.goodnessWith(id, view, e.goodsBuf)
+	e.goodsBuf = goods
+	return g
+}
+
+// goodnessWith computes one cell's goodness through the given read-only
+// view (nil selects the from-scratch reference path, which may only run
+// serially: it shares the engine's evaluator scratch). goods is the
+// caller's aggregation scratch, returned with its grown capacity.
+func (e *Engine) goodnessWith(id netlist.CellID, view *wire.View, goods []float64) (float64, []float64) {
+	cfg := &e.prob.Cfg
 	var cw, ow, cp, op float64
-	for _, n := range e.netsBuf {
-		l := e.lengths[n]
-		var excl float64
-		if view != nil {
-			excl = view.NetLengthExcluding(n, id)
-		} else {
-			excl = e.ev.NetLengthExcluding(n, id, e.place)
+	if view != nil {
+		// The flat incidence already pairs each incident net with the
+		// cell's pin multiplicity, in CellNets order — same summation
+		// order as the reference path, without re-deriving either.
+		for _, ref := range e.inc.CellPins(id) {
+			n := ref.Net
+			l := e.lengths[n]
+			excl := view.NetLengthExcludingK(n, id, int(ref.K))
+			opt := excl + e.minAttach(n, id)
+			if opt > l {
+				opt = l // clamp: O_i may not exceed the achieved cost
+			}
+			cw += l
+			ow += opt
+			act := e.prob.Acts[n]
+			cp += l * act
+			op += opt * act
 		}
-		opt := excl + e.minAttach(n, id)
-		if opt > l {
-			opt = l // clamp: O_i may not exceed the achieved cost
+	} else {
+		e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf[:0])
+		for _, n := range e.netsBuf {
+			l := e.lengths[n]
+			excl := e.ev.NetLengthExcluding(n, id, e.place)
+			opt := excl + e.minAttach(n, id)
+			if opt > l {
+				opt = l // clamp: O_i may not exceed the achieved cost
+			}
+			cw += l
+			ow += opt
+			act := e.prob.Acts[n]
+			cp += l * act
+			op += opt * act
 		}
-		cw += l
-		ow += opt
-		act := e.prob.Acts[n]
-		cp += l * act
-		op += opt * act
 	}
 
-	e.goodsBuf = e.goodsBuf[:0]
+	goods = goods[:0]
 	if cfg.Objectives.Has(fuzzy.Wire) {
-		e.goodsBuf = append(e.goodsBuf, ratio01(ow, cw))
+		goods = append(goods, ratio01(ow, cw))
 	}
 	if cfg.Objectives.Has(fuzzy.Power) {
-		e.goodsBuf = append(e.goodsBuf, ratio01(op, cp))
+		goods = append(goods, ratio01(op, cp))
 	}
 	if cfg.Objectives.Has(fuzzy.Delay) {
-		e.goodsBuf = append(e.goodsBuf, 1-e.analysis.Criticality(id))
+		goods = append(goods, 1-e.analysis.Criticality(id))
 	}
-	return e.prob.OWA.Aggregate(e.goodsBuf...)
+	return e.prob.OWA.Aggregate(goods...), goods
 }
 
 // minAttach returns the minimal center-to-center span cell id needs to
 // reach the closest other cell of the net: half its own width plus half
 // the narrowest other pin's width (pads count as width 0 plus clearance,
-// already in the net lower bound; here they contribute 0).
+// already in the net lower bound; here they contribute 0). Served from the
+// problem's static attach tables in O(1): widths never change, so the only
+// per-call question is whether the excluded cell is the one holding the
+// net-wide minimum.
 func (e *Engine) minAttach(n netlist.NetID, id netlist.CellID) float64 {
-	ckt := e.prob.Ckt
-	net := &ckt.Nets[n]
-	minOther := -1
-	consider := func(c netlist.CellID) {
-		if c == id {
-			return
-		}
-		w := ckt.Cells[c].Width
-		if minOther < 0 || w < minOther {
-			minOther = w
-		}
+	p := e.prob
+	w := p.attachW1[n]
+	if p.attachC1[n] == id {
+		w = p.attachW2[n]
 	}
-	consider(net.Driver)
-	for _, s := range net.Sinks {
-		consider(s)
-	}
-	if minOther < 0 {
+	if w < 0 {
 		return 0
 	}
-	return float64(ckt.Cells[id].Width+minOther) / 2
+	return float64(int32(e.prob.Ckt.Cells[id].Width)+w) / 2
 }
 
 func ratio01(o, c float64) float64 {
@@ -503,7 +624,12 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 	limit := (1 + cfg.Alpha) * avg
 
 	useInc := e.inc != nil && e.inc.Built()
-	scan := e.startScan(n, useInc)
+	scanW := 0
+	if useInc && n >= allocScanMinVacancies {
+		if w := e.scanWorkers(); w > 1 {
+			scanW = w
+		}
+	}
 
 	if cap(e.rowOK) < e.place.NumRows() {
 		e.rowOK = make([]bool, e.place.NumRows())
@@ -521,11 +647,15 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		// considered in the fallback pass, by smallest violation.
 		best := -1
 		switch {
-		case scan != nil && len(e.freeVac) >= allocScanMinVacancies:
+		case scanW > 1 && len(e.freeVac) >= allocScanMinVacancies:
 			// The pool shrinks as cells are placed; late cells with few
 			// vacancies left drop back to the serial bounded scan, which
 			// picks identical winners without the per-cell synchronization.
-			best, _ = scan.scanCell(len(e.freeVac), e.seedBound(own))
+			// Chunked concurrent ScanBest needs the y memo prefilled (lazy
+			// fills are not goroutine-safe); the serial paths below fill
+			// lazily and only for rows actually scanned.
+			e.trials.PrefillClasses(layout.RowY)
+			best, _ = e.scanCell(scanW, len(e.freeVac), e.seedBound(own))
 		case useInc:
 			// Bounded scoring: a vacancy bails out once its partial cost
 			// reaches the best so far — the winner is provably unchanged.
@@ -609,10 +739,10 @@ func (e *Engine) prepTrial(id netlist.CellID, useInc bool) {
 	e.orderTrials(id, useInc)
 	if useInc {
 		// Vacancy candidates sit on row centerlines, so the rows are the
-		// y-memo classes. ScanBest requires the memo prefilled; RowY
-		// reproduces Recompute's centerline expression bit for bit.
+		// y-memo classes; RowY reproduces Recompute's centerline expression
+		// bit for bit. The memo fills lazily during serial scans; a
+		// parallel scan prefills it first (allocate).
 		e.inc.CompileTrials(&e.trials, e.netsBuf, e.trialW, e.place.NumRows())
-		e.trials.PrefillClasses(layout.RowY)
 	}
 }
 
@@ -773,6 +903,13 @@ func (e *Engine) Run() *Result { return e.RunContext(context.Background(), nil) 
 // that iteration's statistics.
 func (e *Engine) RunContext(ctx context.Context, progress Progress) *Result {
 	cfg := &e.prob.Cfg
+	if ctx != nil {
+		// Tie the worker pool's lifetime to the run: cancelling the
+		// context retires parked workers immediately, so an engine
+		// abandoned mid-run leaks no goroutines past the cancellation.
+		e.runCtx = ctx
+		defer func() { e.runCtx = context.Background() }()
+	}
 	for e.iter < cfg.MaxIters {
 		if ctx.Err() != nil {
 			break

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pool is the engine's persistent bounded worker pool, shared by every
+// parallel phase of one SimE engine — the allocation vacancy scan
+// (allocscan.go) and the goodness evaluation (Config.EvalWorkers) — and
+// exported for coarse-grained users outside the engine (the GA's
+// generation-fitness evaluation in internal/metaheur).
+//
+// One Batch splits an index range [0, n) into `chunks` contiguous ranges
+// and runs the kernel once per range on the pool, blocking until every
+// chunk finished. Chunks are identified by their slot index, so callers
+// can keep per-slot state (evaluator views, scratch buffers) without
+// synchronization: within a batch each slot is processed by exactly one
+// worker, and batches are serialized by the blocking Batch call.
+//
+// Workers spawn lazily on the first Batch, park on the job channel
+// between batches, and retire themselves after an idle period — or
+// immediately once the context a batch supplied is cancelled. Tying the
+// worker lifetime to the engine's run context is what keeps an engine
+// abandoned mid-run (context cancelled, object dropped) from leaking
+// goroutines past the cancellation.
+type Pool struct {
+	size int
+	jobs chan poolJob
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	kern    func(slot, lo, hi int) // current batch's kernel
+	ctx     context.Context        // liveness context of the last batch
+	alive   int                    // workers currently running
+	lastUse time.Time              // last Batch under mu; staleness gates retirement
+}
+
+type poolJob struct{ slot, lo, hi int }
+
+// poolIdle is how long a parked worker outlives its last batch. Long
+// enough to bridge the phases between an engine's iterations, short
+// enough to bound goroutine leakage from abandoned engines whose context
+// is never cancelled.
+const poolIdle = 2 * time.Second
+
+// NewPool creates a pool of the given size. Workers are not spawned until
+// the first Batch.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{
+		size: size,
+		jobs: make(chan poolJob, size),
+		ctx:  context.Background(),
+	}
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Batch runs kern over [0, n) split into `chunks` contiguous ranges
+// (clamped to the pool size) and blocks until all of them completed.
+// kern(slot, lo, hi) must be safe to run concurrently for distinct slots.
+// ctx bounds the worker lifetime, not the batch: a batch whose jobs are
+// already posted always completes (exiting workers drain the queue), but
+// once ctx is cancelled parked workers retire immediately instead of
+// waiting out the idle period. A nil ctx keeps the workers on the idle
+// timer alone.
+func (p *Pool) Batch(ctx context.Context, chunks, n int, kern func(slot, lo, hi int)) {
+	if chunks > p.size {
+		chunks = p.size
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.wg.Add(chunks)
+	// Posting under mu linearizes against worker retirement: a worker
+	// leaves only after decrementing alive under mu, so every job posted
+	// here either has a live consumer or is drained by the exiting worker
+	// (which drains the channel after its decrement). The channel holds
+	// p.size jobs, so the sends never block.
+	p.mu.Lock()
+	p.kern = kern
+	p.ctx = ctx
+	p.lastUse = time.Now()
+	for p.alive < p.size {
+		p.alive++
+		go p.worker()
+	}
+	for i := 0; i < chunks; i++ {
+		p.jobs <- poolJob{slot: i, lo: i * n / chunks, hi: (i + 1) * n / chunks}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	timer := time.NewTimer(poolIdle)
+	defer timer.Stop()
+	for {
+		p.mu.Lock()
+		done := p.ctx.Done()
+		p.mu.Unlock()
+		select {
+		case j := <-p.jobs:
+			p.run(j)
+		case <-done:
+			p.exit()
+			return
+		case <-timer.C:
+			p.mu.Lock()
+			if time.Since(p.lastUse) < poolIdle {
+				p.mu.Unlock()
+				timer.Reset(poolIdle)
+				continue
+			}
+			p.mu.Unlock()
+			p.exit()
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(poolIdle)
+	}
+}
+
+// run executes one job under the batch kernel. The kernel field was
+// written before the job was posted (both under mu), so the channel
+// receive ordered this read after that write.
+func (p *Pool) run(j poolJob) {
+	p.mu.Lock()
+	kern := p.kern
+	p.mu.Unlock()
+	kern(j.slot, j.lo, j.hi)
+	p.wg.Done()
+}
+
+// exit retires this worker: decrement alive under mu, then drain any jobs
+// that were posted before the decrement became visible so no batch is
+// left waiting on an unconsumed job.
+func (p *Pool) exit() {
+	p.mu.Lock()
+	p.alive--
+	p.mu.Unlock()
+	for {
+		select {
+		case j := <-p.jobs:
+			p.run(j)
+		default:
+			return
+		}
+	}
+}

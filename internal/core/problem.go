@@ -26,6 +26,15 @@ type Problem struct {
 	Ref   fuzzy.Costs
 	Lower fuzzy.Costs
 	OWA   fuzzy.OWA
+
+	// Per-net minimal-attachment tables: the smallest pin-cell width with
+	// the (pin-order-first) cell achieving it, and the smallest width among
+	// pins of any other cell (-1 when the net has pins of only one cell).
+	// minAttach reads them in O(1); widths are static, so this is computed
+	// once per problem instead of per (cell, net) per iteration.
+	attachC1 []netlist.CellID
+	attachW1 []int32
+	attachW2 []int32
 }
 
 // NewProblem validates the configuration and precomputes the shared data.
@@ -53,7 +62,52 @@ func NewProblem(ckt *netlist.Circuit, cfg Config) (*Problem, error) {
 		return nil, fmt.Errorf("core: degenerate reference costs %+v", p.Ref)
 	}
 	p.Lower = lowerBoundsFromReference(p.Ref, cfg.Goals)
+	p.buildAttach()
 	return p, nil
+}
+
+// buildAttach fills the per-net minimal-attachment tables. For each net it
+// records the first pin (in driver-then-sinks order) holding the smallest
+// cell width, plus the smallest width among pins whose cell differs from
+// that one — exactly the two candidates minAttach needs: excluding cell id
+// leaves w1 when id is not the minimal cell, w2 (the minimum over cells
+// other than the minimal one, all of which differ from id) when it is.
+func (p *Problem) buildAttach() {
+	ckt := p.Ckt
+	n := ckt.NumNets()
+	p.attachC1 = make([]netlist.CellID, n)
+	p.attachW1 = make([]int32, n)
+	p.attachW2 = make([]int32, n)
+	for i := 0; i < n; i++ {
+		w1, w2 := int32(-1), int32(-1)
+		c1 := netlist.NoCell
+		consider := func(c netlist.CellID) {
+			if c == netlist.NoCell {
+				return
+			}
+			w := int32(ckt.Cells[c].Width)
+			switch {
+			case w1 < 0 || w < w1:
+				if c != c1 {
+					// The displaced minimum becomes a w2 candidate only if
+					// it belongs to a different cell.
+					if c1 != netlist.NoCell && (w2 < 0 || w1 < w2) {
+						w2 = w1
+					}
+					c1 = c
+				}
+				w1 = w
+			case c != c1 && (w2 < 0 || w < w2):
+				w2 = w
+			}
+		}
+		net := &ckt.Nets[i]
+		consider(net.Driver)
+		for _, s := range net.Sinks {
+			consider(s)
+		}
+		p.attachC1[i], p.attachW1[i], p.attachW2[i] = c1, w1, w2
+	}
 }
 
 // NewEngine creates an engine with a fresh random initial placement drawn

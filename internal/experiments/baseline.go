@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"simevo/internal/core"
@@ -36,6 +37,13 @@ type Baseline struct {
 	// TrajectoryMatch records the tentpole invariant: both modes must
 	// reach the identical best solution (bitwise equal μ).
 	TrajectoryMatch bool `json:"trajectory_match"`
+
+	// GoMaxProcs and EvalWorkers record the measurement context: the
+	// incremental run fans goodness evaluation (and the vacancy scan)
+	// across the engine pool when more than one CPU is available, and
+	// the numbers are only comparable at similar parallelism.
+	GoMaxProcs  int `json:"gomaxprocs"`
+	EvalWorkers int `json:"eval_workers"`
 }
 
 // BaselineRun is one mode's measurement.
@@ -47,8 +55,25 @@ type BaselineRun struct {
 	BestMu         float64 `json:"best_mu"`
 }
 
-// MeasureBaseline runs both modes and assembles the report.
+// MeasureBaseline runs both modes and assembles the report. The
+// incremental engine mode is measured as it ships: EvalWorkers engages
+// the parallel goodness evaluation when the host has more than one CPU
+// (the trajectory is bitwise identical either way — only the wall clock
+// changes). The scratch reference stays serial.
 func MeasureBaseline() (*Baseline, error) {
+	evalWorkers := runtime.GOMAXPROCS(0)
+	if evalWorkers > 8 {
+		evalWorkers = 8
+	}
+	if evalWorkers <= 1 {
+		evalWorkers = 0
+	}
+	return measureBaselineWith(evalWorkers)
+}
+
+// measureBaselineWith measures at a pinned evaluation fan-out, so the
+// bench gate can reproduce the committed baseline's configuration.
+func measureBaselineWith(evalWorkers int) (*Baseline, error) {
 	const (
 		circuit = "s1196"
 		iters   = 60
@@ -63,6 +88,9 @@ func MeasureBaseline() (*Baseline, error) {
 		cfg.MaxIters = iters
 		cfg.Seed = seed
 		cfg.DisableIncremental = scratch
+		if !scratch {
+			cfg.EvalWorkers = evalWorkers
+		}
 		prob, err := core.NewProblem(ckt, cfg)
 		if err != nil {
 			return BaselineRun{}, 0, err
@@ -82,11 +110,32 @@ func MeasureBaseline() (*Baseline, error) {
 		}, res.Best.Fingerprint(), nil
 	}
 
-	inc, incFP, err := run(false)
+	// Each mode is measured several times and the fastest run kept — the
+	// standard noise floor for wall-clock microbenchmarks. Solution
+	// quality is identical across repetitions (the run is deterministic),
+	// so only the timings differ.
+	const reps = 3
+	best := func(scratch bool) (BaselineRun, uint64, error) {
+		r, fp, err := run(scratch)
+		if err != nil {
+			return r, fp, err
+		}
+		for i := 1; i < reps; i++ {
+			r2, _, err := run(scratch)
+			if err != nil {
+				return r, fp, err
+			}
+			if r2.NsPerIter < r.NsPerIter {
+				r = r2
+			}
+		}
+		return r, fp, nil
+	}
+	inc, incFP, err := best(false)
 	if err != nil {
 		return nil, err
 	}
-	scr, scrFP, err := run(true)
+	scr, scrFP, err := best(true)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +149,63 @@ func MeasureBaseline() (*Baseline, error) {
 		AllocSpeedup:    scr.AllocNsPerIter / inc.AllocNsPerIter,
 		TotalSpeedup:    scr.NsPerIter / inc.NsPerIter,
 		TrajectoryMatch: inc.BestMu == scr.BestMu && incFP == scrFP,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		EvalWorkers:     evalWorkers,
 	}, nil
+}
+
+// CheckTolerance is the bench-regression gate: CheckBaseline fails when
+// the measured incremental-over-scratch speedup falls more than this
+// fraction below the committed baseline's.
+const CheckTolerance = 0.15
+
+// CheckBaseline re-measures the baseline and compares it against the
+// committed JSON at path: the solution trajectory must be unchanged
+// (identical best μ, both modes matching) and the incremental-engine
+// ns/iter must not have regressed by more than CheckTolerance. The
+// measurement is pinned to the committed baseline's parallelism
+// (GOMAXPROCS and EvalWorkers are restored from the JSON), so a serial
+// baseline is never compared against a multi-core run or vice versa;
+// per-core speed differences between hosts remain — refresh the baseline
+// from an environment comparable to the gate's. Used by the CI bench
+// gate.
+func CheckBaseline(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ref Baseline
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if ref.GoMaxProcs > 0 && ref.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ref.GoMaxProcs))
+	}
+	got, err := measureBaselineWith(ref.EvalWorkers)
+	if err != nil {
+		return err
+	}
+	// Gate on the incremental-over-scratch speedup, not absolute wall
+	// clock: both runs share the host, so per-core speed differences
+	// between the machine that recorded the baseline and the one running
+	// the gate cancel out. The absolute ns/iter is still printed for the
+	// log trail.
+	fmt.Fprintf(w, "bench gate: committed %.0f ns/iter at %.2fx over scratch (gomaxprocs %d); measured %.0f ns/iter at %.2fx (gomaxprocs %d), best-mu %.6f\n",
+		ref.Incremental.NsPerIter, ref.TotalSpeedup, ref.GoMaxProcs,
+		got.Incremental.NsPerIter, got.TotalSpeedup, got.GoMaxProcs, got.Incremental.BestMu)
+	if !got.TrajectoryMatch {
+		return fmt.Errorf("experiments: incremental/scratch trajectories diverged")
+	}
+	if got.Incremental.BestMu != ref.Incremental.BestMu {
+		return fmt.Errorf("experiments: best mu changed: committed %v, measured %v",
+			ref.Incremental.BestMu, got.Incremental.BestMu)
+	}
+	if ref.TotalSpeedup > 0 && got.TotalSpeedup < ref.TotalSpeedup/(1+CheckTolerance) {
+		return fmt.Errorf("experiments: speedup over scratch regressed: committed %.2fx, measured %.2fx (> %.0f%% tolerance)",
+			ref.TotalSpeedup, got.TotalSpeedup, CheckTolerance*100)
+	}
+	fmt.Fprintln(w, "bench gate: ok")
+	return nil
 }
 
 // WriteBaseline measures the baseline, writes it as JSON to path, and

@@ -78,6 +78,26 @@ func (o Options) measure() bool {
 	return true
 }
 
+// TrafficStats is implemented by transports that account per-rank traffic
+// themselves (the TCP transport's coordinator Group). The simulated
+// cluster's accounting comes from mpi.Cluster.Stats instead, attached by
+// the RunType* drivers.
+type TrafficStats interface {
+	RankStats() []mpi.RankStats
+}
+
+// attachRankStats fills res.RankStats from the transport's own accounting
+// when it keeps any — the rank-0 entry points call it so real-cluster runs
+// report bytes/messages per rank just like simulated ones.
+func attachRankStats(c any, res *Result) {
+	if res == nil || res.RankStats != nil {
+		return
+	}
+	if ts, ok := c.(TrafficStats); ok {
+		res.RankStats = ts.RankStats()
+	}
+}
+
 // Result reports a parallel run.
 type Result struct {
 	BestMu    float64

@@ -64,7 +64,9 @@ func TypeIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("parallel: %d cells cannot feed %d ranks", len(prob.Ckt.Movable()), c.Size())
 	}
 	if c.Rank() == 0 {
-		return typeIMaster(prob, c, opt)
+		res, err := typeIMaster(prob, c, opt)
+		attachRankStats(c, res)
+		return res, err
 	}
 	return nil, typeISlave(prob, c)
 }

@@ -56,7 +56,9 @@ func TypeIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 		if pattern == nil {
 			pattern = FixedPattern{}
 		}
-		return typeIIMaster(prob, c, pattern, opt)
+		res, err := typeIIMaster(prob, c, pattern, opt)
+		attachRankStats(c, res)
+		return res, err
 	}
 	return nil, typeIISlave(prob, c)
 }

@@ -76,6 +76,7 @@ func TypeIIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 		eng.EvaluateCosts()
 		out.BestCosts = eng.Costs()
 	}
+	attachRankStats(c, out)
 	return out, nil
 }
 

@@ -146,9 +146,13 @@ func (h *Hub) serveConn(w *wconn) {
 				g.in.fail(fmt.Errorf("rank %d reported a failed rank function", w.rank))
 			}
 			g.workerDone(w)
+		// Counting precedes delivery so that anything observable through a
+		// completed Recv downstream is already in the stats.
 		case f.dst == 0:
+			g.countFrame(int(w.rank), 0, len(f.data))
 			g.in.push(f)
 		case f.dst > 0 && f.dst < g.size:
+			g.countFrame(int(w.rank), f.dst, len(f.data))
 			g.relay(f)
 		default:
 			g.workerLost(w, fmt.Errorf("transport: rank %d sent frame to invalid rank %d", f.src, f.dst))
@@ -205,6 +209,7 @@ func (h *Hub) Acquire(ctx context.Context, workers int) (*Group, error) {
 		start: time.Now(),
 		in:    newInbox(),
 		done:  make(chan *wconn, workers),
+		stats: make([]rankCounters, workers+1),
 	}
 	for i, w := range ws {
 		w.rank = int32(i + 1)
@@ -234,8 +239,50 @@ type Group struct {
 	start time.Time
 	in    *inbox
 	done  chan *wconn
+	stats []rankCounters // per rank; see RankStats
 
 	closeOnce sync.Once
+}
+
+// rankCounters accumulates one rank's message/byte traffic as observed at
+// the coordinator (atomic: the strategy goroutine and the per-connection
+// reader goroutines count concurrently).
+type rankCounters struct {
+	sentMsgs, sentBytes, recvMsgs, recvBytes atomic.Int64
+}
+
+// countFrame records one delivered frame from rank src to rank dst.
+// Control frames (job lifecycle) are not counted; collective traffic is,
+// matching the virtual cluster's accounting.
+func (g *Group) countFrame(src, dst, n int) {
+	g.stats[src].sentMsgs.Add(1)
+	g.stats[src].sentBytes.Add(int64(n))
+	g.stats[dst].recvMsgs.Add(1)
+	g.stats[dst].recvBytes.Add(int64(n))
+}
+
+// RankStats reports per-rank traffic accounting — the real-transport
+// equivalent of mpi.Cluster.Stats. Bytes and message counts cover every
+// data and collective frame that crossed the coordinator (rank 0's own
+// sends and receives included); a worker's local self-sends never reach
+// the wire and are not observed. Clock is the group's wall-clock age for
+// every rank; Compute stays zero (real ranks do not report compute time),
+// so Comm carries the whole clock.
+func (g *Group) RankStats() []mpi.RankStats {
+	elapsed := g.Elapsed()
+	out := make([]mpi.RankStats, g.size)
+	for r := range out {
+		c := &g.stats[r]
+		out[r] = mpi.RankStats{
+			Clock:     elapsed,
+			Comm:      elapsed,
+			MsgsSent:  int(c.sentMsgs.Load()),
+			BytesSent: int(c.sentBytes.Load()),
+			MsgsRecv:  int(c.recvMsgs.Load()),
+			BytesRecv: int(c.recvBytes.Load()),
+		}
+	}
+	return out
 }
 
 // Rank implements Transport (the coordinator is always rank 0).
@@ -255,10 +302,12 @@ func (g *Group) Send(dst, tag int, data []byte) {
 	if dst == 0 {
 		cp := make([]byte, len(data))
 		copy(cp, data)
+		g.countFrame(0, 0, len(data))
 		g.in.push(frame{src: 0, dst: 0, tag: tag, data: cp})
 		return
 	}
 	w := g.ws[dst-1]
+	g.countFrame(0, dst, len(data))
 	if err := w.w.write(frame{src: 0, dst: dst, tag: tag, data: data}); err != nil {
 		g.workerLost(w, err)
 		fatalf("send to rank %d: %v", dst, err)

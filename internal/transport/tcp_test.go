@@ -338,3 +338,71 @@ func TestInterruptUnblocksMaster(t *testing.T) {
 	h.Close()
 	wait()
 }
+
+// TestGroupRankStats pins the coordinator-side traffic accounting: every
+// data and collective frame is charged to its source and destination rank,
+// control frames are not counted, and worker-to-worker relays show up on
+// both endpoints.
+func TestGroupRankStats(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 2, func(tr Transport) error {
+		data := tr.Bcast(0, nil) // 8 bytes from root
+		if len(data) != 8 {
+			return fmt.Errorf("rank %d: bcast payload %d bytes", tr.Rank(), len(data))
+		}
+		if tr.Rank() == 1 {
+			tr.Send(2, 7, make([]byte, 3)) // relay through the hub
+		}
+		if tr.Rank() == 2 {
+			tr.Recv(1, 7)
+		}
+		tr.Send(0, 5, make([]byte, 16))
+		return nil
+	})
+
+	g, err := h.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Bcast(0, make([]byte, 8))
+	g.Recv(1, 5)
+	g.Recv(2, 5)
+
+	st := g.RankStats()
+	if len(st) != 3 {
+		t.Fatalf("RankStats returned %d ranks, want 3", len(st))
+	}
+	// Root broadcast: 2 sends of 8 bytes from rank 0.
+	if st[0].MsgsSent != 2 || st[0].BytesSent != 16 {
+		t.Fatalf("rank 0 sent %d msgs / %d bytes, want 2 / 16", st[0].MsgsSent, st[0].BytesSent)
+	}
+	// Rank 0 received one 16-byte payload from each worker.
+	if st[0].MsgsRecv != 2 || st[0].BytesRecv != 32 {
+		t.Fatalf("rank 0 recv %d msgs / %d bytes, want 2 / 32", st[0].MsgsRecv, st[0].BytesRecv)
+	}
+	// Rank 1: bcast in (8), relay out (3) + gather-style send (16).
+	if st[1].MsgsSent != 2 || st[1].BytesSent != 19 {
+		t.Fatalf("rank 1 sent %d msgs / %d bytes, want 2 / 19", st[1].MsgsSent, st[1].BytesSent)
+	}
+	if st[1].MsgsRecv != 1 || st[1].BytesRecv != 8 {
+		t.Fatalf("rank 1 recv %d msgs / %d bytes, want 1 / 8", st[1].MsgsRecv, st[1].BytesRecv)
+	}
+	// Rank 2: bcast in (8) + relay in (3); one 16-byte send.
+	if st[2].MsgsRecv != 2 || st[2].BytesRecv != 11 {
+		t.Fatalf("rank 2 recv %d msgs / %d bytes, want 2 / 11", st[2].MsgsRecv, st[2].BytesRecv)
+	}
+	if st[2].MsgsSent != 1 || st[2].BytesSent != 16 {
+		t.Fatalf("rank 2 sent %d msgs / %d bytes, want 1 / 16", st[2].MsgsSent, st[2].BytesSent)
+	}
+	if st[1].Clock <= 0 || st[1].Comm != st[1].Clock {
+		t.Fatalf("rank 1 clock accounting inconsistent: %+v", st[1])
+	}
+
+	g.Release()
+	h.Close()
+	for i, err := range wait() {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}

@@ -20,6 +20,23 @@ import (
 // by counted subtraction, which costs O(log p) per net instead of the
 // O(p log p) re-collect-and-sort of the historical implementation.
 
+// searchF64 returns the first index i with v[i] >= x — sort.SearchFloat64s
+// semantics. Placement nets are small, so a linear scan beats the binary
+// search's branch mispredictions and call overhead on the common sizes;
+// past the cutoff it defers to the stdlib. The returned index is identical
+// either way, so every consumer stays bitwise deterministic.
+func searchF64(v []float64, x float64) int {
+	if len(v) <= 24 {
+		for i, e := range v {
+			if e >= x {
+				return i
+			}
+		}
+		return len(v)
+	}
+	return sort.SearchFloat64s(v, x)
+}
+
 // exclSpan returns min and max of the sorted values v after removing k
 // entries of value rv (lo is rv's lower-bound insertion index). The caller
 // guarantees len(v)-k >= 1.
@@ -41,8 +58,8 @@ func exclSpan(v []float64, lo, k int) (min, max float64) {
 // hpwlExcl returns the half-perimeter of the pins excluding k entries at
 // (rx, ry). The caller guarantees at least two pins remain.
 func hpwlExcl(xv, yv []float64, rx, ry float64, k int) float64 {
-	minX, maxX := exclSpan(xv, sort.SearchFloat64s(xv, rx), k)
-	minY, maxY := exclSpan(yv, sort.SearchFloat64s(yv, ry), k)
+	minX, maxX := exclSpan(xv, searchF64(xv, rx), k)
+	minY, maxY := exclSpan(yv, searchF64(yv, ry), k)
 	return (maxX - minX) + (maxY - minY)
 }
 
@@ -70,7 +87,7 @@ func exclMedian(v []float64, lo, k int) float64 {
 // subtracted by count: rb of the k removed entries (all of value rv) sit
 // below the split. Mirrors branchSumAt's left + right decomposition.
 func exclBranchSum(v, p []float64, rv float64, lo, k int, med float64) float64 {
-	i := sort.SearchFloat64s(v, med) // first stored value >= med
+	i := searchF64(v, med) // first stored value >= med
 	rb := i - lo
 	if rb < 0 {
 		rb = 0
@@ -93,8 +110,8 @@ func exclBranchSum(v, p []float64, rv float64, lo, k int, med float64) float64 {
 // remaining across-coordinate to the remaining median. Shapes the sum like
 // trunkTrial: span first, then the branch total.
 func trunkExcl(along []float64, rAlong float64, across, acrossP []float64, rAcross float64, k int) float64 {
-	minA, maxA := exclSpan(along, sort.SearchFloat64s(along, rAlong), k)
-	cLo := sort.SearchFloat64s(across, rAcross)
+	minA, maxA := exclSpan(along, searchF64(along, rAlong), k)
+	cLo := searchF64(across, rAcross)
 	med := exclMedian(across, cLo, k)
 	return (maxA - minA) + exclBranchSum(across, acrossP, rAcross, cLo, k, med)
 }
@@ -119,14 +136,21 @@ func steinerExcl(xv, xp, yv, yp []float64, rx, ry float64, k int) float64 {
 // implementations evaluate the canonical formulas above over identical
 // sorted sequences and prefix sums, so their results are bitwise equal.
 func (v *View) NetLengthExcluding(n netlist.NetID, id netlist.CellID) float64 {
-	inc := v.inc
 	k := 0
-	for _, ref := range inc.pins[id] {
-		if ref.net == n {
-			k = int(ref.k)
+	for _, ref := range v.inc.CellPins(id) {
+		if ref.Net == n {
+			k = int(ref.K)
 			break
 		}
 	}
+	return v.NetLengthExcludingK(n, id, k)
+}
+
+// NetLengthExcludingK is NetLengthExcluding with the cell's pin
+// multiplicity k on the net already known — the goodness hot loop iterates
+// the cell's PinRefs, so the per-net incidence rescan is redundant there.
+func (v *View) NetLengthExcludingK(n netlist.NetID, id netlist.CellID, k int) float64 {
+	inc := v.inc
 	g := &inc.geoms[n]
 	m := len(g.xv) - k
 	if m < 2 {

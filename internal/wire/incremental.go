@@ -2,7 +2,6 @@ package wire
 
 import (
 	"fmt"
-	"sort"
 
 	"simevo/internal/netlist"
 )
@@ -28,19 +27,46 @@ import (
 //
 // An Incremental is not safe for concurrent mutation. Concurrent *reads*
 // are safe through per-goroutine Views (View), which the parallel
-// allocation scanner exploits: every mutation finishes before a scan
-// starts, and Views carry their own scratch for the RMST estimator.
+// allocation scanner and the parallel goodness evaluator exploit: every
+// mutation finishes before a scan starts, and Views carry their own
+// scratch for the RMST estimator.
+//
+// Storage is structure-of-arrays: all per-net sorted pin values, owning
+// cells, and prefix sums live in one contiguous backing array per axis
+// (flatXV, flatYV, ...), carved into per-net regions at construction. The
+// per-net netGeom fields are capacity-capped slice headers aliasing those
+// regions, so the existing insert/remove-by-memmove mutation paths work
+// unchanged, can never spill into a neighboring net's region (a net's pin
+// count never exceeds its degree), and never allocate. Walking nets in id
+// order — the dirty-net re-estimation, the goodness formulas, trial
+// compilation — therefore walks contiguous memory.
 type Incremental struct {
 	ckt *netlist.Circuit
 	est Estimator
 
-	cx, cy []float64  // per-cell coordinate mirror
-	geoms  []netGeom  // per-net sorted pin geometry
-	pins   [][]pinRef // per cell: distinct incident nets with pin multiplicity
+	cx, cy []float64 // per-cell coordinate mirror
+	geoms  []netGeom // per-net sorted pin geometry (headers into the flats)
+
+	// Flat SoA backing for the per-net geometry. geoms[n] aliases
+	// [netOff[n], netOff[n]+deg(n)) of each value/cell array and
+	// [netOff[n]+n, netOff[n]+n+deg(n)+1) of each prefix array (prefix
+	// regions are one element longer per net; nil unless the estimator
+	// needs them).
+	flatXV, flatYV []float64
+	flatXC, flatYC []netlist.CellID
+	flatXP, flatYP []float64
+
+	// Flat cell-net incidence: cell id's distinct incident nets (with pin
+	// multiplicities) are pinRefs[pinOff[id]:pinOff[id+1]], in CellNets
+	// order.
+	pinRefs []PinRef
+	pinOff  []int32
 
 	lengths  []float64        // committed per-net lengths
 	dirty    []netlist.NetID  // nets whose cached length is stale
 	isDirty  []bool           // per net
+	geoStale []netlist.NetID  // Sync scratch: nets to refill from the mirror
+	geoMark  []bool           // per net: already on geoStale
 	removed  []netlist.CellID // cells lifted out for trial scanning
 	oldX     []float64        // coords of removed cells, parallel to removed
 	oldY     []float64
@@ -51,18 +77,19 @@ type Incremental struct {
 
 // netGeom holds one net's cached geometry: pin coordinates sorted per axis
 // with the owning cell per entry, plus prefix sums for the Steiner branch
-// math (len = len(values)+1; unused for HPWL/RMST).
+// math (len = len(values)+1; unused for HPWL/RMST). The slices are
+// capacity-capped windows into the Incremental's flat backing arrays.
 type netGeom struct {
 	xv, yv []float64
 	xc, yc []netlist.CellID
 	xp, yp []float64
 }
 
-// pinRef is one edge of the cell-net incidence: net plus the number of
+// PinRef is one edge of the cell-net incidence: net plus the number of
 // pins the cell has on it (a cell can sink the same net more than once).
-type pinRef struct {
-	net netlist.NetID
-	k   int32
+type PinRef struct {
+	Net netlist.NetID
+	K   int32
 }
 
 // ChangeSource is the placement-side contract for Sync: coordinates plus a
@@ -85,22 +112,24 @@ func NewIncremental(ckt *netlist.Circuit, est Estimator) *Incremental {
 		geoms:   make([]netGeom, ckt.NumNets()),
 		lengths: make([]float64, ckt.NumNets()),
 		isDirty: make([]bool, ckt.NumNets()),
+		geoMark: make([]bool, ckt.NumNets()),
 	}
 	inc.base = View{inc: inc, ev: NewEvaluator(ckt, est)}
 	inc.buildPins()
+	inc.buildFlat()
 	return inc
 }
 
 // buildPins precomputes the cell-net incidence with pin multiplicities so
 // the mutation paths touch each incident net in O(1) instead of rescanning
-// the net's sink list.
+// the net's sink list. The incidence is itself flat: one contiguous PinRef
+// array with per-cell offsets.
 func (inc *Incremental) buildPins() {
 	ckt := inc.ckt
-	inc.pins = make([][]pinRef, len(ckt.Cells))
+	inc.pinOff = make([]int32, len(ckt.Cells)+1)
 	var nets []netlist.NetID
 	for id := range ckt.Cells {
 		nets = ckt.CellNets(netlist.CellID(id), nets[:0])
-		refs := make([]pinRef, 0, len(nets))
 		for _, n := range nets {
 			net := ckt.Net(n)
 			k := int32(0)
@@ -112,10 +141,62 @@ func (inc *Incremental) buildPins() {
 					k++
 				}
 			}
-			refs = append(refs, pinRef{net: n, k: k})
+			inc.pinRefs = append(inc.pinRefs, PinRef{Net: n, K: k})
 		}
-		inc.pins[id] = refs
+		inc.pinOff[id+1] = int32(len(inc.pinRefs))
 	}
+}
+
+// buildFlat allocates the contiguous SoA backing arrays and points every
+// net's geometry header at its region. Regions are sized to the net's full
+// degree and capacity-capped, so the in-place mutation paths can neither
+// reallocate nor cross into a neighbor.
+func (inc *Incremental) buildFlat() {
+	ckt := inc.ckt
+	total := 0
+	for n := 0; n < ckt.NumNets(); n++ {
+		total += inc.netDegree(netlist.NetID(n))
+	}
+	inc.flatXV = make([]float64, total)
+	inc.flatYV = make([]float64, total)
+	inc.flatXC = make([]netlist.CellID, total)
+	inc.flatYC = make([]netlist.CellID, total)
+	if inc.needPrefix() {
+		inc.flatXP = make([]float64, total+ckt.NumNets())
+		inc.flatYP = make([]float64, total+ckt.NumNets())
+	}
+	off := 0
+	for n := range inc.geoms {
+		deg := inc.netDegree(netlist.NetID(n))
+		g := &inc.geoms[n]
+		g.xv = inc.flatXV[off : off+deg : off+deg]
+		g.yv = inc.flatYV[off : off+deg : off+deg]
+		g.xc = inc.flatXC[off : off+deg : off+deg]
+		g.yc = inc.flatYC[off : off+deg : off+deg]
+		if inc.needPrefix() {
+			p := off + n
+			g.xp = inc.flatXP[p : p : p+deg+1]
+			g.yp = inc.flatYP[p : p : p+deg+1]
+		}
+		off += deg
+	}
+}
+
+// netDegree returns the net's total pin count (driver + sinks).
+func (inc *Incremental) netDegree(n netlist.NetID) int {
+	net := inc.ckt.Net(n)
+	deg := len(net.Sinks)
+	if net.Driver != netlist.NoCell {
+		deg++
+	}
+	return deg
+}
+
+// CellPins returns the cell's distinct incident nets with pin
+// multiplicities, in the canonical CellNets order. The returned slice
+// aliases the flat incidence array; callers must not mutate it.
+func (inc *Incremental) CellPins(id netlist.CellID) []PinRef {
+	return inc.pinRefs[inc.pinOff[id]:inc.pinOff[id+1]]
 }
 
 // Estimator returns the configured estimator.
@@ -144,7 +225,7 @@ func (inc *Incremental) Rebuild(coords Coords) {
 	for n := range inc.geoms {
 		inc.rebuildNet(netlist.NetID(n))
 		inc.isDirty[n] = false
-		inc.lengths[n] = inc.base.ev.NetLength(netlist.NetID(n), inc)
+		inc.lengths[n] = inc.estimate(netlist.NetID(n))
 	}
 	inc.dirty = inc.dirty[:0]
 	inc.built = true
@@ -292,12 +373,41 @@ func (inc *Incremental) RestoreCell(id netlist.CellID) {
 // Sync drains the source's coordinate-change journal and applies the moves,
 // marking only the touched nets dirty. The source must be the same
 // placement the state was last rebuilt from.
+//
+// Unlike MoveCell — which edits each net's sorted arrays one pin at a time
+// and pays two binary searches, two memmoves, and a prefix refresh per pin
+// — Sync batches: it updates the whole mirror first, then refills each
+// touched net's geometry once from the mirror. A journal drain typically
+// moves a large fraction of the cells (every allocated cell plus the row
+// repacking behind it), so most touched nets have several moved pins and
+// the single refill is cheaper than the per-pin edits. The refilled arrays
+// hold the same sorted multisets the per-pin edits would produce (entries
+// of equal coordinate may carry different owning cells, which no consumer
+// distinguishes), so every downstream value is bit-identical.
 func (inc *Incremental) Sync(src ChangeSource) {
+	if len(inc.removed) != 0 {
+		panic("wire: Sync with removed cells outstanding")
+	}
 	inc.drainBuf = src.DrainChangedCells(inc.drainBuf[:0])
 	for _, id := range inc.drainBuf {
 		x, y := src.Coord(id)
-		inc.MoveCell(id, x, y)
+		if inc.cx[id] == x && inc.cy[id] == y {
+			continue
+		}
+		inc.cx[id], inc.cy[id] = x, y
+		for _, ref := range inc.CellPins(id) {
+			inc.markDirty(ref.Net)
+			if !inc.geoMark[ref.Net] {
+				inc.geoMark[ref.Net] = true
+				inc.geoStale = append(inc.geoStale, ref.Net)
+			}
+		}
 	}
+	for _, n := range inc.geoStale {
+		inc.geoMark[n] = false
+		inc.rebuildNet(n)
+	}
+	inc.geoStale = inc.geoStale[:0]
 }
 
 // Lengths re-estimates the dirty nets (pin-order collection through the
@@ -317,14 +427,40 @@ func (inc *Incremental) NetLength(n netlist.NetID) float64 {
 		if len(inc.removed) != 0 {
 			panic("wire: NetLength with removed cells outstanding")
 		}
-		inc.lengths[n] = inc.base.ev.NetLength(n, inc)
+		inc.lengths[n] = inc.estimate(n)
 		inc.isDirty[n] = false
 	}
 	return inc.lengths[n]
 }
 
+// estimate re-derives one net's committed length, bitwise identical to the
+// from-scratch Evaluator over the same coordinates. Nets whose estimate
+// degenerates to the bounding box (HPWL, or Steiner with <= 3 pins — the
+// bulk of a netlist) read the extremes straight from the sorted multisets:
+// min and max are order-independent, so the value equals the pin-order
+// hpwl() bit for bit without collecting a single pin. Everything else goes
+// through the embedded Evaluator's canonical pin-order path.
+func (inc *Incremental) estimate(n netlist.NetID) float64 {
+	g := &inc.geoms[n]
+	deg := len(g.xv)
+	if deg < 2 {
+		return 0
+	}
+	if inc.est == HPWL || (inc.est == Steiner && deg <= 3) {
+		return (g.xv[deg-1] - g.xv[0]) + (g.yv[deg-1] - g.yv[0])
+	}
+	return inc.base.ev.NetLength(n, inc)
+}
+
 // Built reports whether Rebuild has initialized the state.
 func (inc *Incremental) Built() bool { return inc.built }
+
+// Dirty returns the nets whose cached committed length is stale — the nets
+// touched by mutations since the last re-estimation. The engine's goodness
+// cache reads it (before Lengths flushes it) to invalidate exactly the
+// cells whose goodness inputs changed. The returned slice aliases internal
+// state: valid until the next mutation or flush, and not to be mutated.
+func (inc *Incremental) Dirty() []netlist.NetID { return inc.dirty }
 
 // StoredSpan returns the half-perimeter of the net's stored pins (0 when
 // all pins are removed) — the scan-ordering key for compiled trials.
@@ -345,7 +481,7 @@ func (inc *Incremental) flush() {
 	}
 	for _, n := range inc.dirty {
 		if inc.isDirty[n] {
-			inc.lengths[n] = inc.base.ev.NetLength(n, inc)
+			inc.lengths[n] = inc.estimate(n)
 			inc.isDirty[n] = false
 		}
 	}
@@ -362,15 +498,15 @@ func (inc *Incremental) markDirty(n netlist.NetID) {
 // eachNet invokes fn for every distinct net incident to the cell with the
 // cell's pin multiplicity k on that net.
 func (inc *Incremental) eachNet(id netlist.CellID, fn func(n netlist.NetID, g *netGeom, k int)) {
-	for _, ref := range inc.pins[id] {
-		fn(ref.net, &inc.geoms[ref.net], int(ref.k))
+	for _, ref := range inc.CellPins(id) {
+		fn(ref.Net, &inc.geoms[ref.Net], int(ref.K))
 	}
 }
 
 // insertPin inserts (v, cell) keeping values ascending.
 func insertPin(vals *[]float64, cells *[]netlist.CellID, v float64, cell netlist.CellID) {
 	vs, cs := *vals, *cells
-	i := sort.SearchFloat64s(vs, v)
+	i := searchF64(vs, v)
 	vs = append(vs, 0)
 	cs = append(cs, 0)
 	copy(vs[i+1:], vs[i:])
@@ -382,7 +518,7 @@ func insertPin(vals *[]float64, cells *[]netlist.CellID, v float64, cell netlist
 // removePin removes one (v, cell) entry. The entry must exist.
 func removePin(vals *[]float64, cells *[]netlist.CellID, v float64, cell netlist.CellID) {
 	vs, cs := *vals, *cells
-	i := sort.SearchFloat64s(vs, v)
+	i := searchF64(vs, v)
 	for ; i < len(vs) && vs[i] == v; i++ {
 		if cs[i] == cell {
 			*vals = append(vs[:i], vs[i+1:]...)

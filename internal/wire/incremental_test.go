@@ -273,10 +273,15 @@ func TestTrialSetMatchesViewTrials(t *testing.T) {
 // to the trialled cell — orderTrials always sorts its zero span last):
 // a later vacancy scoring exactly the current best must NOT steal the win.
 func TestScanBestTrailingZeroTieBreak(t *testing.T) {
-	set := TrialSet{items: []compiledTrial{
-		{kind: trialBBox, w: 1, minX: 10, maxX: 20, minY: 1.5, maxY: 1.5},
-		{kind: trialZero},
-	}}
+	set := TrialSet{
+		items: []compiledTrial{
+			{kind: trialBBox, w: 1, minX: 10, maxX: 20, minY: 1.5, maxY: 1.5},
+			{kind: trialZero},
+		},
+		// Hand-built sets must carry the stored-span suffix bounds
+		// CompileTrials derives: Σ_{j>=i} w_j · storedSpan_j.
+		tail: []float64{10, 0, 0},
+	}
 	// Two vacancies with identical coordinates — identical scores.
 	vacs := []Vacancy{{X: 0, Y: 1.5, Row: 0}, {X: 0, Y: 1.5, Row: 0}}
 	free := []int32{0, 1}
@@ -396,5 +401,64 @@ func TestExcludingPadNets(t *testing.T) {
 	}
 	if !seen2 {
 		t.Log("no 2-pin nets in the generated circuit; degenerate path untested here")
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the SoA storage contract: once the flat
+// backing arrays exist and the scratch buffers are warm, a full
+// sync/re-estimate/goodness/trial cycle allocates nothing. (RMST is
+// excluded: its trial path collects pins into growable scratch by design.)
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	ckt := testCircuit(t, 77)
+	place := layout.NewRandom(ckt, 0, rng.NewStream(9, 0))
+	coords := newMutableCoords(ckt, place)
+	inc := NewIncremental(ckt, Steiner)
+	inc.Rebuild(coords)
+
+	movable := ckt.Movable()
+	var lengths []float64
+	var trials TrialSet
+	var nets []netlist.NetID
+	var weights []float64
+	view := inc.BaseView()
+
+	cycle := func(round int) {
+		// A batch of moves through the journal, then dirty re-estimation.
+		for i := 0; i < 8; i++ {
+			id := movable[(round*13+i*7)%len(movable)]
+			coords.move(id, float64((round+i*11)%40)+0.5, float64((round*3+i)%8)*layout.RowPitch+2)
+		}
+		inc.Sync(coords)
+		lengths = inc.Lengths(lengths)
+
+		// Goodness-style excluding reads plus a compiled trial scan.
+		id := movable[round%len(movable)]
+		for _, ref := range inc.CellPins(id) {
+			_ = view.NetLengthExcludingK(ref.Net, id, int(ref.K))
+		}
+		nets = nets[:0]
+		weights = weights[:0]
+		for _, ref := range inc.CellPins(id) {
+			nets = append(nets, ref.Net)
+			weights = append(weights, 1)
+		}
+		inc.RemoveCell(id)
+		inc.CompileTrials(&trials, nets, weights, 8)
+		trials.PrefillClasses(layout.RowY)
+		_ = trials.Score(view, 3.5, layout.RowY(2), 2)
+		inc.RestoreCell(id)
+	}
+
+	// Warm every growable scratch buffer, then demand zero allocations.
+	for r := 0; r < 4; r++ {
+		cycle(r)
+	}
+	round := 4
+	avg := testing.AllocsPerRun(20, func() {
+		cycle(round)
+		round++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f times per run, want 0", avg)
 	}
 }

@@ -1,7 +1,5 @@
 package wire
 
-import "sort"
-
 // Canonical trial-evaluation formulas shared by the from-scratch Evaluator
 // and the Incremental evaluator.
 //
@@ -99,7 +97,7 @@ func trunkTrial(along, alongC, across, acrossP, acrossC []float64) float64 {
 // branchSum returns Σ|v_i − med| over the sorted values v with prefix sums
 // p (p[i] = v[0]+…+v[i−1], accumulated left to right; len(p) = len(v)+1).
 func branchSum(v, p []float64, med float64) float64 {
-	return branchSumAt(v, p, med, sort.SearchFloat64s(v, med))
+	return branchSumAt(v, p, med, searchF64(v, med))
 }
 
 // branchSumAt is branchSum with the split index — the first index holding
@@ -218,7 +216,7 @@ func mergedAt(v []float64, c0, c1 float64, k, i int) float64 {
 	if k == 0 {
 		return v[i]
 	}
-	p0 := sort.SearchFloat64s(v, c0)
+	p0 := searchF64(v, c0)
 	if i < p0 {
 		return v[i]
 	}
@@ -228,7 +226,7 @@ func mergedAt(v []float64, c0, c1 float64, k, i int) float64 {
 	if k == 1 {
 		return v[i-1]
 	}
-	p1 := sort.SearchFloat64s(v, c1) + 1 // c1 lands after c0's slot
+	p1 := searchF64(v, c1) + 1 // c1 lands after c0's slot
 	if i < p1 {
 		return v[i-1]
 	}

@@ -37,6 +37,14 @@ type TrialSet struct {
 	yClasses int
 	memo     []float64 // per (item, class): [ySpanExt|0, yBranch|ySpanExt]
 	filled   []bool    // per (item, class)
+
+	// tail[i] = Σ_{j>=i} w_j · storedSpan_j: a lower bound on the weighted
+	// cost of items i.. for ANY candidate, since every bbox/trunk trial is
+	// at least the stored pins' half-perimeter (RMST and empty nets
+	// conservatively contribute 0). ScanBest adds tail[i+1] to the partial
+	// cost when bailing, pruning vacancies whose suffix could never fit
+	// under the bound — provably without changing the winner.
+	tail []float64
 }
 
 type trialKind uint8
@@ -121,6 +129,16 @@ func (inc *Incremental) CompileTrials(dst *TrialSet, nets []netlist.NetID, weigh
 			it.iy0 = int32(sort.SearchFloat64s(g.yv, it.ay0))
 		}
 		dst.items = append(dst.items, it)
+	}
+	dst.tail = resizeFloats(dst.tail, len(dst.items)+1)
+	acc := 0.0
+	dst.tail[len(dst.items)] = 0
+	for i := len(dst.items) - 1; i >= 0; i-- {
+		it := &dst.items[i]
+		if it.kind == trialBBox || it.kind == trialTrunk {
+			acc += ((it.maxX - it.minX) + (it.maxY - it.minY)) * it.w
+		}
+		dst.tail[i] = acc
 	}
 	dst.yClasses = yClasses
 	if yClasses > 0 {
@@ -340,12 +358,29 @@ type Vacancy struct {
 // vacancy ScoreBounded calls — this is the innermost allocation loop, so
 // the scoring is inlined here; the equivalence test pins it bitwise to the
 // ScoreBounded loop it replaces. The memo must be compiled with yClasses
-// covering every row AND prefilled (PrefillClasses) before any call;
-// concurrent chunked use additionally needs one View per goroutine.
+// covering every row. A serial caller may leave the memo cold — classes
+// fill lazily on first use, so rows no vacancy sits in are never computed.
+// Concurrent chunked use must PrefillClasses first (lazy filling is not
+// goroutine-safe) and needs one View per goroutine.
 func (t *TrialSet) ScanBest(view *View, vacs []Vacancy, free []int32,
 	rowOK []bool, lo, hi int, bound0 float64) (int, float64) {
 	best, bound := -1, bound0
 	items := t.items
+	// Bbox pre-check on the leading net: a single-trunk (or bbox) trial
+	// is bounded below by the half-perimeter of the stored pins extended
+	// by the candidate, and items 1.. are bounded below by tail[1]. When
+	// even that sum reaches the current bound the vacancy is skipped
+	// before any full evaluation. Pruned vacancies are exactly ones the
+	// bounded scan would have discarded (their true cost is >= the
+	// bound), so the winner — and the trajectory — is untouched.
+	tail := t.tail
+	prune := false
+	var pruneW, tail1, minX0, maxX0, minY0, maxY0 float64
+	if len(items) > 0 && (items[0].kind == trialTrunk || items[0].kind == trialBBox) {
+		it := &items[0]
+		prune, pruneW, tail1 = true, it.w, tail[1]
+		minX0, maxX0, minY0, maxY0 = it.minX, it.maxX, it.minY, it.maxY
+	}
 scan:
 	for _, v32 := range free[lo:hi] {
 		v := int(v32)
@@ -354,6 +389,24 @@ scan:
 			continue
 		}
 		x, y := vacs[v].X, vacs[v].Y
+		if prune {
+			lox, hix, loy, hiy := minX0, maxX0, minY0, maxY0
+			if x < lox {
+				lox = x
+			}
+			if x > hix {
+				hix = x
+			}
+			if y < loy {
+				loy = y
+			}
+			if y > hiy {
+				hiy = y
+			}
+			if ((hix-lox)+(hiy-loy))*pruneW+tail1 >= bound {
+				continue
+			}
+		}
 		yClass := int(row)
 		cost := 0.0
 		for i := range items {
@@ -375,9 +428,10 @@ scan:
 				}
 				cost += ((hix - lox) + (hiy - loy)) * it.w
 			case trialTrunk:
-				// The memo is prefilled for every row (PrefillClasses —
-				// ScanBest's precondition), so no lazy-fill check here.
 				slot := i*t.yClasses + yClass
+				if !t.filled[slot] {
+					t.fillClass(i, yClass, y)
+				}
 				yBranch, ySpan := t.memo[2*slot], t.memo[2*slot+1]
 
 				lox, hix := it.minX, it.maxX
@@ -423,7 +477,11 @@ scan:
 				// record at cost == bound is a tie and must not reach
 				// the winner assignment (first minimum wins).
 			}
-			if cost >= bound {
+			// Bail as soon as the partial cost plus the remaining items'
+			// stored-span floor reaches the bound: the full cost could
+			// only be larger, so only non-winners are dropped (and a tie
+			// at the bound never wins — first minimum stays).
+			if cost+tail[i+1] >= bound {
 				continue scan
 			}
 		}
