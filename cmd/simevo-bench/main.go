@@ -10,6 +10,10 @@
 //	simevo-bench -baseline BENCH_baseline.json
 //	                            # record the incremental-engine perf
 //	                            # baseline (and nothing else)
+//	simevo-bench -baseline BENCH_baseline.json -objectives wire+power+delay
+//	                            # restrict the baseline to one objective
+//	                            # mode (default: both paper modes, with
+//	                            # per-objective phase timings for wpd)
 package main
 
 import (
@@ -26,7 +30,9 @@ func main() {
 	table := flag.String("table", "all", `experiment to run: "profile", "1".."4", "compare", or "all"`)
 	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
 	baseline := flag.String("baseline", "", "write the incremental-engine perf baseline JSON to this path and exit")
-	check := flag.String("check-baseline", "", "re-measure and fail if ns/iter regressed >15% against the baseline JSON at this path")
+	objectives := flag.String("objectives", "wire+power,wire+power+delay",
+		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay)")
+	check := flag.String("check-baseline", "", "re-measure and fail if the incremental/scratch speedup regressed >15% against the baseline JSON at this path (covers every mode the file records)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -34,10 +40,10 @@ func main() {
 	// run's failures return an exit code instead of calling os.Exit so the
 	// deferred profile writers always flush — a regressed bench gate run
 	// is exactly the one worth profiling.
-	os.Exit(run(*table, *scale, *baseline, *check, *cpuprofile, *memprofile))
+	os.Exit(run(*table, *scale, *baseline, *objectives, *check, *cpuprofile, *memprofile))
 }
 
-func run(table, scale, baseline, check, cpuprofile, memprofile string) int {
+func run(table, scale, baseline, objectives, check, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -74,7 +80,7 @@ func run(table, scale, baseline, check, cpuprofile, memprofile string) int {
 		return 0
 	}
 	if baseline != "" {
-		if err := experiments.WriteBaseline(baseline, os.Stdout); err != nil {
+		if err := experiments.WriteBaseline(baseline, objectives, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
 			return 1
 		}

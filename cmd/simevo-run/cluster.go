@@ -16,8 +16,8 @@ import (
 // runWorker serves one coordinator as a cluster rank and exits — the
 // -join mode that "spawn" relies on (a dedicated simevo-worker binary does
 // the same job with re-join support).
-func runWorker(addr string) {
-	w, err := transport.Join(context.Background(), addr)
+func runWorker(addr, token string) {
+	w, err := transport.Join(context.Background(), addr, token)
 	fatal(err)
 	err = w.Serve(context.Background(), func(t transport.Transport) error {
 		return jobs.ServeRank(context.Background(), t)
@@ -27,7 +27,7 @@ func runWorker(addr string) {
 
 // runCluster executes a parallel strategy with real worker processes: this
 // process is the coordinator and rank 0; the remaining ranks join over TCP.
-func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, procs int, pattern string, retry int) {
+func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, procs int, pattern string, retry int, token string) {
 	spec := jobs.Spec{
 		Strategy:  strategy,
 		MaxIters:  iters,
@@ -69,7 +69,7 @@ func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, 
 		fatal(fmt.Errorf(`unknown -cluster mode %q (use "spawn" or "listen=ADDR")`, mode))
 	}
 
-	hub, err := transport.Listen(addr)
+	hub, err := transport.Listen(addr, token)
 	fatal(err)
 	defer hub.Close()
 	fmt.Printf("coordinator listening on %s\n", hub.Addr())
@@ -79,7 +79,7 @@ func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, 
 		self, err := os.Executable()
 		fatal(err)
 		for i := 0; i < workers; i++ {
-			cmd := exec.Command(self, "-join", hub.Addr().String())
+			cmd := exec.Command(self, "-join", hub.Addr().String(), "-token", token)
 			cmd.Stdout = os.Stderr
 			cmd.Stderr = os.Stderr
 			fatal(cmd.Start())

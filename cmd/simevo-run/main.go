@@ -40,14 +40,15 @@ func main() {
 	ideal := flag.Bool("ideal-net", false, "use a zero-cost interconnect instead of fast Ethernet")
 	cluster := flag.String("cluster", "", `run parallel ranks as real processes: "spawn" or "listen=ADDR"`)
 	join := flag.String("join", "", "run as a cluster worker joining this coordinator address, then exit")
+	token := flag.String("token", "", "shared-secret cluster join token (coordinator and workers must agree)")
 	flag.Parse()
 
 	if *join != "" {
-		runWorker(*join)
+		runWorker(*join, *token)
 		return
 	}
 	if *cluster != "" {
-		runCluster(*cluster, *ckt, *strategy, *objectives, *iters, *seed, *procs, *pattern, *retry)
+		runCluster(*cluster, *ckt, *strategy, *objectives, *iters, *seed, *procs, *pattern, *retry, *token)
 		return
 	}
 

@@ -6,12 +6,14 @@
 // Usage:
 //
 //	simevo-serve [-addr :8080] [-workers 2] [-queue 64] [-cache 128] \
-//	             [-cluster-listen :9090]
+//	             [-cluster-listen :9090] [-cluster-token SECRET]
 //
 // With -cluster-listen the server also runs a cluster coordinator:
 // simevo-worker processes that join it serve parallel jobs submitted with
 // "transport": "tcp", each worker holding one rank of the run while the
-// server is rank 0.
+// server is rank 0. -cluster-token requires workers to present the same
+// shared-secret join token (constant-time compared) before they may park
+// — set it on any coordinator reachable beyond a trusted host.
 //
 // Endpoints:
 //
@@ -50,12 +52,13 @@ func main() {
 	cache := flag.Int("cache", 128, "LRU result-cache entries (negative disables)")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records")
 	clusterAddr := flag.String("cluster-listen", "", "TCP address for simevo-worker registration (empty disables cluster jobs)")
+	clusterToken := flag.String("cluster-token", "", "shared-secret join token workers must present (empty leaves the coordinator open)")
 	flag.Parse()
 
 	var hub *transport.Hub
 	if *clusterAddr != "" {
 		var err error
-		hub, err = transport.Listen(*clusterAddr)
+		hub, err = transport.Listen(*clusterAddr, *clusterToken)
 		if err != nil {
 			log.Fatalf("simevo-serve: cluster listener: %v", err)
 		}

@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	simevo-worker -join host:9090 [-retry 5s]
+//	simevo-worker -join host:9090 [-token SECRET] [-retry 5s]
 //
 // The worker keeps serving jobs on one connection until the coordinator
 // dismisses it or the connection drops; with -retry it then re-joins,
-// which lets workers outlive coordinator restarts.
+// which lets workers outlive coordinator restarts. -token presents the
+// coordinator's shared-secret join token (required whenever the
+// coordinator was started with one); a mismatch is rejected without a
+// response, surfacing here as a dropped connection.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 func main() {
 	join := flag.String("join", "", "coordinator address (host:port), required")
+	token := flag.String("token", "", "shared-secret join token (must match the coordinator's)")
 	retry := flag.Duration("retry", 0, "re-join after connection loss, waiting this long between attempts (0 = exit)")
 	flag.Parse()
 	if *join == "" {
@@ -38,7 +42,7 @@ func main() {
 	defer stop()
 
 	for {
-		err := serveOnce(ctx, *join)
+		err := serveOnce(ctx, *join, *token)
 		switch {
 		case err == nil:
 			log.Print("simevo-worker: dismissed by coordinator")
@@ -58,8 +62,8 @@ func main() {
 	}
 }
 
-func serveOnce(ctx context.Context, addr string) error {
-	w, err := transport.Join(ctx, addr)
+func serveOnce(ctx context.Context, addr, token string) error {
+	w, err := transport.Join(ctx, addr, token)
 	if err != nil {
 		return err
 	}

@@ -31,9 +31,10 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 	}
 
 	args := []string{"-ckt", "s1196", "-strategy", "type2", "-procs", "3", "-iters", "40", "-seed", "2006"}
+	const token = "smoke-secret" // exercises the shared-secret join auth end to end
 
 	// Coordinator: listen on an ephemeral port and report it on stdout.
-	coord := exec.Command(runBin, append(args, "-cluster", "listen=127.0.0.1:0")...)
+	coord := exec.Command(runBin, append(args, "-cluster", "listen=127.0.0.1:0", "-token", token)...)
 	coord.Stderr = os.Stderr
 	stdout, err := coord.StdoutPipe()
 	if err != nil {
@@ -71,7 +72,7 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 
 	// Two worker processes join; the coordinator is rank 0 of 3.
 	for i := 0; i < 2; i++ {
-		w := exec.Command(workerBin, "-join", addr)
+		w := exec.Command(workerBin, "-join", addr, "-token", token)
 		w.Stderr = os.Stderr
 		if err := w.Start(); err != nil {
 			t.Fatalf("starting worker %d: %v", i, err)

@@ -121,13 +121,13 @@ func deltaCodecDemo() {
 // hub and two workers — and runs the same Type II job over it.
 func tcpTransportDemo() {
 	fmt.Println("\nType II over the TCP transport (localhost, 3 ranks):")
-	hub, err := transport.Listen("127.0.0.1:0")
+	hub, err := transport.Listen("127.0.0.1:0", "")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer hub.Close()
 	for i := 0; i < 2; i++ {
-		w, err := transport.Join(context.Background(), hub.Addr().String())
+		w, err := transport.Join(context.Background(), hub.Addr().String(), "")
 		if err != nil {
 			log.Fatal(err)
 		}

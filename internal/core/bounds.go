@@ -1,12 +1,11 @@
 package core
 
 import (
+	"simevo/internal/cost"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
 	"simevo/internal/netlist"
-	"simevo/internal/power"
 	"simevo/internal/rng"
-	"simevo/internal/timing"
 	"simevo/internal/wire"
 )
 
@@ -18,39 +17,26 @@ import (
 const refStream = 0
 
 // referenceCosts evaluates the objective costs of the canonical initial
-// placement. μ(s) memberships are then expressed as improvement over this
-// reference: the per-objective lower bound is Ref_j / Goal_j, so membership
-// is 0 at the initial cost and reaches 1 when the cost has improved by the
-// goal factor. This keeps μ comparable across serial and parallel runs (the
-// paper reports parallel quality as a percentage of serial μ) and puts
-// converged solutions in the 0.5-0.8 band the paper's tables show.
-func referenceCosts(ckt *netlist.Circuit, cfg *Config) (fuzzy.Costs, error) {
+// placement through the same cost pipeline the engines run, so the μ
+// normalization and the per-iteration costs share one canonical
+// definition of every objective. μ(s) memberships are then expressed as
+// improvement over this reference: the per-objective lower bound is
+// Ref_j / Goal_j, so membership is 0 at the initial cost and reaches 1
+// when the cost has improved by the goal factor. This keeps μ comparable
+// across serial and parallel runs (the paper reports parallel quality as
+// a percentage of serial μ) and puts converged solutions in the 0.5-0.8
+// band the paper's tables show. The levelization and activity tables are
+// the problem's cached ones — they are placement-independent.
+func referenceCosts(ckt *netlist.Circuit, cfg *Config, lv *netlist.Levels, acts []float64) fuzzy.Costs {
 	rnd := rng.NewStream(cfg.Seed, refStream)
 	place := layout.NewRandom(ckt, cfg.NumRows, rnd)
 	ev := wire.NewEvaluator(ckt, cfg.WireEstimator)
 	lengths := ev.Lengths(place, nil)
 
-	var ref fuzzy.Costs
-	ref.Wire = wire.Total(lengths)
-
-	acts, err := power.Activities(ckt, cfg.PowerConfig)
-	if err != nil {
-		return fuzzy.Costs{}, err
-	}
-	ref.Power = power.Cost(lengths, acts)
-
-	if cfg.Objectives.Has(fuzzy.Delay) {
-		lv, err := ckt.Levelize()
-		if err != nil {
-			return fuzzy.Costs{}, err
-		}
-		a, err := timing.Analyze(ckt, lv, lengths, cfg.TimingModel)
-		if err != nil {
-			return fuzzy.Costs{}, err
-		}
-		ref.Delay = a.MaxDelay
-	}
-	return ref, nil
+	// Wire and power reference costs are always needed (they normalize
+	// the always-reported raw costs); delay only when active.
+	pipe := cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, acts, lv, cfg.TimingModel)
+	return pipe.Full(lengths)
 }
 
 // lowerBoundsFromReference converts reference costs into the normalization

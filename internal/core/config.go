@@ -84,17 +84,21 @@ type Config struct {
 	// cooperating searches; parallel.Options.Diversify uses these orders.
 	AllocOrder AllocOrder
 
-	// DisableIncremental forces from-scratch cost evaluation and trial
-	// scoring instead of the cached incremental net-cost engine. The two
-	// modes follow bitwise-identical trajectories (the incremental engine
-	// is an optimization, not an approximation); this switch exists as the
-	// reference for equivalence tests and as an escape hatch.
+	// DisableIncremental forces from-scratch evaluation everywhere: net
+	// lengths, trial scoring, and every cost.Objective's full recompute
+	// (wire/power re-sum all nets, delay reruns a complete STA pass)
+	// instead of the cached incremental pipeline. The two modes follow
+	// bitwise-identical trajectories for every objective set (the
+	// incremental machinery is an optimization, not an approximation);
+	// this switch exists as the reference for equivalence tests and as an
+	// escape hatch.
 	DisableIncremental bool
 
-	// FullEvalEvery is the periodic full-recompute checksum interval: every
-	// this many evaluations the incremental state is rebuilt from scratch,
-	// bounding any float drift a future non-exact estimator (or a dirty-net
-	// tracking bug) could introduce (0: 64).
+	// FullEvalEvery is the periodic full-recompute drift guard interval:
+	// every this many evaluations the incremental net state is rebuilt
+	// from scratch and every objective recomputes from the full length
+	// array, bounding any float drift a future non-exact estimator (or a
+	// dirty-net tracking bug) could introduce (0: 64).
 	FullEvalEvery int
 
 	// AllocWorkers bounds the worker pool that fans the per-cell vacancy

@@ -6,14 +6,25 @@ import (
 	"slices"
 	"time"
 
+	"simevo/internal/cost"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
 	"simevo/internal/netlist"
-	"simevo/internal/power"
 	"simevo/internal/rng"
-	"simevo/internal/timing"
 	"simevo/internal/wire"
 )
+
+// maxObjectives bounds the per-cell goodness accumulator arrays so the
+// hot loop can keep them on the stack.
+const maxObjectives = 8
+
+// gainSrc is one objective's contribution to per-cell goodness and
+// allocation trial weighting: either a per-net weight table (wirelength,
+// power) or a direct per-cell scorer (delay).
+type gainSrc struct {
+	wIdx   int // index into Engine.gainW when weighted
+	scorer cost.CellScored
+}
 
 // Engine is one SimE search: a placement plus the operator state. Engines
 // are not safe for concurrent use; the parallel strategies give each rank
@@ -23,10 +34,18 @@ type Engine struct {
 	place *layout.Placement
 	rnd   *rng.R
 
-	ev       *wire.Evaluator
-	lengths  []float64
-	analysis *timing.Analysis // nil unless Delay is active
-	netCrit  []float64        // per-net timing criticality for allocation
+	ev      *wire.Evaluator
+	lengths []float64
+
+	// Objective pipeline: every active cost term behind the unified
+	// cost.Objective interface, evaluated from the full length array
+	// (reference / rebuild) or folded forward from the dirty-net batch.
+	pipe      *cost.Pipeline
+	gains     []gainSrc   // per active objective, in aggregation order
+	gainW     [][]float64 // weight tables of the weighted objectives
+	hasScorer bool        // a CellScored objective (delay) is active
+	gainTerms []float64   // per cell × weighted objective: cached goodness terms
+	dirtyNets []netlist.NetID
 
 	// Incremental net-cost engine (nil in DisableIncremental mode). The
 	// mirror is kept in lockstep with the placement through the layout
@@ -89,10 +108,37 @@ type Engine struct {
 
 func (e *Engine) init() {
 	ckt := e.prob.Ckt
-	e.ev = wire.NewEvaluator(ckt, e.prob.Cfg.WireEstimator)
-	if !e.prob.Cfg.DisableIncremental {
-		e.inc = wire.NewIncremental(ckt, e.prob.Cfg.WireEstimator)
+	cfg := &e.prob.Cfg
+	e.ev = wire.NewEvaluator(ckt, cfg.WireEstimator)
+	if !cfg.DisableIncremental {
+		e.inc = wire.NewIncremental(ckt, cfg.WireEstimator)
 		e.incStale = true
+	}
+	// Wire and power are always evaluated (their raw costs are reported
+	// even when inactive); delay only when the objective set asks for it.
+	// Goodness and allocation weighting draw only on the active set.
+	e.pipe = cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, e.prob.Acts, e.prob.Lv, cfg.TimingModel)
+	e.pipe.EnableTiming() // surfaced through CostPhases / simevo-bench
+	for _, o := range e.pipe.Objectives() {
+		if !cfg.Objectives.Has(o.Bit()) {
+			continue
+		}
+		switch x := o.(type) {
+		case cost.LengthWeighted:
+			e.gains = append(e.gains, gainSrc{wIdx: len(e.gainW)})
+			e.gainW = append(e.gainW, x.Weights())
+		case cost.CellScored:
+			e.gains = append(e.gains, gainSrc{scorer: x})
+			e.hasScorer = true
+		default:
+			panic("core: objective " + o.Name() + " provides no goodness hook")
+		}
+	}
+	if len(e.gains) > maxObjectives {
+		panic("core: too many active objectives")
+	}
+	if e.hasScorer {
+		e.gainTerms = make([]float64, len(ckt.Cells)*len(e.gainW))
 	}
 	e.goodness = make([]float64, len(ckt.Cells))
 	e.goodClean = make([]bool, len(ckt.Cells))
@@ -100,10 +146,7 @@ func (e *Engine) init() {
 	e.allocKern = e.scanChunk
 	e.evalKern = e.evalChunk
 	e.domain = append([]netlist.CellID(nil), ckt.Movable()...)
-	e.allocOrder = e.prob.Cfg.AllocOrder
-	if e.prob.Cfg.Objectives.Has(fuzzy.Delay) {
-		e.netCrit = make([]float64, ckt.NumNets())
-	}
+	e.allocOrder = cfg.AllocOrder
 	e.bestMu = -1
 }
 
@@ -225,9 +268,10 @@ func (e *Engine) PatchPlacement(deltas []layout.SlotDelta) error {
 	return nil
 }
 
-// EvaluateCosts refreshes net lengths, objective costs, timing analysis
-// (when delay is active) and μ(s), and updates the best-solution tracking.
-// It does not touch per-cell goodness.
+// EvaluateCosts refreshes net lengths, runs the objective pipeline
+// (wirelength, power, and — when active — the incremental STA behind
+// delay) and μ(s), and updates the best-solution tracking. It does not
+// touch per-cell goodness.
 func (e *Engine) EvaluateCosts() {
 	if e.place.Dirty() {
 		e.place.Recompute()
@@ -235,38 +279,34 @@ func (e *Engine) EvaluateCosts() {
 	cfg := &e.prob.Cfg
 	if e.inc == nil {
 		// Reference mode re-derives everything from scratch, including
-		// every cell's goodness — the exact paper semantics the cached
-		// modes are tested against.
+		// every cell's goodness and every objective's full recompute —
+		// the exact semantics the cached modes are tested against.
 		e.lengths = e.ev.Lengths(e.place, e.lengths)
 		e.invalidateAllGoodness()
-	} else {
-		if rebuilt := e.syncIncremental(); rebuilt || cfg.Objectives.Has(fuzzy.Delay) {
-			// A full rebuild loses the dirty-net record; delay goodness
-			// depends on global timing criticality. Either way every
-			// cached goodness value is suspect.
-			e.invalidateAllGoodness()
-		} else {
-			// Goodness inputs are per-cell-local: the lengths and pin
-			// geometry of the cell's nets (plus static tables). Only cells
-			// on a net touched since the last evaluation can change, so
-			// the cached values of all other cells are reused — bitwise
-			// what a recomputation would produce.
-			e.invalidateGoodnessOnNets(e.inc.Dirty())
-		}
+		e.costs = e.pipe.Full(e.lengths)
+	} else if rebuilt := e.syncIncremental(); rebuilt {
+		// A full rebuild loses the dirty-net record, so every cached
+		// goodness value is suspect and every objective recomputes from
+		// the full length array — the periodic drift guard of the
+		// pipeline (Config.FullEvalEvery) rides the same path.
+		e.invalidateAllGoodness()
 		e.lengths = e.inc.Lengths(e.lengths)
-	}
-	e.costs.Wire = wire.Total(e.lengths)
-	e.costs.Power = power.Cost(e.lengths, e.prob.Acts)
-	if cfg.Objectives.Has(fuzzy.Delay) {
-		a, err := timing.Analyze(e.prob.Ckt, e.prob.Lv, e.lengths, cfg.TimingModel)
-		if err != nil {
-			// Analyze only fails on a length/net count mismatch, which the
-			// engine construction rules out.
-			panic("core: timing analysis failed: " + err.Error())
-		}
-		e.analysis = a
-		e.costs.Delay = a.MaxDelay
-		e.updateNetCrit()
+		e.costs = e.pipe.Full(e.lengths)
+	} else {
+		// Goodness inputs for the weighted objectives are per-cell-local:
+		// the lengths and pin geometry of the cell's nets (plus static
+		// tables). Only cells on a net touched since the last evaluation
+		// can change, so the cached terms of all other cells are reused —
+		// bitwise what a recomputation would produce. (The delay score is
+		// global — MaxDelay rescales every criticality — so it is
+		// re-read from the refreshed STA on every aggregation instead of
+		// living in the cache; see goodnessWith.) The dirty-net list is
+		// snapshotted before Lengths flushes it, then folded into every
+		// objective in O(dirty).
+		e.dirtyNets = e.inc.DirtySnapshot(e.dirtyNets)
+		e.invalidateGoodnessOnNets(e.dirtyNets)
+		e.lengths = e.inc.Lengths(e.lengths)
+		e.costs = e.pipe.ApplyDirty(e.dirtyNets, e.lengths)
 	}
 	ratios := fuzzy.Ratio(e.costs, e.prob.Lower)
 	e.mu = fuzzy.Eval(cfg.Objectives, ratios, cfg.Goals, e.prob.OWA, e.place.WidthViolation(cfg.Alpha))
@@ -326,22 +366,9 @@ func (e *Engine) invalidateGoodnessOnNets(nets []netlist.NetID) {
 	}
 }
 
-// updateNetCrit caches per-net timing criticality: the worst endpoint
-// criticality of the net, used to weight allocation trials toward shrinking
-// nets on near-critical paths.
-func (e *Engine) updateNetCrit() {
-	ckt := e.prob.Ckt
-	for i := range ckt.Nets {
-		net := &ckt.Nets[i]
-		c := e.analysis.Criticality(net.Driver)
-		for _, s := range net.Sinks {
-			if sc := e.analysis.Criticality(s); sc > c {
-				c = sc
-			}
-		}
-		e.netCrit[i] = c
-	}
-}
+// CostPhases returns the accumulated per-objective pipeline time —
+// simevo-bench records it as the per-objective phase breakdown.
+func (e *Engine) CostPhases() map[string]time.Duration { return e.pipe.Phases() }
 
 // evalMinCells is the cell count below which goodness evaluation is not
 // worth fanning across the pool. Variable so tests can force the parallel
@@ -373,7 +400,11 @@ func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float6
 		return dst
 	}
 	for i, id := range cells {
-		if e.goodClean[id] {
+		// With a per-cell scorer active (delay), a clean cell's cached
+		// weighted terms are reused but the aggregate is re-derived: the
+		// scorer term is global (MaxDelay rescales every criticality), so
+		// the final goodness moves even when the cell's nets did not.
+		if !e.hasScorer && e.goodClean[id] {
 			dst[i] = e.goodness[id]
 			continue
 		}
@@ -391,7 +422,7 @@ func (e *Engine) evalChunk(slot, lo, hi int) {
 	goods := e.slotGoods[slot]
 	for i := lo; i < hi; i++ {
 		id := e.evalCells[i]
-		if e.goodClean[id] {
+		if !e.hasScorer && e.goodClean[id] {
 			e.evalDst[i] = e.goodness[id]
 			continue
 		}
@@ -406,22 +437,28 @@ func (e *Engine) evalChunk(slot, lo, hi int) {
 
 // SetGoodness installs externally computed goodness values (Type I master
 // after gathering slave results). The values are as valid for the current
-// solution as locally computed ones, so they enter the cache.
+// solution as locally computed ones, so they enter the cache — except in
+// delay mode, where goodClean additionally promises valid per-cell
+// gainTerms (which external values do not carry); those cells stay
+// unclean and recompute in full if a later evaluation ever visits them.
 func (e *Engine) SetGoodness(cells []netlist.CellID, vals []float64) {
 	for i, id := range cells {
 		e.goodness[id] = vals[i]
-		e.goodClean[id] = true
+		if !e.hasScorer {
+			e.goodClean[id] = true
+		}
 	}
 }
 
 // cellGoodness computes g_i = O_i / C_i aggregated over active objectives.
 //
-// Wirelength: C = Σ current lengths of the cell's nets; O = Σ over the same
-// nets of the length with the cell optimally placed — the net over the
-// remaining pins plus the minimal attachment span (half the cell's width
-// plus half the nearest remaining cell's width, which a 2-pin net needs to
-// be non-zero). Power: the same sums weighted by switching activity.
-// Delay: 1 − timing criticality (slack-based).
+// Each weighted objective (wirelength: unit weights; power: switching
+// activities) contributes ratio01(Σ w·optimal, Σ w·current) over the
+// cell's nets, where "optimal" is the net over the remaining pins plus the
+// minimal attachment span (half the cell's width plus half the nearest
+// remaining cell's width, which a 2-pin net needs to be non-zero). A
+// CellScored objective (delay) contributes its per-cell score directly:
+// 1 − timing criticality (slack-based).
 func (e *Engine) cellGoodness(id netlist.CellID) float64 {
 	// With the incremental engine active (and synced by the preceding
 	// EvaluateCosts), the excluding lengths come from the cached sorted
@@ -441,53 +478,72 @@ func (e *Engine) cellGoodness(id netlist.CellID) float64 {
 // view (nil selects the from-scratch reference path, which may only run
 // serially: it shares the engine's evaluator scratch). goods is the
 // caller's aggregation scratch, returned with its grown capacity.
+//
+// When a per-cell scorer is active (delay), the weighted terms of a clean
+// cell are served from the gainTerms cache — their inputs (net lengths,
+// pin geometry) are untouched, so recomputing would reproduce identical
+// bits — and only the global scorer term is re-read before aggregation.
 func (e *Engine) goodnessWith(id netlist.CellID, view *wire.View, goods []float64) (float64, []float64) {
-	cfg := &e.prob.Cfg
-	var cw, ow, cp, op float64
-	if view != nil {
-		// The flat incidence already pairs each incident net with the
-		// cell's pin multiplicity, in CellNets order — same summation
-		// order as the reference path, without re-deriving either.
-		for _, ref := range e.inc.CellPins(id) {
-			n := ref.Net
-			l := e.lengths[n]
-			excl := view.NetLengthExcludingK(n, id, int(ref.K))
-			opt := excl + e.minAttach(n, id)
-			if opt > l {
-				opt = l // clamp: O_i may not exceed the achieved cost
+	nw := len(e.gainW)
+	var accC, accO [maxObjectives]float64
+	useCache := e.hasScorer && e.goodClean[id]
+	if nw > 0 && !useCache {
+		if view != nil {
+			// The flat incidence already pairs each incident net with the
+			// cell's pin multiplicity, in CellNets order — same summation
+			// order as the reference path, without re-deriving either.
+			for _, ref := range e.inc.CellPins(id) {
+				n := ref.Net
+				l := e.lengths[n]
+				excl := view.NetLengthExcludingK(n, id, int(ref.K))
+				opt := excl + e.minAttach(n, id)
+				if opt > l {
+					opt = l // clamp: O_i may not exceed the achieved cost
+				}
+				for j := 0; j < nw; j++ {
+					w := e.gainW[j][n]
+					accC[j] += w * l
+					accO[j] += w * opt
+				}
 			}
-			cw += l
-			ow += opt
-			act := e.prob.Acts[n]
-			cp += l * act
-			op += opt * act
+		} else {
+			e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf[:0])
+			for _, n := range e.netsBuf {
+				l := e.lengths[n]
+				excl := e.ev.NetLengthExcluding(n, id, e.place)
+				opt := excl + e.minAttach(n, id)
+				if opt > l {
+					opt = l // clamp: O_i may not exceed the achieved cost
+				}
+				for j := 0; j < nw; j++ {
+					w := e.gainW[j][n]
+					accC[j] += w * l
+					accO[j] += w * opt
+				}
+			}
 		}
-	} else {
-		e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf[:0])
-		for _, n := range e.netsBuf {
-			l := e.lengths[n]
-			excl := e.ev.NetLengthExcluding(n, id, e.place)
-			opt := excl + e.minAttach(n, id)
-			if opt > l {
-				opt = l // clamp: O_i may not exceed the achieved cost
+		if e.hasScorer {
+			base := int(id) * nw
+			for j := 0; j < nw; j++ {
+				e.gainTerms[base+j] = ratio01(accO[j], accC[j])
 			}
-			cw += l
-			ow += opt
-			act := e.prob.Acts[n]
-			cp += l * act
-			op += opt * act
 		}
 	}
 
 	goods = goods[:0]
-	if cfg.Objectives.Has(fuzzy.Wire) {
-		goods = append(goods, ratio01(ow, cw))
-	}
-	if cfg.Objectives.Has(fuzzy.Power) {
-		goods = append(goods, ratio01(op, cp))
-	}
-	if cfg.Objectives.Has(fuzzy.Delay) {
-		goods = append(goods, 1-e.analysis.Criticality(id))
+	if e.hasScorer {
+		base := int(id) * nw
+		for _, g := range e.gains {
+			if g.scorer != nil {
+				goods = append(goods, g.scorer.CellScore(id))
+			} else {
+				goods = append(goods, e.gainTerms[base+g.wIdx])
+			}
+		}
+	} else {
+		for _, g := range e.gains {
+			goods = append(goods, ratio01(accO[g.wIdx], accC[g.wIdx]))
+		}
 	}
 	return e.prob.OWA.Aggregate(goods...), goods
 }
@@ -716,20 +772,20 @@ func (e *Engine) dropFreeVac(v int32) {
 // their objective weights (hoisted out of the per-vacancy loop — they do
 // not depend on the candidate position), and, in incremental mode, lifts
 // the cell's pins out of the cached multisets so trials need no exclusion.
+// Each active objective contributes its per-net weight: the weight table
+// for weighted objectives (1 for wirelength, the switching activity for
+// power), NetScore for scorers (the timing criticality for delay).
 func (e *Engine) prepTrial(id netlist.CellID, useInc bool) {
-	cfg := &e.prob.Cfg
 	e.netsBuf = e.prob.Ckt.CellNets(id, e.netsBuf[:0])
 	e.trialW = e.trialW[:0]
 	for _, n := range e.netsBuf {
 		w := 0.0
-		if cfg.Objectives.Has(fuzzy.Wire) {
-			w += 1
-		}
-		if cfg.Objectives.Has(fuzzy.Power) {
-			w += e.prob.Acts[n]
-		}
-		if cfg.Objectives.Has(fuzzy.Delay) {
-			w += e.netCrit[n]
+		for _, g := range e.gains {
+			if g.scorer != nil {
+				w += g.scorer.NetScore(n)
+			} else {
+				w += e.gainW[g.wIdx][n]
+			}
 		}
 		e.trialW = append(e.trialW, w)
 	}

@@ -19,8 +19,12 @@ type Problem struct {
 	Ckt *netlist.Circuit
 	Cfg Config
 
-	Lv   *netlist.Levels
-	Acts []float64 // per-net switching activity S_i
+	Lv *netlist.Levels
+	// Acts are the per-net switching activities S_i, derived from one run
+	// of the power probability fixpoint (a whole-circuit propagation,
+	// computed once per problem) and shared by every engine, the
+	// reference-cost evaluation, and the metaheuristics.
+	Acts []float64
 	// Ref holds the objective costs of the canonical initial placement;
 	// Lower = Ref / goal factors normalizes the fuzzy memberships.
 	Ref   fuzzy.Costs
@@ -46,18 +50,18 @@ func NewProblem(ckt *netlist.Circuit, cfg Config) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	acts, err := power.Activities(ckt, cfg.PowerConfig)
+	probs, err := power.Probabilities(ckt, cfg.PowerConfig)
 	if err != nil {
 		return nil, err
 	}
 	p := &Problem{
-		Ckt: ckt, Cfg: cfg, Lv: lv, Acts: acts,
-		OWA: fuzzy.OWA{Beta: cfg.Beta},
+		Ckt: ckt, Cfg: cfg, Lv: lv,
+		Acts: power.FromProbabilities(probs),
+		OWA:  fuzzy.OWA{Beta: cfg.Beta},
 	}
-	p.Ref, err = referenceCosts(ckt, &cfg)
-	if err != nil {
-		return nil, err
-	}
+	// The reference evaluation reuses the cached levelization and
+	// activities instead of re-deriving both per construction.
+	p.Ref = referenceCosts(ckt, &cfg, p.Lv, p.Acts)
 	if p.Ref.Wire <= 0 || p.Ref.Power <= 0 {
 		return nil, fmt.Errorf("core: degenerate reference costs %+v", p.Ref)
 	}

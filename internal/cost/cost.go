@@ -1,0 +1,258 @@
+// Package cost is the pluggable incremental objective pipeline behind the
+// SimE engine's multi-objective evaluation. Each cost term of the fuzzy
+// aggregation — wirelength, power, delay, and any future objective — is an
+// Objective with Full / ApplyDirty / Snapshot-Restore semantics:
+//
+//	Full        recompute from every committed net length (the reference
+//	            path, doubling as the periodic drift guard)
+//	ApplyDirty  fold only the re-estimated dirty nets in, in
+//	            O(|dirty|·polylog), bitwise identical to Full
+//	Snapshot    copy the cached state; Restore reinstates it
+//
+// The bitwise contract is what lets the engine's incremental mode follow
+// the exact trajectory of the Config.DisableIncremental reference: the
+// weighted-length objectives accumulate through a fixed-shape pairwise
+// summation tree (every partial sum is a deterministic function of the
+// leaves, so replacing one leaf and re-propagating its root path yields
+// the same bits as a full bottom-up rebuild), and the delay objective's
+// incremental STA (timing.Inc) re-propagates pure per-cell recurrences
+// whose fixpoint is independent of the update order.
+//
+// Two optional capability interfaces tell the engine how an objective
+// contributes to per-cell goodness and allocation trial weighting:
+// LengthWeighted (wirelength, power: a per-net weight table) and
+// CellScored (delay: a direct per-cell score plus a per-net trial weight).
+// A new objective — congestion, say — plugs in by implementing Objective
+// plus whichever capability fits, with no engine surgery.
+package cost
+
+import (
+	"fmt"
+	"time"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/netlist"
+	"simevo/internal/timing"
+)
+
+// Objective is one incrementally maintained cost term.
+type Objective interface {
+	// Bit identifies the objective in the fuzzy aggregation.
+	Bit() fuzzy.Objectives
+	// Name is the stable identifier used in phase reports.
+	Name() string
+	// Full recomputes the cost from every committed net length.
+	Full(lengths []float64) float64
+	// ApplyDirty folds the re-estimated lengths of the dirty nets into
+	// the cached state and returns the updated cost. The result is
+	// bitwise identical to Full over the same lengths.
+	ApplyDirty(dirty []netlist.NetID, lengths []float64) float64
+	// Value returns the cost of the last Full/ApplyDirty.
+	Value() float64
+	// Snapshot copies the cached state; Restore reinstates it. The
+	// snapshot is opaque and only valid for the objective that made it.
+	Snapshot() Snapshot
+	Restore(Snapshot)
+}
+
+// Snapshot is an opaque copy of one objective's cached state.
+type Snapshot any
+
+// LengthWeighted marks objectives of the form Σ_n w[n]·length[n]. The
+// engine folds the weight table into per-cell goodness gain terms and
+// allocation trial weights.
+type LengthWeighted interface {
+	Weights() []float64
+}
+
+// CellScored marks objectives whose goodness contribution is a direct
+// per-cell score (delay: 1−criticality) rather than a weighted-length
+// ratio; NetScore is the objective's allocation trial weight for a net.
+type CellScored interface {
+	CellScore(id netlist.CellID) float64
+	NetScore(n netlist.NetID) float64
+}
+
+// weightedSum is a Σ w[n]·length[n] objective over a deterministic
+// pairwise summation tree: leaf n holds w[n]·length[n], every internal
+// node the rounded sum of its two children. Replacing a leaf and
+// re-propagating the log-depth path to the root reproduces exactly the
+// bits a bottom-up rebuild would, so ApplyDirty ≡ Full.
+type weightedSum struct {
+	bit  fuzzy.Objectives
+	name string
+	w    []float64
+	tree sumTree
+}
+
+func (o *weightedSum) Bit() fuzzy.Objectives { return o.bit }
+func (o *weightedSum) Name() string          { return o.name }
+func (o *weightedSum) Weights() []float64    { return o.w }
+func (o *weightedSum) Value() float64        { return o.tree.value() }
+
+func (o *weightedSum) Full(lengths []float64) float64 {
+	o.tree.rebuild(len(lengths), func(i int) float64 { return o.w[i] * lengths[i] })
+	return o.tree.value()
+}
+
+func (o *weightedSum) ApplyDirty(dirty []netlist.NetID, lengths []float64) float64 {
+	// Past a quarter of the leaves the O(dirty·log n) path walks more
+	// nodes than the linear recombine; fall back to Full, which produces
+	// the identical bits by construction.
+	if len(dirty)*4 >= len(lengths) {
+		return o.Full(lengths)
+	}
+	for _, n := range dirty {
+		o.tree.set(int(n), o.w[n]*lengths[n])
+	}
+	return o.tree.value()
+}
+
+func (o *weightedSum) Snapshot() Snapshot { return o.tree.snapshot() }
+func (o *weightedSum) Restore(s Snapshot) {
+	o.tree.restore(s.([]float64))
+}
+
+// delayObjective adapts the incremental STA to the Objective interface.
+type delayObjective struct {
+	sta *timing.Inc
+	val float64
+}
+
+func (o *delayObjective) Bit() fuzzy.Objectives { return fuzzy.Delay }
+func (o *delayObjective) Name() string          { return "delay" }
+func (o *delayObjective) Value() float64        { return o.val }
+
+func (o *delayObjective) Full(lengths []float64) float64 {
+	o.val = o.sta.Rebuild(lengths)
+	return o.val
+}
+
+func (o *delayObjective) ApplyDirty(dirty []netlist.NetID, lengths []float64) float64 {
+	o.val = o.sta.Update(dirty, lengths)
+	return o.val
+}
+
+func (o *delayObjective) CellScore(id netlist.CellID) float64 { return 1 - o.sta.Criticality(id) }
+func (o *delayObjective) NetScore(n netlist.NetID) float64    { return o.sta.NetCriticality(n) }
+
+func (o *delayObjective) Snapshot() Snapshot { return o.sta.Snapshot() }
+func (o *delayObjective) Restore(s Snapshot) {
+	o.sta.Restore(s.(*timing.IncSnapshot))
+	o.val = o.sta.MaxDelay()
+}
+
+// Sta exposes the underlying analyzer (nil-safe callers should check the
+// pipeline's Delay accessor instead).
+func (o *delayObjective) Sta() *timing.Inc { return o.sta }
+
+// Pipeline evaluates a set of objectives over one placement's committed
+// net lengths, in the canonical wire → power → delay order the fuzzy
+// aggregation and the goodness terms depend on. With EnableTiming it
+// accumulates per-objective evaluation time for the benchmark phase
+// reports; untimed pipelines (the metaheuristics fold objectives on
+// every accepted move) skip the clock reads entirely.
+type Pipeline struct {
+	objs   []Objective
+	phases []time.Duration
+	timed  bool
+	costs  fuzzy.Costs
+}
+
+// NewPipeline builds the objective set. acts is the per-net switching
+// activity table (shared, not copied); lv and model parameterize the
+// delay substrate and are only consulted when the set includes Delay.
+func NewPipeline(set fuzzy.Objectives, ckt *netlist.Circuit, acts []float64, lv *netlist.Levels, model timing.Model) *Pipeline {
+	p := &Pipeline{}
+	nn := ckt.NumNets()
+	if set.Has(fuzzy.Wire) {
+		ones := make([]float64, nn)
+		for i := range ones {
+			ones[i] = 1
+		}
+		p.objs = append(p.objs, &weightedSum{bit: fuzzy.Wire, name: "wire", w: ones, tree: newSumTree(nn)})
+	}
+	if set.Has(fuzzy.Power) {
+		p.objs = append(p.objs, &weightedSum{bit: fuzzy.Power, name: "power", w: acts, tree: newSumTree(nn)})
+	}
+	if set.Has(fuzzy.Delay) {
+		p.objs = append(p.objs, &delayObjective{sta: timing.NewInc(ckt, lv, model)})
+	}
+	p.phases = make([]time.Duration, len(p.objs))
+	return p
+}
+
+// Objectives returns the pipeline's objectives in evaluation order.
+func (p *Pipeline) Objectives() []Objective { return p.objs }
+
+// Delay returns the incremental STA behind the delay objective, or nil
+// when the set does not include Delay.
+func (p *Pipeline) Delay() *timing.Inc {
+	for _, o := range p.objs {
+		if d, ok := o.(*delayObjective); ok {
+			return d.Sta()
+		}
+	}
+	return nil
+}
+
+// EnableTiming turns on per-objective phase accounting (Phases). Off by
+// default: only pipelines whose phases somebody reads — the engine's,
+// surfaced through simevo-bench — should pay the per-evaluation clock
+// reads.
+func (p *Pipeline) EnableTiming() { p.timed = true }
+
+// Full recomputes every objective from the full length array.
+func (p *Pipeline) Full(lengths []float64) fuzzy.Costs {
+	for i, o := range p.objs {
+		if p.timed {
+			t0 := time.Now()
+			p.setCost(o.Bit(), o.Full(lengths))
+			p.phases[i] += time.Since(t0)
+			continue
+		}
+		p.setCost(o.Bit(), o.Full(lengths))
+	}
+	return p.costs
+}
+
+// ApplyDirty folds a batch of re-estimated dirty nets into every
+// objective. The result is bitwise identical to Full over the same
+// lengths — the incremental/reference equivalence invariant.
+func (p *Pipeline) ApplyDirty(dirty []netlist.NetID, lengths []float64) fuzzy.Costs {
+	for i, o := range p.objs {
+		if p.timed {
+			t0 := time.Now()
+			p.setCost(o.Bit(), o.ApplyDirty(dirty, lengths))
+			p.phases[i] += time.Since(t0)
+			continue
+		}
+		p.setCost(o.Bit(), o.ApplyDirty(dirty, lengths))
+	}
+	return p.costs
+}
+
+// Costs returns the objective values of the last evaluation.
+func (p *Pipeline) Costs() fuzzy.Costs { return p.costs }
+
+// Phases returns the accumulated per-objective evaluation time.
+func (p *Pipeline) Phases() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(p.objs))
+	for i, o := range p.objs {
+		out[o.Name()] = p.phases[i]
+	}
+	return out
+}
+
+func (p *Pipeline) setCost(bit fuzzy.Objectives, v float64) {
+	switch bit {
+	case fuzzy.Wire:
+		p.costs.Wire = v
+	case fuzzy.Power:
+		p.costs.Power = v
+	case fuzzy.Delay:
+		p.costs.Delay = v
+	default:
+		panic(fmt.Sprintf("cost: objective bit %#x has no Costs field", uint8(bit)))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"simevo/internal/core"
@@ -14,9 +15,12 @@ import (
 )
 
 // Baseline captures the incremental-vs-from-scratch performance of the
-// engine's hot paths at the BenchmarkProfileShare scale (s1196, the
-// wire+power objective, 60 iterations), so future PRs have a recorded
-// perf trajectory. simevo-bench -baseline writes it as JSON
+// engine's hot paths at the BenchmarkProfileShare scale (s1196, 60
+// iterations), so future PRs have a recorded perf trajectory. The
+// top-level fields measure the paper's two-objective (wire+power) mode;
+// WirePowerDelay adds the three-objective mode whose evaluation runs the
+// full cost pipeline — summation-tree power and dirty-cone STA — against
+// the full-recompute reference. simevo-bench -baseline writes it as JSON
 // (BENCH_baseline.json at the repo root).
 type Baseline struct {
 	Circuit   string `json:"circuit"`
@@ -44,23 +48,127 @@ type Baseline struct {
 	// the numbers are only comparable at similar parallelism.
 	GoMaxProcs  int `json:"gomaxprocs"`
 	EvalWorkers int `json:"eval_workers"`
+
+	// WirePowerDelay is the three-objective mode measurement (nil when
+	// the baseline was recorded with -objectives excluding it).
+	WirePowerDelay *ModeBaseline `json:"wire_power_delay,omitempty"`
 }
 
-// BaselineRun is one mode's measurement.
+// ModeBaseline is one objective set's incremental-vs-scratch measurement.
+type ModeBaseline struct {
+	Objective       string      `json:"objective"`
+	Incremental     BaselineRun `json:"incremental"`
+	Scratch         BaselineRun `json:"scratch"`
+	TotalSpeedup    float64     `json:"total_speedup"`
+	TrajectoryMatch bool        `json:"trajectory_match"`
+}
+
+// BaselineRun is one mode's measurement. ObjectivePhases breaks the cost
+// pipeline's evaluation down per objective (ns/iter keyed by objective
+// name) — for the delay mode it shows how much of the iteration the
+// dirty-cone STA actually costs against its full-recompute counterpart.
 type BaselineRun struct {
-	NsPerIter      float64 `json:"ns_per_iter"`
-	EvalNsPerIter  float64 `json:"eval_ns_per_iter"`
-	AllocNsPerIter float64 `json:"alloc_ns_per_iter"`
-	AllocShare     float64 `json:"alloc_share"`
-	BestMu         float64 `json:"best_mu"`
+	NsPerIter       float64            `json:"ns_per_iter"`
+	EvalNsPerIter   float64            `json:"eval_ns_per_iter"`
+	AllocNsPerIter  float64            `json:"alloc_ns_per_iter"`
+	AllocShare      float64            `json:"alloc_share"`
+	BestMu          float64            `json:"best_mu"`
+	ObjectivePhases map[string]float64 `json:"objective_phase_ns_per_iter,omitempty"`
 }
 
-// MeasureBaseline runs both modes and assembles the report. The
-// incremental engine mode is measured as it ships: EvalWorkers engages
-// the parallel goodness evaluation when the host has more than one CPU
-// (the trajectory is bitwise identical either way — only the wall clock
-// changes). The scratch reference stays serial.
-func MeasureBaseline() (*Baseline, error) {
+const (
+	baselineCircuit = "s1196"
+	baselineIters   = 60
+	baselineSeed    = 2006
+)
+
+// measureMode runs one (objective set, mode) configuration and reports
+// the timings, best μ, and best-placement fingerprint.
+func measureMode(obj fuzzy.Objectives, scratch bool, evalWorkers int) (BaselineRun, uint64, error) {
+	ckt, err := gen.Benchmark(baselineCircuit)
+	if err != nil {
+		return BaselineRun{}, 0, err
+	}
+	cfg := core.DefaultConfig(obj)
+	cfg.MaxIters = baselineIters
+	cfg.Seed = baselineSeed
+	cfg.DisableIncremental = scratch
+	if !scratch {
+		cfg.EvalWorkers = evalWorkers
+	}
+	prob, err := core.NewProblem(ckt, cfg)
+	if err != nil {
+		return BaselineRun{}, 0, err
+	}
+	eng := prob.NewEngine(0)
+	start := time.Now()
+	res := eng.Run()
+	total := time.Since(start)
+	p := eng.Profile()
+	_, _, allocShare := p.Shares()
+	phases := make(map[string]float64)
+	for name, d := range eng.CostPhases() {
+		phases[name] = float64(d.Nanoseconds()) / baselineIters
+	}
+	return BaselineRun{
+		NsPerIter:       float64(total.Nanoseconds()) / baselineIters,
+		EvalNsPerIter:   float64(p.Eval.Nanoseconds()) / baselineIters,
+		AllocNsPerIter:  float64(p.Alloc.Nanoseconds()) / baselineIters,
+		AllocShare:      allocShare,
+		BestMu:          res.BestMu,
+		ObjectivePhases: phases,
+	}, res.Best.Fingerprint(), nil
+}
+
+// measureModeBest repeats a measurement and keeps the fastest run — the
+// standard noise floor for wall-clock microbenchmarks. Solution quality is
+// identical across repetitions (the run is deterministic), so only the
+// timings differ.
+func measureModeBest(obj fuzzy.Objectives, scratch bool, evalWorkers int) (BaselineRun, uint64, error) {
+	const reps = 3
+	r, fp, err := measureMode(obj, scratch, evalWorkers)
+	if err != nil {
+		return r, fp, err
+	}
+	for i := 1; i < reps; i++ {
+		r2, _, err := measureMode(obj, scratch, evalWorkers)
+		if err != nil {
+			return r, fp, err
+		}
+		if r2.NsPerIter < r.NsPerIter {
+			r = r2
+		}
+	}
+	return r, fp, nil
+}
+
+// measureObjectiveMode measures both engine modes for one objective set.
+func measureObjectiveMode(obj fuzzy.Objectives, evalWorkers int) (*ModeBaseline, error) {
+	inc, incFP, err := measureModeBest(obj, false, evalWorkers)
+	if err != nil {
+		return nil, err
+	}
+	scr, scrFP, err := measureModeBest(obj, true, evalWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return &ModeBaseline{
+		Objective:       obj.String(),
+		Incremental:     inc,
+		Scratch:         scr,
+		TotalSpeedup:    scr.NsPerIter / inc.NsPerIter,
+		TrajectoryMatch: inc.BestMu == scr.BestMu && incFP == scrFP,
+	}, nil
+}
+
+// MeasureBaseline runs both modes for the requested objective sets and
+// assembles the report. The incremental engine mode is measured as it
+// ships: EvalWorkers engages the parallel goodness evaluation when the
+// host has more than one CPU (the trajectory is bitwise identical either
+// way — only the wall clock changes). The scratch reference stays serial.
+// objectives holds "wire+power" and/or "wire+power+delay" ("" measures
+// both).
+func MeasureBaseline(objectives string) (*Baseline, error) {
 	evalWorkers := runtime.GOMAXPROCS(0)
 	if evalWorkers > 8 {
 		evalWorkers = 8
@@ -68,102 +176,83 @@ func MeasureBaseline() (*Baseline, error) {
 	if evalWorkers <= 1 {
 		evalWorkers = 0
 	}
-	return measureBaselineWith(evalWorkers)
+	return measureBaselineWith(evalWorkers, objectives)
+}
+
+// parseObjectiveModes maps the -objectives flag to the measured sets.
+func parseObjectiveModes(objectives string) (wp, wpd bool, err error) {
+	if objectives == "" {
+		return true, true, nil
+	}
+	for _, o := range strings.Split(objectives, ",") {
+		switch strings.TrimSpace(strings.ToLower(o)) {
+		case "wire+power", "wp":
+			wp = true
+		case "wire+power+delay", "wpd":
+			wpd = true
+		case "":
+		default:
+			return false, false, fmt.Errorf("experiments: unknown objective mode %q (have wire+power, wire+power+delay)", o)
+		}
+	}
+	if !wp && !wpd {
+		return false, false, fmt.Errorf("experiments: no objective mode selected")
+	}
+	return wp, wpd, nil
 }
 
 // measureBaselineWith measures at a pinned evaluation fan-out, so the
 // bench gate can reproduce the committed baseline's configuration.
-func measureBaselineWith(evalWorkers int) (*Baseline, error) {
-	const (
-		circuit = "s1196"
-		iters   = 60
-		seed    = 2006
-	)
-	run := func(scratch bool) (BaselineRun, uint64, error) {
-		ckt, err := gen.Benchmark(circuit)
-		if err != nil {
-			return BaselineRun{}, 0, err
-		}
-		cfg := core.DefaultConfig(fuzzy.WirePower)
-		cfg.MaxIters = iters
-		cfg.Seed = seed
-		cfg.DisableIncremental = scratch
-		if !scratch {
-			cfg.EvalWorkers = evalWorkers
-		}
-		prob, err := core.NewProblem(ckt, cfg)
-		if err != nil {
-			return BaselineRun{}, 0, err
-		}
-		eng := prob.NewEngine(0)
-		start := time.Now()
-		res := eng.Run()
-		total := time.Since(start)
-		p := eng.Profile()
-		_, _, allocShare := p.Shares()
-		return BaselineRun{
-			NsPerIter:      float64(total.Nanoseconds()) / iters,
-			EvalNsPerIter:  float64(p.Eval.Nanoseconds()) / iters,
-			AllocNsPerIter: float64(p.Alloc.Nanoseconds()) / iters,
-			AllocShare:     allocShare,
-			BestMu:         res.BestMu,
-		}, res.Best.Fingerprint(), nil
-	}
-
-	// Each mode is measured several times and the fastest run kept — the
-	// standard noise floor for wall-clock microbenchmarks. Solution
-	// quality is identical across repetitions (the run is deterministic),
-	// so only the timings differ.
-	const reps = 3
-	best := func(scratch bool) (BaselineRun, uint64, error) {
-		r, fp, err := run(scratch)
-		if err != nil {
-			return r, fp, err
-		}
-		for i := 1; i < reps; i++ {
-			r2, _, err := run(scratch)
-			if err != nil {
-				return r, fp, err
-			}
-			if r2.NsPerIter < r.NsPerIter {
-				r = r2
-			}
-		}
-		return r, fp, nil
-	}
-	inc, incFP, err := best(false)
+func measureBaselineWith(evalWorkers int, objectives string) (*Baseline, error) {
+	wp, wpd, err := parseObjectiveModes(objectives)
 	if err != nil {
 		return nil, err
 	}
-	scr, scrFP, err := best(true)
-	if err != nil {
-		return nil, err
+	b := &Baseline{
+		Circuit:     baselineCircuit,
+		Objective:   "wire+power",
+		Iters:       baselineIters,
+		Seed:        baselineSeed,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		EvalWorkers: evalWorkers,
 	}
-	return &Baseline{
-		Circuit:         circuit,
-		Objective:       "wire+power",
-		Iters:           iters,
-		Seed:            seed,
-		Incremental:     inc,
-		Scratch:         scr,
-		AllocSpeedup:    scr.AllocNsPerIter / inc.AllocNsPerIter,
-		TotalSpeedup:    scr.NsPerIter / inc.NsPerIter,
-		TrajectoryMatch: inc.BestMu == scr.BestMu && incFP == scrFP,
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		EvalWorkers:     evalWorkers,
-	}, nil
+	if !wp {
+		// Without the wire+power measurement the legacy top-level fields
+		// stay zero; blank the objective label so the file cannot be
+		// misread as recording a diverged wp trajectory.
+		b.Objective = ""
+	} else {
+		mode, err := measureObjectiveMode(fuzzy.WirePower, evalWorkers)
+		if err != nil {
+			return nil, err
+		}
+		b.Incremental = mode.Incremental
+		b.Scratch = mode.Scratch
+		b.AllocSpeedup = mode.Scratch.AllocNsPerIter / mode.Incremental.AllocNsPerIter
+		b.TotalSpeedup = mode.TotalSpeedup
+		b.TrajectoryMatch = mode.TrajectoryMatch
+	}
+	if wpd {
+		mode, err := measureObjectiveMode(fuzzy.WirePowerDelay, evalWorkers)
+		if err != nil {
+			return nil, err
+		}
+		b.WirePowerDelay = mode
+	}
+	return b, nil
 }
 
 // CheckTolerance is the bench-regression gate: CheckBaseline fails when
-// the measured incremental-over-scratch speedup falls more than this
+// a measured incremental-over-scratch speedup falls more than this
 // fraction below the committed baseline's.
 const CheckTolerance = 0.15
 
 // CheckBaseline re-measures the baseline and compares it against the
-// committed JSON at path: the solution trajectory must be unchanged
-// (identical best μ, both modes matching) and the incremental-engine
-// ns/iter must not have regressed by more than CheckTolerance. The
-// measurement is pinned to the committed baseline's parallelism
+// committed JSON at path: the solution trajectories must be unchanged
+// (identical best μ, both modes matching) and the incremental-over-scratch
+// speedups — for wire+power and, when the committed file records it, for
+// wire+power+delay — must not have regressed by more than CheckTolerance.
+// The measurement is pinned to the committed baseline's parallelism
 // (GOMAXPROCS and EvalWorkers are restored from the JSON), so a serial
 // baseline is never compared against a multi-core run or vice versa;
 // per-core speed differences between hosts remain — refresh the baseline
@@ -181,7 +270,21 @@ func CheckBaseline(path string, w io.Writer) error {
 	if ref.GoMaxProcs > 0 && ref.GoMaxProcs != runtime.GOMAXPROCS(0) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ref.GoMaxProcs))
 	}
-	got, err := measureBaselineWith(ref.EvalWorkers)
+	// Gate exactly the modes the committed file records: a baseline
+	// written with -objectives wire+power+delay carries zero-valued
+	// top-level wire+power fields, which must not be measured against.
+	wpRecorded := ref.Incremental.NsPerIter > 0
+	var modes []string
+	if wpRecorded {
+		modes = append(modes, "wire+power")
+	}
+	if ref.WirePowerDelay != nil {
+		modes = append(modes, "wire+power+delay")
+	}
+	if len(modes) == 0 {
+		return fmt.Errorf("experiments: %s records no objective mode to gate", path)
+	}
+	got, err := measureBaselineWith(ref.EvalWorkers, strings.Join(modes, ","))
 	if err != nil {
 		return err
 	}
@@ -190,28 +293,54 @@ func CheckBaseline(path string, w io.Writer) error {
 	// between the machine that recorded the baseline and the one running
 	// the gate cancel out. The absolute ns/iter is still printed for the
 	// log trail.
-	fmt.Fprintf(w, "bench gate: committed %.0f ns/iter at %.2fx over scratch (gomaxprocs %d); measured %.0f ns/iter at %.2fx (gomaxprocs %d), best-mu %.6f\n",
-		ref.Incremental.NsPerIter, ref.TotalSpeedup, ref.GoMaxProcs,
-		got.Incremental.NsPerIter, got.TotalSpeedup, got.GoMaxProcs, got.Incremental.BestMu)
-	if !got.TrajectoryMatch {
-		return fmt.Errorf("experiments: incremental/scratch trajectories diverged")
+	if wpRecorded {
+		wp := ModeBaseline{Objective: "wire+power",
+			Incremental: ref.Incremental, Scratch: ref.Scratch,
+			TotalSpeedup: ref.TotalSpeedup, TrajectoryMatch: ref.TrajectoryMatch}
+		gotWP := ModeBaseline{Incremental: got.Incremental,
+			TotalSpeedup: got.TotalSpeedup, TrajectoryMatch: got.TrajectoryMatch}
+		if err := gateMode(w, &wp, &gotWP, ref.GoMaxProcs, got.GoMaxProcs); err != nil {
+			return err
+		}
 	}
-	if got.Incremental.BestMu != ref.Incremental.BestMu {
-		return fmt.Errorf("experiments: best mu changed: committed %v, measured %v",
-			ref.Incremental.BestMu, got.Incremental.BestMu)
-	}
-	if ref.TotalSpeedup > 0 && got.TotalSpeedup < ref.TotalSpeedup/(1+CheckTolerance) {
-		return fmt.Errorf("experiments: speedup over scratch regressed: committed %.2fx, measured %.2fx (> %.0f%% tolerance)",
-			ref.TotalSpeedup, got.TotalSpeedup, CheckTolerance*100)
+	if ref.WirePowerDelay != nil {
+		if err := gateMode(w, ref.WirePowerDelay, got.WirePowerDelay, 0, 0); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(w, "bench gate: ok")
 	return nil
 }
 
-// WriteBaseline measures the baseline, writes it as JSON to path, and
-// prints a summary table.
-func WriteBaseline(path string, w io.Writer) error {
-	b, err := MeasureBaseline()
+// gateMode applies the three per-mode gates — unchanged trajectory,
+// unchanged best μ, speedup within tolerance — to one objective set.
+func gateMode(w io.Writer, ref, got *ModeBaseline, refProcs, gotProcs int) error {
+	name := ref.Objective
+	procs := ""
+	if refProcs > 0 {
+		procs = fmt.Sprintf(" (gomaxprocs %d→%d)", refProcs, gotProcs)
+	}
+	fmt.Fprintf(w, "bench gate [%s]: committed %.0f ns/iter at %.2fx over scratch; measured %.0f ns/iter at %.2fx, best-mu %.6f%s\n",
+		name, ref.Incremental.NsPerIter, ref.TotalSpeedup,
+		got.Incremental.NsPerIter, got.TotalSpeedup, got.Incremental.BestMu, procs)
+	if !got.TrajectoryMatch {
+		return fmt.Errorf("experiments: %s incremental/scratch trajectories diverged", name)
+	}
+	if got.Incremental.BestMu != ref.Incremental.BestMu {
+		return fmt.Errorf("experiments: %s best mu changed: committed %v, measured %v",
+			name, ref.Incremental.BestMu, got.Incremental.BestMu)
+	}
+	if ref.TotalSpeedup > 0 && got.TotalSpeedup < ref.TotalSpeedup/(1+CheckTolerance) {
+		return fmt.Errorf("experiments: %s speedup over scratch regressed: committed %.2fx, measured %.2fx (> %.0f%% tolerance)",
+			name, ref.TotalSpeedup, got.TotalSpeedup, CheckTolerance*100)
+	}
+	return nil
+}
+
+// WriteBaseline measures the baseline for the requested objective modes
+// ("" = both), writes it as JSON to path, and prints a summary table.
+func WriteBaseline(path, objectives string, w io.Writer) error {
+	b, err := MeasureBaseline(objectives)
 	if err != nil {
 		return err
 	}
@@ -223,16 +352,29 @@ func WriteBaseline(path string, w io.Writer) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "baseline: %s, %s, %d iters, seed %d\n", b.Circuit, b.Objective, b.Iters, b.Seed)
-	fmt.Fprintf(w, "  %-12s %14s %14s %12s %8s\n", "mode", "ns/iter", "alloc-ns/iter", "alloc-share", "best-mu")
+	fmt.Fprintf(w, "baseline: %s, %d iters, seed %d\n", b.Circuit, b.Iters, b.Seed)
 	row := func(name string, r BaselineRun) {
-		fmt.Fprintf(w, "  %-12s %14.0f %14.0f %12.3f %8.4f\n",
+		fmt.Fprintf(w, "  %-24s %14.0f %14.0f %12.3f %8.4f\n",
 			name, r.NsPerIter, r.AllocNsPerIter, r.AllocShare, r.BestMu)
 	}
-	row("incremental", b.Incremental)
-	row("scratch", b.Scratch)
-	fmt.Fprintf(w, "  alloc speedup %.2fx, total speedup %.2fx, trajectory match %v\n",
-		b.AllocSpeedup, b.TotalSpeedup, b.TrajectoryMatch)
+	fmt.Fprintf(w, "  %-24s %14s %14s %12s %8s\n", "mode", "ns/iter", "alloc-ns/iter", "alloc-share", "best-mu")
+	if b.Objective != "" {
+		row("wp incremental", b.Incremental)
+		row("wp scratch", b.Scratch)
+		fmt.Fprintf(w, "  wire+power: alloc speedup %.2fx, total speedup %.2fx, trajectory match %v\n",
+			b.AllocSpeedup, b.TotalSpeedup, b.TrajectoryMatch)
+	}
+	if m := b.WirePowerDelay; m != nil {
+		row("wpd incremental", m.Incremental)
+		row("wpd scratch", m.Scratch)
+		fmt.Fprintf(w, "  wire+power+delay: total speedup %.2fx, trajectory match %v\n",
+			m.TotalSpeedup, m.TrajectoryMatch)
+		fmt.Fprintf(w, "  wpd objective phases (ns/iter, incremental vs scratch):\n")
+		for _, name := range []string{"wire", "power", "delay"} {
+			fmt.Fprintf(w, "    %-8s %12.0f %12.0f\n", name,
+				m.Incremental.ObjectivePhases[name], m.Scratch.ObjectivePhases[name])
+		}
+	}
 	fmt.Fprintf(w, "  written to %s\n", path)
 	return nil
 }

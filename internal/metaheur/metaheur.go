@@ -19,10 +19,10 @@ import (
 	"time"
 
 	"simevo/internal/core"
+	"simevo/internal/cost"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
 	"simevo/internal/netlist"
-	"simevo/internal/power"
 	"simevo/internal/rng"
 	"simevo/internal/wire"
 )
@@ -45,9 +45,13 @@ type Result struct {
 // placement: trial lengths are read from the cached net geometry in
 // O(log p) per net instead of re-collecting every pin, and full() after a
 // placement Recompute re-estimates only the journaled (moved) cells' nets.
-// Fitness-only users (the GA evaluates fresh placements and never asks for
-// deltas) keep the plain from-scratch path and never pay for the cache.
-// core.Config.DisableIncremental forces the from-scratch path here too —
+// The objective totals live in the same cost.Pipeline the SimE engine
+// runs — wire and power fold changed nets into their summation trees in
+// O(dirty·log n), and a full recompute lands on the identical bits — so
+// the μ values reported here are exactly the engine's. Fitness-only users
+// (the GA evaluates fresh placements and never asks for deltas) keep the
+// plain from-scratch length path and never pay for the geometry cache.
+// core.Config.DisableIncremental forces the from-scratch paths here too —
 // the trajectories are bitwise identical either way (tested), so the
 // switch isolates the caching machinery.
 type evaluator struct {
@@ -56,8 +60,8 @@ type evaluator struct {
 	inc     *wire.Incremental
 	boundTo *layout.Placement // placement the incremental state mirrors
 	lengths []float64
-	wireSum float64
-	powSum  float64
+	pipe    *cost.Pipeline
+	dirty   []netlist.NetID // scratch: pre-flush dirty snapshot
 	nets    []netlist.NetID // scratch
 }
 
@@ -65,6 +69,7 @@ func newEvaluator(prob *core.Problem) *evaluator {
 	return &evaluator{
 		prob: prob,
 		ev:   wire.NewEvaluator(prob.Ckt, prob.Cfg.WireEstimator),
+		pipe: cost.NewPipeline(fuzzy.WirePower, prob.Ckt, prob.Acts, prob.Lv, prob.Cfg.TimingModel),
 	}
 }
 
@@ -77,20 +82,22 @@ func (e *evaluator) scratchMode() bool { return e.prob.Cfg.DisableIncremental }
 // full recomputes the totals for the given placement: a dirty-net resync
 // when the incremental state already mirrors this placement, a from-scratch
 // pass otherwise. Per-net values are bitwise identical either way, and the
-// totals are always freshly summed over the whole array.
+// objective totals land on the same bits whether they were folded forward
+// net by net or recombined from the whole array.
 func (e *evaluator) full(place *layout.Placement) {
 	if place.Dirty() {
 		place.Recompute()
 	}
 	if e.boundTo == place {
 		e.inc.Sync(place)
+		e.dirty = e.inc.DirtySnapshot(e.dirty)
 		e.lengths = e.inc.Lengths(e.lengths)
+		e.pipe.ApplyDirty(e.dirty, e.lengths)
 	} else {
 		e.boundTo = nil
 		e.lengths = e.ev.Lengths(place, e.lengths)
+		e.pipe.Full(e.lengths)
 	}
-	e.wireSum = wire.Total(e.lengths)
-	e.powSum = power.Cost(e.lengths, e.prob.Acts)
 }
 
 // fullBound is full for move-generating users (SA/TS): it binds the
@@ -106,18 +113,24 @@ func (e *evaluator) fullBound(place *layout.Placement) {
 	if place.Dirty() {
 		place.Recompute()
 	}
-	e.bind(place)
+	if e.bind(place) {
+		e.lengths = e.inc.Lengths(e.lengths)
+		e.pipe.Full(e.lengths)
+		return
+	}
+	e.dirty = e.inc.DirtySnapshot(e.dirty)
 	e.lengths = e.inc.Lengths(e.lengths)
-	e.wireSum = wire.Total(e.lengths)
-	e.powSum = power.Cost(e.lengths, e.prob.Acts)
+	e.pipe.ApplyDirty(e.dirty, e.lengths)
 }
 
 // bind points the incremental state at the placement, rebuilding the
-// cached geometry if it mirrors a different one.
-func (e *evaluator) bind(place *layout.Placement) {
+// cached geometry if it mirrors a different one; it reports whether a
+// rebuild ran (the dirty-net record is then gone and objective state must
+// recompute in full).
+func (e *evaluator) bind(place *layout.Placement) (rebuilt bool) {
 	if e.boundTo == place {
 		e.inc.Sync(place)
-		return
+		return false
 	}
 	if e.inc == nil {
 		e.inc = wire.NewIncremental(e.prob.Ckt, e.prob.Cfg.WireEstimator)
@@ -126,25 +139,25 @@ func (e *evaluator) bind(place *layout.Placement) {
 	place.ResetJournal()
 	e.inc.Rebuild(place)
 	e.boundTo = place
+	return true
 }
 
 // mu returns μ(s) for the current totals.
 func (e *evaluator) mu(place *layout.Placement) float64 {
-	ratios := fuzzy.Ratio(fuzzy.Costs{Wire: e.wireSum, Power: e.powSum}, e.prob.Lower)
+	ratios := fuzzy.Ratio(e.pipe.Costs(), e.prob.Lower)
 	return fuzzy.Eval(fuzzy.WirePower, ratios, e.prob.Cfg.Goals, e.prob.OWA,
 		place.WidthViolation(e.prob.Cfg.Alpha))
 }
 
 // costs returns the current raw totals.
-func (e *evaluator) costs() fuzzy.Costs {
-	return fuzzy.Costs{Wire: e.wireSum, Power: e.powSum}
-}
+func (e *evaluator) costs() fuzzy.Costs { return e.pipe.Costs() }
 
 // energy is the scalar the local-search heuristics minimize: the sum of
 // cost ratios against the μ normalization bounds (monotone with 1-μ for
 // equal memberships, but smooth everywhere).
 func (e *evaluator) energy() float64 {
-	return e.wireSum/e.prob.Lower.Wire + e.powSum/e.prob.Lower.Power
+	c := e.pipe.Costs()
+	return c.Wire/e.prob.Lower.Wire + c.Power/e.prob.Lower.Power
 }
 
 // swapDelta computes the exact energy change of swapping cells a and b at
@@ -216,7 +229,9 @@ func (e *evaluator) netHas(n netlist.NetID, id netlist.CellID) bool {
 	return false
 }
 
-// applySwap commits a swap and incrementally updates the totals.
+// applySwap commits a swap and folds the affected nets into the objective
+// pipeline — the O(dirty·log n) path SA and TS ride on every accepted
+// move.
 func (e *evaluator) applySwap(place *layout.Placement, a, b netlist.CellID) {
 	scratch := e.scratchMode()
 	if !scratch {
@@ -235,18 +250,15 @@ func (e *evaluator) applySwap(place *layout.Placement, a, b netlist.CellID) {
 	e.nets = e.nets[:0]
 	e.nets = e.prob.Ckt.CellNets(a, e.nets)
 	e.nets = e.prob.Ckt.CellNets(b, e.nets)
-	for _, n := range dedupNets(e.nets) {
-		old := e.lengths[n]
-		var nu float64
+	touched := dedupNets(e.nets)
+	for _, n := range touched {
 		if scratch {
-			nu = e.ev.NetLength(n, place)
+			e.lengths[n] = e.ev.NetLength(n, place)
 		} else {
-			nu = e.inc.NetLength(n)
+			e.lengths[n] = e.inc.NetLength(n)
 		}
-		e.lengths[n] = nu
-		e.wireSum += nu - old
-		e.powSum += (nu - old) * e.prob.Acts[n]
 	}
+	e.pipe.ApplyDirty(touched, e.lengths)
 }
 
 func dedupNets(nets []netlist.NetID) []netlist.NetID {

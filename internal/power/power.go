@@ -43,11 +43,19 @@ func Activities(ckt *netlist.Circuit, cfg Config) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromProbabilities(probs), nil
+}
+
+// FromProbabilities derives switching activities from steady-state
+// one-probabilities: S = 2·p·(1−p). Callers that already paid for the
+// probability fixpoint (core.Problem caches it once per problem) convert
+// without re-propagating the circuit.
+func FromProbabilities(probs []float64) []float64 {
 	acts := make([]float64, len(probs))
 	for i, p := range probs {
 		acts[i] = 2 * p * (1 - p)
 	}
-	return acts, nil
+	return acts
 }
 
 // Probabilities computes the steady-state one-probability of every net.

@@ -353,13 +353,13 @@ func TestManagerParallelStrategies(t *testing.T) {
 // job farmed out by the manager, and the result must equal the same-seed
 // simulated-transport job.
 func TestManagerClusterDispatch(t *testing.T) {
-	hub, err := transport.Listen("127.0.0.1:0")
+	hub, err := transport.Listen("127.0.0.1:0", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer hub.Close()
 	for i := 0; i < 2; i++ {
-		w, err := transport.Join(context.Background(), hub.Addr().String())
+		w, err := transport.Join(context.Background(), hub.Addr().String(), "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -52,6 +52,7 @@ func buildProblem(spec Spec) (*core.Problem, error) {
 	cfg.Bias = spec.Bias
 	cfg.TargetMu = spec.TargetMu
 	cfg.NumRows = spec.Rows
+	cfg.DisableIncremental = spec.DisableIncremental
 	// Server jobs stream progress instead of reading the trace, and
 	// long-running jobs must not accumulate one μ sample per iteration
 	// indefinitely — recording is off here (it stays on by default for

@@ -83,6 +83,12 @@ type Spec struct {
 	Retry int `json:"retry,omitempty"`
 	// Diversify gives each Type III searcher a distinct allocation order.
 	Diversify bool `json:"diversify,omitempty"`
+	// DisableIncremental forces the from-scratch reference evaluation
+	// instead of the incremental cost pipeline. The search trajectory is
+	// bitwise identical either way — this is the escape hatch / A-B knob
+	// for validating the incremental machinery in production, at full-
+	// recompute cost per iteration.
+	DisableIncremental bool `json:"disable_incremental,omitempty"`
 	// IncludePlacement adds the final row-by-row cell placement to the
 	// result payload. It does not affect the search (or the cache key).
 	IncludePlacement bool `json:"include_placement,omitempty"`

@@ -1,0 +1,113 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"simevo/internal/gen"
+	"simevo/internal/netlist"
+	"simevo/internal/rng"
+)
+
+func incTestCircuit(t *testing.T, name string) (*netlist.Circuit, *netlist.Levels, []float64) {
+	t.Helper()
+	ckt, err := gen.Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := ckt.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := make([]float64, ckt.NumNets())
+	r := rng.New(0xD1A7)
+	for i := range lengths {
+		lengths[i] = r.Float64() * 60
+	}
+	return ckt, lv, lengths
+}
+
+// TestIncUpdateMatchesRebuild is the dirty-cone STA contract: after any
+// sequence of net-length batches, the incrementally propagated state must
+// be bitwise identical to a from-scratch Rebuild over the same lengths —
+// MaxDelay, every cell criticality, and every net criticality.
+func TestIncUpdateMatchesRebuild(t *testing.T) {
+	for _, name := range []string{"s1196", "s1488"} {
+		ckt, lv, lengths := incTestCircuit(t, name)
+		inc := NewInc(ckt, lv, DefaultModel())
+		ref := NewInc(ckt, lv, DefaultModel())
+		inc.Rebuild(lengths)
+
+		r := rng.New(7)
+		var dirty []netlist.NetID
+		for round := 0; round < 120; round++ {
+			dirty = dirty[:0]
+			for k := 0; k < 1+r.Intn(25); k++ {
+				n := netlist.NetID(r.Intn(ckt.NumNets()))
+				lengths[n] = math.Abs(lengths[n] + (r.Float64()-0.5)*30)
+				dirty = append(dirty, n)
+			}
+			got := inc.Update(dirty, lengths)
+			want := ref.Rebuild(lengths)
+			if got != want {
+				t.Fatalf("%s round %d: incremental MaxDelay %v != rebuild %v", name, round, got, want)
+			}
+			for id := range ckt.Cells {
+				ci, cr := inc.Criticality(netlist.CellID(id)), ref.Criticality(netlist.CellID(id))
+				if ci != cr {
+					t.Fatalf("%s round %d: cell %d criticality %v != %v", name, round, id, ci, cr)
+				}
+			}
+			for n := 0; n < ckt.NumNets(); n++ {
+				ni, nr := inc.NetCriticality(netlist.NetID(n)), ref.NetCriticality(netlist.NetID(n))
+				if ni != nr {
+					t.Fatalf("%s round %d: net %d criticality %v != %v", name, round, n, ni, nr)
+				}
+			}
+		}
+	}
+}
+
+// TestIncAgreesWithAnalyze cross-checks the deadline-free slack
+// formulation against the classic Analyze pass: MaxDelay must match
+// exactly (same max-of-sums recurrence) and criticalities to float
+// tolerance (Analyze subtracts along the backward chain, Inc keeps an
+// additive departure, so the two agree up to rounding).
+func TestIncAgreesWithAnalyze(t *testing.T) {
+	ckt, lv, lengths := incTestCircuit(t, "s1196")
+	inc := NewInc(ckt, lv, DefaultModel())
+	inc.Rebuild(lengths)
+	a, err := Analyze(ckt, lv, lengths, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.MaxDelay() != a.MaxDelay {
+		t.Fatalf("Inc MaxDelay %v != Analyze %v", inc.MaxDelay(), a.MaxDelay)
+	}
+	for id := range ckt.Cells {
+		ci := inc.Criticality(netlist.CellID(id))
+		ca := a.Criticality(netlist.CellID(id))
+		if math.Abs(ci-ca) > 1e-9 {
+			t.Fatalf("cell %d: Inc criticality %v, Analyze %v", id, ci, ca)
+		}
+	}
+}
+
+// TestIncCriticalityRange pins the clamp semantics: criticalities live in
+// [0,1] and cells feeding no sink score 0.
+func TestIncCriticalityRange(t *testing.T) {
+	ckt, lv, lengths := incTestCircuit(t, "s1238")
+	inc := NewInc(ckt, lv, DefaultModel())
+	inc.Rebuild(lengths)
+	for id := range ckt.Cells {
+		c := inc.Criticality(netlist.CellID(id))
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			t.Fatalf("cell %d criticality %v out of [0,1]", id, c)
+		}
+	}
+	for _, po := range ckt.POs {
+		if c := inc.Criticality(po); c != 0 {
+			t.Fatalf("output pad %d criticality %v, want 0 (feeds no sink)", po, c)
+		}
+	}
+}

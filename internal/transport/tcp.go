@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,8 +19,16 @@ import (
 // in a pool after the join handshake, and forms rank Groups on demand. One
 // hub serves any number of sequential or concurrent Groups (each worker
 // belongs to at most one group at a time).
+//
+// When constructed with a non-empty join token, the handshake requires
+// every worker to present the identical token; the comparison is
+// constant-time and a mismatch closes the connection before the worker
+// can park. An empty token keeps the hub open (workers must then present
+// no token either) — fine on a trusted interconnect, but cross-machine
+// deployments should always set one.
 type Hub struct {
-	ln net.Listener
+	ln    net.Listener
+	token string
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -39,17 +48,19 @@ type wconn struct {
 }
 
 // Listen starts a hub on addr ("host:port"; ":0" picks a free port).
-func Listen(addr string) (*Hub, error) {
+// token is the shared-secret join token workers must present ("" leaves
+// the hub open).
+func Listen(addr, token string) (*Hub, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewHub(ln), nil
+	return NewHub(ln, token), nil
 }
 
 // NewHub starts a hub on an existing listener, taking ownership of it.
-func NewHub(ln net.Listener) *Hub {
-	h := &Hub{ln: ln}
+func NewHub(ln net.Listener, token string) *Hub {
+	h := &Hub{ln: ln, token: token}
 	h.cond = sync.NewCond(&h.mu)
 	go h.acceptLoop()
 	return h
@@ -95,13 +106,22 @@ func (h *Hub) acceptLoop() {
 	}
 }
 
-// admit performs the join handshake and parks the worker.
+// admit performs the join handshake — magic prefix plus a constant-time
+// token comparison — and parks the worker. A wrong or missing token
+// closes the connection without a response, so a probing client learns
+// nothing about the configured secret (not even, thanks to the
+// constant-time compare, how much of a guess matched).
 func (h *Hub) admit(conn net.Conn) {
 	w := &wconn{conn: conn, r: bufio.NewReader(conn)}
 	w.w.w = conn
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	f, err := readFrame(w.r)
-	if err != nil || f.tag != tagCtrlJoin || string(f.data) != joinMagic {
+	ok := err == nil && f.tag == tagCtrlJoin &&
+		len(f.data) >= len(joinMagic) && string(f.data[:len(joinMagic)]) == joinMagic
+	if ok {
+		ok = subtle.ConstantTimeCompare(f.data[len(joinMagic):], []byte(h.token)) == 1
+	}
+	if !ok {
 		conn.Close()
 		return
 	}
@@ -447,8 +467,11 @@ type Worker struct {
 	w    connWriter
 }
 
-// Join dials the hub at addr and performs the join handshake.
-func Join(ctx context.Context, addr string) (*Worker, error) {
+// Join dials the hub at addr and performs the join handshake, presenting
+// the shared-secret token (which must equal the hub's; "" for an open
+// hub). A rejected token surfaces as a closed connection on the first
+// Serve read, not here — the hub does not answer bad handshakes.
+func Join(ctx context.Context, addr, token string) (*Worker, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -456,7 +479,7 @@ func Join(ctx context.Context, addr string) (*Worker, error) {
 	}
 	w := &Worker{conn: conn, r: bufio.NewReader(conn)}
 	w.w.w = conn
-	if err := w.w.write(frame{tag: tagCtrlJoin, data: []byte(joinMagic)}); err != nil {
+	if err := w.w.write(frame{tag: tagCtrlJoin, data: []byte(joinMagic + token)}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: join handshake: %w", err)
 	}

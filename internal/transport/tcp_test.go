@@ -19,7 +19,7 @@ func startWorkers(t *testing.T, h *Hub, n int, fn func(Transport) error) func() 
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		w, err := Join(context.Background(), h.Addr().String())
+		w, err := Join(context.Background(), h.Addr().String(), "")
 		if err != nil {
 			t.Fatalf("worker %d join: %v", i, err)
 		}
@@ -44,7 +44,7 @@ func startWorkers(t *testing.T, h *Hub, n int, fn func(Transport) error) func() 
 
 func mustHub(t *testing.T) *Hub {
 	t.Helper()
-	h, err := Listen("127.0.0.1:0")
+	h, err := Listen("127.0.0.1:0", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,5 +404,81 @@ func TestGroupRankStats(t *testing.T) {
 		if err != nil {
 			t.Fatalf("worker %d: %v", i, err)
 		}
+	}
+}
+
+// TestJoinTokenAccepted forms a group over a token-protected hub: workers
+// presenting the matching shared secret park and serve normally.
+func TestJoinTokenAccepted(t *testing.T) {
+	h, err := Listen("127.0.0.1:0", "s3cr3t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	w, err := Join(context.Background(), h.Addr().String(), "s3cr3t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Serve(context.Background(), func(tr Transport) error {
+			tr.Bcast(0, nil)
+			return nil
+		})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	g, err := h.Acquire(ctx, 1)
+	if err != nil {
+		t.Fatalf("acquire over token-protected hub: %v", err)
+	}
+	g.Bcast(0, []byte("hi"))
+	g.Close()
+	h.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("worker serve: %v", err)
+	}
+}
+
+// TestJoinTokenRejected verifies the auth half of the cluster transport:
+// a worker presenting the wrong (or no) token never parks — the hub
+// closes the connection without a response — and the worker's Serve loop
+// surfaces the dropped connection as an error.
+func TestJoinTokenRejected(t *testing.T) {
+	h, err := Listen("127.0.0.1:0", "s3cr3t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	for _, bad := range []string{"", "wrong", "s3cr3t-but-longer"} {
+		w, err := Join(context.Background(), h.Addr().String(), bad)
+		if err != nil {
+			t.Fatalf("dial with token %q: %v", bad, err)
+		}
+		if err := w.Serve(context.Background(), func(Transport) error { return nil }); err == nil {
+			t.Fatalf("worker with token %q served without being rejected", bad)
+		}
+	}
+	if n := h.Workers(); n != 0 {
+		t.Fatalf("%d unauthorized workers parked", n)
+	}
+
+	// And the inverse: a token-bearing worker against an open hub is
+	// rejected too (exact match, both directions).
+	open, err := Listen("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	w, err := Join(context.Background(), open.Addr().String(), "stray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Serve(context.Background(), func(Transport) error { return nil }); err == nil {
+		t.Fatal("token-bearing worker served on an open hub")
+	}
+	if n := open.Workers(); n != 0 {
+		t.Fatalf("%d stray workers parked", n)
 	}
 }

@@ -462,6 +462,15 @@ func (inc *Incremental) Built() bool { return inc.built }
 // state: valid until the next mutation or flush, and not to be mutated.
 func (inc *Incremental) Dirty() []netlist.NetID { return inc.dirty }
 
+// DirtySnapshot copies the current dirty-net list into dst (reused if
+// roomy). Unlike Dirty the result survives the flush that Lengths
+// performs, which is what the cost pipeline needs: it captures the list
+// before reading the refreshed lengths, then folds exactly those nets into
+// each objective's cached state.
+func (inc *Incremental) DirtySnapshot(dst []netlist.NetID) []netlist.NetID {
+	return append(dst[:0], inc.dirty...)
+}
+
 // StoredSpan returns the half-perimeter of the net's stored pins (0 when
 // all pins are removed) — the scan-ordering key for compiled trials.
 func (inc *Incremental) StoredSpan(n netlist.NetID) float64 {

@@ -43,9 +43,27 @@ type TrialSet struct {
 	// at least the stored pins' half-perimeter (RMST and empty nets
 	// conservatively contribute 0). ScanBest adds tail[i+1] to the partial
 	// cost when bailing, pruning vacancies whose suffix could never fit
-	// under the bound — provably without changing the winner.
+	// under the bound — deflated by scanSlack so float reassociation
+	// cannot turn the estimate into an over-prune; see scanSlack.
 	tail []float64
 }
+
+// scanSlack deflates the estimate-based prune thresholds of ScanBest.
+// The suffix bound compares cost + tail[i+1] against the running bound,
+// but tail is a *reassociated* float sum: it can exceed the true
+// sequentially-rounded remaining cost by a few ULPs (and the per-item
+// trial arithmetic itself carries ~1e-14 relative error), so an exact
+// comparison could prune a vacancy whose true cost is a hair below the
+// bound — observed with the nextafter-seeded own-slot bound, where the
+// rightful winner sits exactly 1 ULP under it and a wrong prune drops
+// the scan into the width-violation fallback. Scaling the estimate down
+// by 1e-12 (about 100× the worst accumulated rounding error for any
+// realistic net count, and far below any score difference that could
+// matter) makes the prune sound: estimate·scanSlack >= bound implies the
+// true cost >= bound, so only genuine non-winners are skipped and the
+// winner is bitwise the brute-force scan's. Prefix-only bails
+// (cost >= bound over the already-accumulated exact terms) need no slack.
+const scanSlack = 1 - 1e-12
 
 type trialKind uint8
 
@@ -403,7 +421,7 @@ scan:
 			if y > hiy {
 				hiy = y
 			}
-			if ((hix-lox)+(hiy-loy))*pruneW+tail1 >= bound {
+			if (((hix-lox)+(hiy-loy))*pruneW+tail1)*scanSlack >= bound {
 				continue
 			}
 		}
@@ -480,8 +498,12 @@ scan:
 			// Bail as soon as the partial cost plus the remaining items'
 			// stored-span floor reaches the bound: the full cost could
 			// only be larger, so only non-winners are dropped (and a tie
-			// at the bound never wins — first minimum stays).
-			if cost+tail[i+1] >= bound {
+			// at the bound never wins — first minimum stays). The
+			// estimate is deflated by scanSlack so float reassociation
+			// can never prune a true sub-bound cost; the exact prefix
+			// check keeps the common case (cost alone already past the
+			// bound) at full strength.
+			if cost >= bound || (cost+tail[i+1])*scanSlack >= bound {
 				continue scan
 			}
 		}
