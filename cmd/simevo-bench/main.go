@@ -14,6 +14,14 @@
 //	                            # restrict the baseline to one objective
 //	                            # mode (default: both paper modes, with
 //	                            # per-objective phase timings for wpd)
+//	simevo-bench -check-baseline BENCH_baseline.json -cpuprofile gate.prof
+//	                            # -cpuprofile/-memprofile cover gate runs
+//	                            # too: a regressed gate is exactly the run
+//	                            # worth profiling
+//
+// Baselines embed each kept run's engine telemetry counters (iterations,
+// incremental vs rebuild evals, scan prune statistics) under "telemetry"
+// so perf regressions can be triaged against the recorded work counts.
 package main
 
 import (

@@ -17,15 +17,21 @@
 // "spawn" forks procs-1 local worker processes (re-executing this binary
 // with -join); "listen=ADDR" waits for external workers to join. Same-seed
 // runs produce identical placements on either transport.
+//
+// -metrics-addr starts a debug HTTP listener serving GET /metrics
+// (Prometheus text exposition) and /debug/pprof/ for any mode, including
+// -cluster masters and -join workers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
 	"simevo"
+	"simevo/internal/telemetry"
 )
 
 func main() {
@@ -41,8 +47,16 @@ func main() {
 	cluster := flag.String("cluster", "", `run parallel ranks as real processes: "spawn" or "listen=ADDR"`)
 	join := flag.String("join", "", "run as a cluster worker joining this coordinator address, then exit")
 	token := flag.String("token", "", "shared-secret cluster join token (coordinator and workers must agree)")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address for /metrics and /debug/pprof/ (empty disables)")
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		maddr, err := telemetry.ServeDebug(*metricsAddr)
+		if err != nil {
+			log.Fatalf("simevo-run: metrics listener: %v", err)
+		}
+		fmt.Printf("metrics listening on %s\n", maddr)
+	}
 	if *join != "" {
 		runWorker(*join, *token)
 		return

@@ -24,6 +24,8 @@
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/benchmarks      built-in benchmark catalog
 //	GET    /healthz            liveness + pool occupancy
+//	GET    /metrics            Prometheus text exposition (v0.0.4)
+//	GET    /debug/pprof/       live CPU/heap/goroutine profiling
 //
 // Example:
 //
@@ -42,6 +44,7 @@ import (
 
 	"simevo/internal/service/api"
 	"simevo/internal/service/jobs"
+	"simevo/internal/telemetry"
 	"simevo/internal/transport"
 )
 
@@ -64,6 +67,10 @@ func main() {
 		}
 		defer hub.Close()
 		log.Printf("simevo-serve cluster coordinator on %s", hub.Addr())
+		h := hub
+		telemetry.Default.GaugeFunc("simevo_cluster_workers_parked",
+			"Idle simevo-worker processes parked at the cluster hub.",
+			func() float64 { return float64(len(h.WorkerDetails())) })
 	}
 	mgr := jobs.NewManager(jobs.Options{
 		Workers:    *workers,
@@ -72,9 +79,12 @@ func main() {
 		MaxJobs:    *maxJobs,
 		Hub:        hub,
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", api.New(mgr).Handler())
+	telemetry.AttachDebug(mux)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.New(mgr).Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

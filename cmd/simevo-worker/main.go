@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	simevo-worker -join host:9090 [-token SECRET] [-retry 5s]
+//	simevo-worker -join host:9090 [-token SECRET] [-retry 5s] [-metrics-addr :9091]
+//
+// -metrics-addr starts a debug HTTP listener serving GET /metrics
+// (Prometheus text exposition) and /debug/pprof/ so each rank's engine
+// phase timings, transport traffic, and live profiles are scrapeable
+// while jobs run.
 //
 // The worker keeps serving jobs on one connection until the coordinator
 // dismisses it or the connection drops; with -retry it then re-joins,
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"simevo/internal/service/jobs"
+	"simevo/internal/telemetry"
 	"simevo/internal/transport"
 )
 
@@ -33,9 +39,17 @@ func main() {
 	join := flag.String("join", "", "coordinator address (host:port), required")
 	token := flag.String("token", "", "shared-secret join token (must match the coordinator's)")
 	retry := flag.Duration("retry", 0, "re-join after connection loss, waiting this long between attempts (0 = exit)")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address for /metrics and /debug/pprof/ (empty disables)")
 	flag.Parse()
 	if *join == "" {
 		log.Fatal("simevo-worker: -join address is required")
+	}
+	if *metricsAddr != "" {
+		maddr, err := telemetry.ServeDebug(*metricsAddr)
+		if err != nil {
+			log.Fatalf("simevo-worker: metrics listener: %v", err)
+		}
+		log.Printf("simevo-worker: metrics listening on %s", maddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterMetricsSmoke is the end-to-end observability check: it
+// launches a real TCP cluster (coordinator + two worker processes), each
+// with a -metrics-addr debug listener, and scrapes both /metrics
+// endpoints while the placement runs — asserting the Prometheus text
+// exposition is served with the right content type and carries the
+// engine phase histograms on every rank plus the per-rank transport
+// counters on the coordinator. CI runs it in the cluster-smoke job.
+func TestClusterMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runBin := filepath.Join(dir, "simevo-run")
+	workerBin := filepath.Join(dir, "simevo-worker")
+	for bin, pkg := range map[string]string{runBin: "simevo/cmd/simevo-run", workerBin: "simevo/cmd/simevo-worker"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Oversized iteration budget: the test scrapes mid-run and kills the
+	// processes once the assertions pass, so the run must outlive it.
+	args := []string{"-ckt", "s1196", "-strategy", "type2", "-procs", "3", "-iters", "100000",
+		"-cluster", "listen=127.0.0.1:0", "-metrics-addr", "127.0.0.1:0"}
+	coord := exec.Command(runBin, args...)
+	coord.Stderr = os.Stderr
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	deadline := time.After(120 * time.Second)
+	coordLines := scanLines(stdout)
+	coordMetrics := awaitAddr(t, coordLines, "metrics listening on ", deadline)
+	clusterAddr := awaitAddr(t, coordLines, "coordinator listening on ", deadline)
+	go func() { // keep the pipe drained for the rest of the run
+		for range coordLines {
+		}
+	}()
+
+	var workerMetrics []string
+	for i := 0; i < 2; i++ {
+		w := exec.Command(workerBin, "-join", clusterAddr, "-metrics-addr", "127.0.0.1:0")
+		stderr, err := w.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		defer w.Process.Kill()
+		go w.Wait()
+		lines := scanLines(stderr)
+		workerMetrics = append(workerMetrics, awaitAddr(t, lines, "metrics listening on ", deadline))
+		go func() {
+			for range lines {
+			}
+		}()
+	}
+
+	// Poll the endpoints until the run has visibly progressed everywhere:
+	// the first scrape can legitimately race the first iteration, so only
+	// a persistent miss fails.
+	checks := []struct {
+		name, addr string
+		want       []string
+	}{
+		{"coordinator", coordMetrics, []string{
+			"# TYPE simevo_engine_phase_ns histogram",
+			`simevo_engine_phase_ns_bucket{phase="allocate",le="+Inf"}`,
+			`simevo_scan_vacancies_total`,
+			`simevo_transport_rank_messages_total{rank="1",dir="sent"}`,
+			`simevo_transport_rank_bytes_total{rank="2",dir="recv"}`,
+			`simevo_exchange_round_ns_count{strategy="type2"}`,
+		}},
+		{"worker 1", workerMetrics[0], []string{
+			"# TYPE simevo_engine_phase_ns histogram",
+			`simevo_engine_phase_ns_bucket{phase="allocate",le="+Inf"}`,
+			`simevo_transport_frames_total{dir="sent"}`,
+			`simevo_transport_bytes_total{dir="recv"}`,
+		}},
+		{"worker 2", workerMetrics[1], []string{
+			"# TYPE simevo_engine_phase_ns histogram",
+			`simevo_transport_bytes_total{dir="sent"}`,
+		}},
+	}
+	for _, chk := range checks {
+		var text, missing string
+		for {
+			text = scrape(t, chk.addr)
+			missing = ""
+			for _, want := range chk.want {
+				if !nonzeroSeries(text, want) {
+					missing = want
+					break
+				}
+			}
+			if missing == "" {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("%s /metrics never showed %q; last scrape:\n%s", chk.name, missing, text)
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+		t.Logf("%s /metrics ok (%d bytes)", chk.name, len(text))
+	}
+}
+
+// scanLines streams a pipe's lines into a channel.
+func scanLines(r io.Reader) chan string {
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return lines
+}
+
+// awaitAddr waits for a line containing marker and returns what follows it.
+func awaitAddr(t *testing.T, lines chan string, marker string, deadline <-chan time.Time) string {
+	t.Helper()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("process exited before printing %q", marker)
+			}
+			if i := strings.Index(line, marker); i >= 0 {
+				return strings.TrimSpace(line[i+len(marker):])
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q", marker)
+		}
+	}
+}
+
+// scrape GETs /metrics and verifies the exposition content type.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("scraping %s: content type %q is not text exposition v0.0.4", addr, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s metrics: %v", addr, err)
+	}
+	return string(body)
+}
+
+// nonzeroSeries reports whether text has a line for the series prefix
+// with a value other than 0 — comment markers (# HELP / # TYPE) only
+// need to be present.
+func nonzeroSeries(text, prefix string) bool {
+	if strings.HasPrefix(prefix, "#") {
+		return strings.Contains(text, prefix)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
+}

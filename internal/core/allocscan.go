@@ -29,6 +29,12 @@ type scanResult struct {
 	score float64
 }
 
+// evalTally counts goodness-cache outcomes for one pool slot; folded by
+// flushEvalTallies after each parallel batch.
+type evalTally struct {
+	hits, misses uint64
+}
+
 // scanWorkers resolves the configured alloc-scan fan-out (0 = auto).
 func (e *Engine) scanWorkers() int {
 	w := e.prob.Cfg.AllocWorkers
@@ -63,6 +69,8 @@ func (e *Engine) ensurePool() *Pool {
 		e.pool = NewPool(size)
 		e.slotViews = make([]*wire.View, e.pool.Size())
 		e.slotGoods = make([][]float64, e.pool.Size())
+		e.slotScan = make([]wire.ScanStats, e.pool.Size())
+		e.slotEval = make([]evalTally, e.pool.Size())
 	}
 	return e.pool
 }
@@ -114,6 +122,6 @@ func (e *Engine) scanCell(workers, n int, bound0 float64) (int, float64) {
 // scanChunk is the alloc-scan kernel body for one chunk of the free list.
 func (e *Engine) scanChunk(slot, lo, hi int) {
 	best, bound := e.trials.ScanBest(e.slotView(slot), e.vacs, e.freeVac,
-		e.rowOK, lo, hi, e.scanBound0)
+		e.rowOK, lo, hi, e.scanBound0, &e.slotScan[slot])
 	e.scanRes[slot] = scanResult{idx: best, score: bound}
 }

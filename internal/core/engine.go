@@ -11,6 +11,7 @@ import (
 	"simevo/internal/layout"
 	"simevo/internal/netlist"
 	"simevo/internal/rng"
+	"simevo/internal/telemetry"
 	"simevo/internal/wire"
 )
 
@@ -89,6 +90,16 @@ type Engine struct {
 	evalDst    []float64
 	allocKern  func(slot, lo, hi int) // bound once: scanChunk
 	evalKern   func(slot, lo, hi int) // bound once: evalChunk
+
+	// Telemetry: tel is the per-run tally copied into Result.Telemetry;
+	// scanStats / slotScan / slotEval are plain per-goroutine accumulators
+	// (one per pool slot for the parallel kernels) folded into tel and the
+	// process-wide registry once per phase, keeping atomics out of the
+	// inner loops. Purely observational — never consulted by the search.
+	tel       telemetry.EngineSnapshot
+	scanStats wire.ScanStats   // serial-scan accumulator
+	slotScan  []wire.ScanStats // per pool slot: parallel-scan accumulators
+	slotEval  []evalTally      // per pool slot: goodness-cache tallies
 
 	// scratch buffers
 	selected []netlist.CellID
@@ -284,6 +295,9 @@ func (e *Engine) EvaluateCosts() {
 		e.lengths = e.ev.Lengths(e.place, e.lengths)
 		e.invalidateAllGoodness()
 		e.costs = e.pipe.Full(e.lengths)
+		e.tel.Evals++
+		e.tel.FullRebuilds++
+		telemetry.EngineEvalsReference.Inc()
 	} else if rebuilt := e.syncIncremental(); rebuilt {
 		// A full rebuild loses the dirty-net record, so every cached
 		// goodness value is suspect and every objective recomputes from
@@ -292,6 +306,9 @@ func (e *Engine) EvaluateCosts() {
 		e.invalidateAllGoodness()
 		e.lengths = e.inc.Lengths(e.lengths)
 		e.costs = e.pipe.Full(e.lengths)
+		e.tel.Evals++
+		e.tel.FullRebuilds++
+		telemetry.EngineEvalsRebuild.Inc()
 	} else {
 		// Goodness inputs for the weighted objectives are per-cell-local:
 		// the lengths and pin geometry of the cell's nets (plus static
@@ -307,6 +324,11 @@ func (e *Engine) EvaluateCosts() {
 		e.invalidateGoodnessOnNets(e.dirtyNets)
 		e.lengths = e.inc.Lengths(e.lengths)
 		e.costs = e.pipe.ApplyDirty(e.dirtyNets, e.lengths)
+		e.tel.Evals++
+		e.tel.IncrementalEvals++
+		e.tel.DirtyNets += uint64(len(e.dirtyNets))
+		telemetry.EngineEvalsIncremental.Inc()
+		telemetry.EngineDirtyNets.Observe(int64(len(e.dirtyNets)))
 	}
 	ratios := fuzzy.Ratio(e.costs, e.prob.Lower)
 	e.mu = fuzzy.Eval(cfg.Objectives, ratios, cfg.Goals, e.prob.OWA, e.place.WidthViolation(cfg.Alpha))
@@ -397,8 +419,10 @@ func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float6
 		e.evalCells, e.evalDst = cells, dst
 		e.ensurePool().Batch(e.runCtx, w, len(cells), e.evalKern)
 		e.evalCells, e.evalDst = nil, nil
+		e.flushEvalTallies()
 		return dst
 	}
+	var hits, misses uint64
 	for i, id := range cells {
 		// With a per-cell scorer active (delay), a clean cell's cached
 		// weighted terms are reused but the aggregate is re-derived: the
@@ -406,13 +430,19 @@ func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float6
 		// the final goodness moves even when the cell's nets did not.
 		if !e.hasScorer && e.goodClean[id] {
 			dst[i] = e.goodness[id]
+			hits++
 			continue
 		}
 		g := e.cellGoodness(id)
 		e.goodness[id] = g
 		e.goodClean[id] = true
 		dst[i] = g
+		misses++
 	}
+	e.tel.GoodnessHits += hits
+	e.tel.GoodnessMisses += misses
+	telemetry.GoodnessCacheHits.Add(hits)
+	telemetry.GoodnessCacheMisses.Add(misses)
 	return dst
 }
 
@@ -420,10 +450,12 @@ func (e *Engine) ComputeGoodness(cells []netlist.CellID, dst []float64) []float6
 func (e *Engine) evalChunk(slot, lo, hi int) {
 	view := e.slotView(slot)
 	goods := e.slotGoods[slot]
+	tally := &e.slotEval[slot]
 	for i := lo; i < hi; i++ {
 		id := e.evalCells[i]
 		if !e.hasScorer && e.goodClean[id] {
 			e.evalDst[i] = e.goodness[id]
+			tally.hits++
 			continue
 		}
 		var g float64
@@ -431,6 +463,7 @@ func (e *Engine) evalChunk(slot, lo, hi int) {
 		e.goodness[id] = g
 		e.goodClean[id] = true
 		e.evalDst[i] = g
+		tally.misses++
 	}
 	e.slotGoods[slot] = goods
 }
@@ -721,7 +754,7 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 			// their first net; nextafter keeps equal-scoring earlier
 			// vacancies admissible, so the serial first-minimum wins.
 			best, _ = e.trials.ScanBest(e.inc.BaseView(), e.vacs, e.freeVac,
-				e.rowOK, 0, len(e.freeVac), e.seedBound(own))
+				e.rowOK, 0, len(e.freeVac), e.seedBound(own), &e.scanStats)
 		default:
 			bestScore := 0.0
 			for v := 0; v < n; v++ {
@@ -755,7 +788,49 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		e.dropFreeVac(int32(best))
 		e.rowW[e.vacs[best].Row] += w
 	}
+	e.flushScanStats()
 	e.place.Recompute()
+}
+
+// flushScanStats folds the per-goroutine ScanBest accumulators (the
+// serial one plus every pool slot's) into the run snapshot and the
+// process-wide counters — a handful of atomic adds per allocation pass
+// instead of per vacancy.
+func (e *Engine) flushScanStats() {
+	agg := e.scanStats
+	e.scanStats = wire.ScanStats{}
+	for i := range e.slotScan {
+		agg.Merge(&e.slotScan[i])
+		e.slotScan[i] = wire.ScanStats{}
+	}
+	if agg.Vacancies == 0 {
+		return
+	}
+	e.tel.ScanVacancies += agg.Vacancies
+	e.tel.ScanPrunedBBox += agg.PrunedBBox
+	e.tel.ScanPrunedSuffix += agg.PrunedSuffix
+	e.tel.ScanBailedExact += agg.BailedExact
+	e.tel.ScanScored += agg.Scored
+	telemetry.ScanVacancies.Add(agg.Vacancies)
+	telemetry.ScanPrunedBBox.Add(agg.PrunedBBox)
+	telemetry.ScanPrunedSuffix.Add(agg.PrunedSuffix)
+	telemetry.ScanBailedExact.Add(agg.BailedExact)
+	telemetry.ScanScored.Add(agg.Scored)
+}
+
+// flushEvalTallies folds the pool slots' goodness-cache tallies after a
+// parallel ComputeGoodness batch.
+func (e *Engine) flushEvalTallies() {
+	var hits, misses uint64
+	for i := range e.slotEval {
+		hits += e.slotEval[i].hits
+		misses += e.slotEval[i].misses
+		e.slotEval[i] = evalTally{}
+	}
+	e.tel.GoodnessHits += hits
+	e.tel.GoodnessMisses += misses
+	telemetry.GoodnessCacheHits.Add(hits)
+	telemetry.GoodnessCacheMisses.Add(misses)
 }
 
 // dropFreeVac removes one index from the ascending free-vacancy list.
@@ -905,7 +980,10 @@ func (e *Engine) Step() IterStats {
 	t0 := time.Now()
 	e.EvaluateCosts()
 	e.goodsOut = e.ComputeGoodness(e.domain, e.goodsOut)
-	e.profile.Eval += time.Since(t0)
+	d := time.Since(t0)
+	e.profile.Eval += d
+	e.tel.EvalNs += uint64(d)
+	telemetry.EnginePhaseEvalNs.Observe(int64(d))
 	return e.SelectAndAllocate()
 }
 
@@ -917,13 +995,21 @@ func (e *Engine) SelectAndAllocate() IterStats {
 	t1 := time.Now()
 	sel := e.selectCells()
 	t2 := time.Now()
-	e.profile.Select += t2.Sub(t1)
+	dSel := t2.Sub(t1)
+	e.profile.Select += dSel
+	e.tel.SelectNs += uint64(dSel)
+	telemetry.EnginePhaseSelectNs.Observe(int64(dSel))
 
 	stats := e.currentStats(len(sel))
 	e.allocate(sel)
-	e.profile.Alloc += time.Since(t2)
+	dAlloc := time.Since(t2)
+	e.profile.Alloc += dAlloc
+	e.tel.AllocNs += uint64(dAlloc)
+	telemetry.EnginePhaseAllocNs.Observe(int64(dAlloc))
 
 	e.iter++
+	e.tel.Iterations++
+	telemetry.EngineIterations.Inc()
 	return stats
 }
 
@@ -984,7 +1070,10 @@ func (e *Engine) RunContext(ctx context.Context, progress Progress) *Result {
 	// The last allocation has not been evaluated yet.
 	t0 := time.Now()
 	e.EvaluateCosts()
-	e.profile.Eval += time.Since(t0)
+	d := time.Since(t0)
+	e.profile.Eval += d
+	e.tel.EvalNs += uint64(d)
+	telemetry.EnginePhaseEvalNs.Observe(int64(d))
 	return e.result()
 }
 
@@ -997,7 +1086,20 @@ func (e *Engine) result() *Result {
 		Iters:     e.iter,
 		Profile:   e.profile,
 		MuTrace:   e.MuTrace(),
+		Telemetry: e.Telemetry(),
 	}
+}
+
+// Telemetry returns the engine's per-run counter snapshot, with the
+// pipeline and STA work totals folded in at read time (they accumulate
+// inside their own layers).
+func (e *Engine) Telemetry() telemetry.EngineSnapshot {
+	t := e.tel
+	t.CostFull, t.CostDirty, t.CostDirtyFallback = e.pipe.Calls()
+	if sta := e.pipe.Delay(); sta != nil {
+		t.TimingUpdates, t.TimingRebuilds, t.TimingConeCells = sta.Stats()
+	}
+	return t
 }
 
 // Result snapshots the current run state without running further.

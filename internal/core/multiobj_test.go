@@ -98,6 +98,37 @@ func TestScanPruneSlackRegression(t *testing.T) {
 			t.Fatalf("iter %d: placements diverged", i)
 		}
 	}
+
+	// Telemetry is unconditional, so the bitwise equality above already
+	// ran with it fully enabled; the counters must also have tracked the
+	// run — an empty snapshot would mean the hot paths were not observed.
+	tel := inc.Telemetry()
+	if tel.Iterations != iters {
+		t.Errorf("telemetry: iterations = %d, want %d", tel.Iterations, iters)
+	}
+	if tel.IncrementalEvals == 0 {
+		t.Error("telemetry: incremental engine recorded no incremental evals")
+	}
+	if tel.ScanVacancies == 0 || tel.ScanScored == 0 {
+		t.Errorf("telemetry: ScanBest stats empty (vacancies %d, scored %d)",
+			tel.ScanVacancies, tel.ScanScored)
+	}
+	if tel.ScanPrunedBBox+tel.ScanPrunedSuffix+tel.ScanBailedExact == 0 {
+		t.Error("telemetry: ScanBest pruned nothing over 25 s3330 iterations")
+	}
+	if tel.CostDirty+tel.CostDirtyFallback == 0 {
+		t.Error("telemetry: cost pipeline recorded no dirty-path evaluations")
+	}
+	if tel.TimingUpdates+tel.TimingRebuilds == 0 {
+		t.Error("telemetry: wpd run recorded no STA activity")
+	}
+	if tel.EvalNs == 0 || tel.AllocNs == 0 {
+		t.Errorf("telemetry: phase timers empty (eval %d ns, alloc %d ns)", tel.EvalNs, tel.AllocNs)
+	}
+	refTel := ref.Telemetry()
+	if refTel.Evals == 0 || refTel.IncrementalEvals != 0 {
+		t.Errorf("telemetry: reference engine evals = %+v, want reference-only", refTel.Evals)
+	}
 }
 
 // TestWirePowerCostTrajectory covers the two-objective mode the paper's

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"simevo/internal/telemetry"
 )
 
 // Pool is the engine's persistent bounded worker pool, shared by every
@@ -80,6 +82,7 @@ func (p *Pool) Batch(ctx context.Context, chunks, n int, kern func(slot, lo, hi 
 		ctx = context.Background()
 	}
 	p.wg.Add(chunks)
+	telemetry.PoolBatches.Inc()
 	// Posting under mu linearizes against worker retirement: a worker
 	// leaves only after decrementing alive under mu, so every job posted
 	// here either has a live consumer or is drained by the exiting worker
@@ -91,6 +94,8 @@ func (p *Pool) Batch(ctx context.Context, chunks, n int, kern func(slot, lo, hi 
 	p.lastUse = time.Now()
 	for p.alive < p.size {
 		p.alive++
+		telemetry.PoolWorkersSpawned.Inc()
+		telemetry.PoolWorkersAlive.Add(1)
 		go p.worker()
 	}
 	for i := 0; i < chunks; i++ {
@@ -111,6 +116,7 @@ func (p *Pool) worker() {
 		case j := <-p.jobs:
 			p.run(j)
 		case <-done:
+			telemetry.PoolRetiredCancel.Inc()
 			p.exit()
 			return
 		case <-timer.C:
@@ -121,6 +127,7 @@ func (p *Pool) worker() {
 				continue
 			}
 			p.mu.Unlock()
+			telemetry.PoolRetiredIdle.Inc()
 			p.exit()
 			return
 		}
@@ -152,6 +159,7 @@ func (p *Pool) exit() {
 	p.mu.Lock()
 	p.alive--
 	p.mu.Unlock()
+	telemetry.PoolWorkersAlive.Add(-1)
 	for {
 		select {
 		case j := <-p.jobs:

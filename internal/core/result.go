@@ -6,6 +6,7 @@ import (
 
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
+	"simevo/internal/telemetry"
 )
 
 // Profile accumulates time spent in each SimE operator. The paper's
@@ -65,4 +66,8 @@ type Result struct {
 	Iters     int // iterations executed
 	Profile   Profile
 	MuTrace   []float64 // μ(s) after every iteration
+
+	// Telemetry is the run's counter snapshot — the same numbers the
+	// process-wide /metrics endpoint aggregates, scoped to this engine.
+	Telemetry telemetry.EngineSnapshot
 }

@@ -32,6 +32,7 @@ import (
 
 	"simevo/internal/fuzzy"
 	"simevo/internal/netlist"
+	"simevo/internal/telemetry"
 	"simevo/internal/timing"
 )
 
@@ -157,6 +158,18 @@ type Pipeline struct {
 	phases []time.Duration
 	timed  bool
 	costs  fuzzy.Costs
+
+	// Evaluation-path tallies (plain counters: a pipeline is mutated
+	// from one goroutine by contract).
+	nFull, nDirty, nFallback uint64
+}
+
+// Calls reports how many evaluations took each path: explicit Full
+// rebuilds, genuinely incremental ApplyDirty calls, and ApplyDirty
+// calls whose dirty batch crossed the n/4 crossover and fell back to a
+// full recombine inside the objectives.
+func (p *Pipeline) Calls() (full, dirty, dirtyFallback uint64) {
+	return p.nFull, p.nDirty, p.nFallback
 }
 
 // NewPipeline builds the objective set. acts is the per-net switching
@@ -204,6 +217,8 @@ func (p *Pipeline) EnableTiming() { p.timed = true }
 
 // Full recomputes every objective from the full length array.
 func (p *Pipeline) Full(lengths []float64) fuzzy.Costs {
+	p.nFull++
+	telemetry.CostFullEvals.Inc()
 	for i, o := range p.objs {
 		if p.timed {
 			t0 := time.Now()
@@ -220,6 +235,15 @@ func (p *Pipeline) Full(lengths []float64) fuzzy.Costs {
 // objective. The result is bitwise identical to Full over the same
 // lengths — the incremental/reference equivalence invariant.
 func (p *Pipeline) ApplyDirty(dirty []netlist.NetID, lengths []float64) fuzzy.Costs {
+	// Mirror the objectives' shared n/4 crossover so the fallback count
+	// reflects what weightedSum and timing.Inc actually did.
+	if len(dirty)*4 >= len(lengths) {
+		p.nFallback++
+		telemetry.CostDirtyFallbackEvals.Inc()
+	} else {
+		p.nDirty++
+		telemetry.CostDirtyEvals.Inc()
+	}
 	for i, o := range p.objs {
 		if p.timed {
 			t0 := time.Now()

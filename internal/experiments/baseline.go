@@ -12,6 +12,7 @@ import (
 	"simevo/internal/core"
 	"simevo/internal/fuzzy"
 	"simevo/internal/gen"
+	"simevo/internal/telemetry"
 )
 
 // Baseline captures the incremental-vs-from-scratch performance of the
@@ -74,6 +75,11 @@ type BaselineRun struct {
 	AllocShare      float64            `json:"alloc_share"`
 	BestMu          float64            `json:"best_mu"`
 	ObjectivePhases map[string]float64 `json:"objective_phase_ns_per_iter,omitempty"`
+	// Telemetry records the engine's phase counters for the kept run.
+	// The work counters (iterations, evals, dirty nets, prune and cache
+	// statistics) are deterministic and reproducible across hosts; the
+	// *_ns phase timings are this host's wall clock.
+	Telemetry *telemetry.EngineSnapshot `json:"telemetry,omitempty"`
 }
 
 const (
@@ -110,6 +116,7 @@ func measureMode(obj fuzzy.Objectives, scratch bool, evalWorkers int) (BaselineR
 	for name, d := range eng.CostPhases() {
 		phases[name] = float64(d.Nanoseconds()) / baselineIters
 	}
+	tel := res.Telemetry
 	return BaselineRun{
 		NsPerIter:       float64(total.Nanoseconds()) / baselineIters,
 		EvalNsPerIter:   float64(p.Eval.Nanoseconds()) / baselineIters,
@@ -117,6 +124,7 @@ func measureMode(obj fuzzy.Objectives, scratch bool, evalWorkers int) (BaselineR
 		AllocShare:      allocShare,
 		BestMu:          res.BestMu,
 		ObjectivePhases: phases,
+		Telemetry:       &tel,
 	}, res.Best.Fingerprint(), nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
+	"simevo/internal/telemetry"
 )
 
 // Options configures a parallel run.
@@ -113,4 +114,8 @@ type Result struct {
 	ReachedTarget bool
 	RankStats     []mpi.RankStats
 	MuTrace       []float64
+	// Telemetry is the master engine's per-run counter snapshot (zero
+	// for Type III, whose rank 0 is the central store and runs no
+	// engine; each searcher's counters feed the process registry).
+	Telemetry telemetry.EngineSnapshot
 }

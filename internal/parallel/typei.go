@@ -2,11 +2,13 @@ package parallel
 
 import (
 	"fmt"
+	"time"
 
 	"simevo/internal/core"
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
 	"simevo/internal/netlist"
+	"simevo/internal/telemetry"
 	"simevo/internal/transport"
 )
 
@@ -89,6 +91,7 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 	var goodsBuf []float64
 
 	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
+		roundStart := time.Now()
 		// Broadcast the current placement to the slaves.
 		c.Bcast(0, eng.Placement().Encode())
 
@@ -114,6 +117,7 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 
 		// Selection and allocation happen only on the master.
 		opt.report(eng.SelectAndAllocate())
+		telemetry.ExchangeRoundType1Ns.Observe(int64(time.Since(roundStart)))
 	}
 	// Terminal broadcast: zero-length placement signals the slaves to stop.
 	c.Bcast(0, nil)
@@ -126,6 +130,7 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 		Best:      res.Best,
 		Iters:     res.Iters,
 		MuTrace:   res.MuTrace,
+		Telemetry: res.Telemetry,
 	}, nil
 }
 

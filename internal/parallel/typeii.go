@@ -2,11 +2,13 @@ package parallel
 
 import (
 	"fmt"
+	"time"
 
 	"simevo/internal/core"
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
 	"simevo/internal/rng"
+	"simevo/internal/telemetry"
 )
 
 // RunTypeII executes the domain-decomposition strategy of the paper's
@@ -81,6 +83,7 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 
 	res := &Result{}
 	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
+		roundStart := time.Now()
 		assign := pattern.Assign(iter, numRows, c.Size())
 		if err := validateAssignment(assign, numRows); err != nil {
 			return nil, err
@@ -121,6 +124,7 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 			}
 		}
 		eng.Placement().Recompute()
+		telemetry.ExchangeRoundType2Ns.Observe(int64(time.Since(roundStart)))
 
 		if targetMu > 0 && !res.ReachedTarget && eng.BestMu() >= targetMu {
 			res.ReachedTarget = true
@@ -143,6 +147,7 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 	res.Best = er.Best
 	res.Iters = er.Iters
 	res.MuTrace = er.MuTrace
+	res.Telemetry = er.Telemetry
 	return res, nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"simevo/internal/core"
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
+	"simevo/internal/telemetry"
 )
 
 // Type III protocol tags.
@@ -188,8 +190,10 @@ func typeIIISearcher(prob *core.Problem, c Comm, retry int, opt Options) error {
 		}
 		count++
 		if count > retry {
+			exchStart := time.Now()
 			c.Send(0, tagT3Request, encodeSolution(eng.BestMu(), eng.BestPlacement()))
 			reply, _ := c.Recv(0, tagT3Reply)
+			telemetry.ExchangeRoundType3Ns.Observe(int64(time.Since(exchStart)))
 			if len(reply) > 0 {
 				mu, place, err := decodeSolution(prob, reply)
 				if err != nil {

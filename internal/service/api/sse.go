@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"simevo/internal/telemetry"
 )
 
 // keepaliveInterval paces SSE comment frames that hold idle connections
@@ -30,6 +32,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	telemetry.SSESubscribers.Add(1)
+	defer telemetry.SSESubscribers.Add(-1)
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"simevo/internal/telemetry"
 )
 
 // State is a job's lifecycle phase.
@@ -171,6 +173,14 @@ func (j *Job) setProgress(iter, total int, mu float64) {
 // uploaded netlist payload, no longer needed, is released; views keep
 // reporting its digest.
 func (j *Job) finish(state State, res *Result, errMsg string) {
+	switch state {
+	case StateDone:
+		telemetry.JobsDone.Inc()
+	case StateFailed:
+		telemetry.JobsFailed.Inc()
+	case StateCanceled:
+		telemetry.JobsCanceled.Inc()
+	}
 	j.mu.Lock()
 	j.state = state
 	j.finished = time.Now()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"simevo/internal/core"
+	"simevo/internal/telemetry"
 	"simevo/internal/transport"
 )
 
@@ -67,6 +68,9 @@ type Stats struct {
 	// ClusterWorkers is the number of idle simevo-worker processes
 	// registered with the cluster hub (-1 when no hub is configured).
 	ClusterWorkers int `json:"cluster_workers"`
+	// ClusterWorkerDetail expands ClusterWorkers with each parked
+	// worker's address and lifetime traffic; omitted without a hub.
+	ClusterWorkerDetail []transport.WorkerDetail `json:"cluster_workers_detail,omitempty"`
 }
 
 // Manager owns the job store, the result cache, and the worker pool.
@@ -149,6 +153,8 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		job.benchDigest = "sha256:" + hex.EncodeToString(sum[:8])
 	}
 	if res, ok := m.cache.get(fp); ok {
+		telemetry.JobsSubmitted.Inc()
+		telemetry.JobsCacheHits.Inc()
 		res.Cached = true
 		m.seq++
 		job.id = fmt.Sprintf("j-%06d", m.seq)
@@ -162,10 +168,13 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	if len(m.pending) >= m.opt.QueueDepth {
 		return View{}, ErrQueueFull
 	}
+	telemetry.JobsSubmitted.Inc()
+	telemetry.JobsCacheMiss.Inc()
 	m.seq++
 	job.id = fmt.Sprintf("j-%06d", m.seq)
 	job.state = StateQueued
 	m.pending = append(m.pending, job)
+	telemetry.JobQueueDepth.Set(int64(len(m.pending)))
 	m.storeLocked(job)
 	m.cond.Signal()
 	return job.view(), nil
@@ -244,6 +253,8 @@ func (m *Manager) Cancel(id string) (View, error) {
 				break
 			}
 		}
+		telemetry.JobQueueDepth.Set(int64(len(m.pending)))
+		telemetry.JobsCanceled.Inc()
 		job.cancelReq = true
 		job.state = StateCanceled
 		job.finished = time.Now()
@@ -286,7 +297,8 @@ func (m *Manager) Stats() Stats {
 	}
 	st := Stats{Workers: m.opt.Workers, Stored: len(jobs), Cached: m.cache.len(), ClusterWorkers: -1}
 	if m.opt.Hub != nil {
-		st.ClusterWorkers = m.opt.Hub.Workers()
+		st.ClusterWorkerDetail = m.opt.Hub.WorkerDetails()
+		st.ClusterWorkers = len(st.ClusterWorkerDetail)
 	}
 	m.mu.Unlock()
 	for _, j := range jobs {
@@ -319,6 +331,7 @@ func (m *Manager) worker() {
 		}
 		job := m.pending[0]
 		m.pending = m.pending[1:]
+		telemetry.JobQueueDepth.Set(int64(len(m.pending)))
 		m.mu.Unlock()
 		m.runJob(job)
 	}
@@ -347,6 +360,8 @@ func (m *Manager) runJob(job *Job) {
 	job.notifyLocked()
 	spec := job.spec
 	job.mu.Unlock()
+	telemetry.JobsRunning.Add(1)
+	defer telemetry.JobsRunning.Add(-1)
 
 	total := spec.total()
 	progress := core.Progress(func(st core.IterStats) {

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Process-wide metric set. Every instrumented layer updates these
+// unconditionally; they are aggregates across all engines, pools, and
+// transports in the process (per-run numbers live in EngineSnapshot).
+var (
+	// Engine phase timers (core.Engine.Step / SelectAndAllocate).
+	EnginePhaseEvalNs   = Default.Histogram("simevo_engine_phase_ns", "Engine phase wall time per iteration in nanoseconds.", "phase", "evaluate")
+	EnginePhaseSelectNs = Default.Histogram("simevo_engine_phase_ns", "Engine phase wall time per iteration in nanoseconds.", "phase", "select")
+	EnginePhaseAllocNs  = Default.Histogram("simevo_engine_phase_ns", "Engine phase wall time per iteration in nanoseconds.", "phase", "allocate")
+
+	EngineIterations = Default.Counter("simevo_engine_iterations_total", "Completed SimE iterations (selection + allocation) across all engines.")
+
+	// Cost-evaluation shape: which EvaluateCosts branch ran, and how
+	// many dirty nets an incremental evaluation folded.
+	EngineEvalsIncremental = Default.Counter("simevo_engine_evals_total", "Cost evaluations by kind.", "kind", "incremental")
+	EngineEvalsRebuild     = Default.Counter("simevo_engine_evals_total", "Cost evaluations by kind.", "kind", "rebuild")
+	EngineEvalsReference   = Default.Counter("simevo_engine_evals_total", "Cost evaluations by kind.", "kind", "reference")
+	EngineDirtyNets        = Default.Histogram("simevo_engine_dirty_nets", "Dirty-net batch size per incremental cost evaluation.")
+
+	// Goodness cache (per-cell goodness memoization inside ComputeGoodness).
+	GoodnessCacheHits   = Default.Counter("simevo_engine_goodness_cache_total", "Goodness-cache lookups by result.", "result", "hit")
+	GoodnessCacheMisses = Default.Counter("simevo_engine_goodness_cache_total", "Goodness-cache lookups by result.", "result", "miss")
+
+	// ScanBest prune statistics (allocation inner loop).
+	ScanVacancies    = Default.Counter("simevo_scan_vacancies_total", "Vacancy candidates visited by ScanBest.")
+	ScanPrunedBBox   = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "bbox_precheck")
+	ScanPrunedSuffix = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "suffix_bound")
+	ScanBailedExact  = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "exact_prefix")
+	ScanScored       = Default.Counter("simevo_scan_scored_total", "ScanBest candidates fully scored (survived every prune).")
+
+	// cost.Objective pipeline: full rebuilds vs incremental updates vs
+	// incremental calls that fell back to a full rebuild internally.
+	CostFullEvals          = Default.Counter("simevo_cost_evals_total", "cost.Objective evaluations by path.", "path", "full")
+	CostDirtyEvals         = Default.Counter("simevo_cost_evals_total", "cost.Objective evaluations by path.", "path", "dirty")
+	CostDirtyFallbackEvals = Default.Counter("simevo_cost_evals_total", "cost.Objective evaluations by path.", "path", "dirty_fallback")
+
+	// timing.Inc incremental STA.
+	TimingConeCells = Default.Histogram("simevo_timing_cone_cells", "Cells recomputed per incremental STA update (dirty-cone size).")
+	TimingRebuilds  = Default.Counter("simevo_timing_rebuilds_total", "Full STA rebuilds (including incremental updates that fell back).")
+
+	// core.Pool worker lifecycle.
+	PoolWorkersAlive   = Default.Gauge("simevo_pool_workers", "Live pool worker goroutines.")
+	PoolWorkersSpawned = Default.Counter("simevo_pool_worker_events_total", "Pool worker lifecycle events.", "event", "spawn")
+	PoolRetiredIdle    = Default.Counter("simevo_pool_worker_events_total", "Pool worker lifecycle events.", "event", "retire_idle")
+	PoolRetiredCancel  = Default.Counter("simevo_pool_worker_events_total", "Pool worker lifecycle events.", "event", "retire_cancel")
+	PoolBatches        = Default.Counter("simevo_pool_batches_total", "Work batches dispatched to the shared pool.")
+
+	// Transport framing (all TCP connections in the process).
+	TransportSentFrames = Default.Counter("simevo_transport_frames_total", "TCP transport frames, by direction.", "dir", "sent")
+	TransportRecvFrames = Default.Counter("simevo_transport_frames_total", "TCP transport frames, by direction.", "dir", "recv")
+	TransportSentBytes  = Default.Counter("simevo_transport_bytes_total", "TCP transport bytes (incl. frame headers), by direction.", "dir", "sent")
+	TransportRecvBytes  = Default.Counter("simevo_transport_bytes_total", "TCP transport bytes (incl. frame headers), by direction.", "dir", "recv")
+
+	// Parallel-strategy exchange rounds (one iteration of the Type I/II
+	// master loop, or one store round-trip for a Type III searcher).
+	ExchangeRoundType1Ns = Default.Histogram("simevo_exchange_round_ns", "Parallel-strategy exchange round latency in nanoseconds.", "strategy", "type1")
+	ExchangeRoundType2Ns = Default.Histogram("simevo_exchange_round_ns", "Parallel-strategy exchange round latency in nanoseconds.", "strategy", "type2")
+	ExchangeRoundType3Ns = Default.Histogram("simevo_exchange_round_ns", "Parallel-strategy exchange round latency in nanoseconds.", "strategy", "type3")
+
+	// Service (simevo-serve job manager + SSE).
+	JobsSubmitted  = Default.Counter("simevo_jobs_submitted_total", "Jobs accepted by the service (including cache hits).")
+	JobsCacheHits  = Default.Counter("simevo_jobs_cache_total", "Job result-cache lookups by outcome.", "result", "hit")
+	JobsCacheMiss  = Default.Counter("simevo_jobs_cache_total", "Job result-cache lookups by outcome.", "result", "miss")
+	JobsDone       = Default.Counter("simevo_jobs_finished_total", "Jobs finished, by terminal state.", "state", "done")
+	JobsFailed     = Default.Counter("simevo_jobs_finished_total", "Jobs finished, by terminal state.", "state", "failed")
+	JobsCanceled   = Default.Counter("simevo_jobs_finished_total", "Jobs finished, by terminal state.", "state", "canceled")
+	JobQueueDepth  = Default.Gauge("simevo_jobs_queue_depth", "Jobs waiting in the service queue.")
+	JobsRunning    = Default.Gauge("simevo_jobs_running", "Jobs currently executing.")
+	SSESubscribers = Default.Gauge("simevo_sse_subscribers", "Open SSE event-stream subscriptions.")
+)
+
+// RankTraffic returns the per-rank transport counters (messages and
+// bytes relayed to / received from that rank's worker connection).
+// Counters are created on first use, so only ranks that actually join
+// a group appear in the exposition.
+func RankTraffic(rank int) (sentMsgs, sentBytes, recvMsgs, recvBytes *Counter) {
+	r := strconv.Itoa(rank)
+	sentMsgs = Default.Counter("simevo_transport_rank_messages_total", "Messages exchanged with a worker rank, by direction.", "rank", r, "dir", "sent")
+	sentBytes = Default.Counter("simevo_transport_rank_bytes_total", "Payload bytes exchanged with a worker rank, by direction.", "rank", r, "dir", "sent")
+	recvMsgs = Default.Counter("simevo_transport_rank_messages_total", "Messages exchanged with a worker rank, by direction.", "rank", r, "dir", "recv")
+	recvBytes = Default.Counter("simevo_transport_rank_bytes_total", "Payload bytes exchanged with a worker rank, by direction.", "rank", r, "dir", "recv")
+	return sentMsgs, sentBytes, recvMsgs, recvBytes
+}
+
+// ServeDebug starts an HTTP listener on addr serving GET /metrics and
+// the pprof endpoints, and returns the bound address (useful with
+// ":0"). The server runs until the process exits.
+func ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	AttachDebug(mux)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

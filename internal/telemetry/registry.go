@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format v0.0.4. Registration is get-or-create: asking for
+// an existing (name, labels) series returns the same collector, so
+// packages can declare metrics idempotently.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+	byLabels        map[string]*series
+}
+
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+	hist   *Histogram
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// Default is the process-wide registry that all package-level metrics
+// in this repo register into; /metrics handlers render it.
+var Default = NewRegistry()
+
+func (r *Registry) getFamily(name, help, typ string) *family {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byLabels: map[string]*series{}}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+// renderLabels formats alternating key, value pairs as a Prometheus
+// label suffix. Values are escaped per the exposition format.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: labels must be alternating key, value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func (f *family) getSeries(labels []string) *series {
+	key := renderLabels(labels)
+	s := f.byLabels[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.byLabels[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating and
+// registering it on first use. Labels are alternating key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "counter").getSeries(labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "gauge").getSeries(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers fn as the value source for (name, labels). A
+// repeat registration replaces the function, so restarted components
+// (e.g. a rebuilt Hub in tests) always report through the live one.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "gauge").getSeries(labels)
+	s.fn = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "histogram").getSeries(labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format v0.0.4. Families appear in registration order; series within a
+// family are sorted by label set for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	copy(fams, r.order)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		r.mu.Lock()
+		ser := make([]*series, len(f.series))
+		copy(ser, f.series)
+		r.mu.Unlock()
+		sort.Slice(ser, func(i, j int) bool { return ser[i].labels < ser[j].labels })
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range ser {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s.labels, s.hist)
+			case s.ctr != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.ctr.Load())
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels,
+					strconv.FormatFloat(s.fn(), 'g', -1, 64))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gauge.Load())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders the cumulative _bucket / _sum / _count triplet
+// for one histogram series. Bucket upper bounds are powers of two: a
+// sample lands under the smallest le >= value, so integer samples obey
+// the exposition format's le semantics exactly.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	counts, total, sum := h.snapshot()
+	// Merge le into any existing label set.
+	pre := "{"
+	if labels != "" {
+		pre = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%sle=\"%s\"} %d\n", name, pre,
+			strconv.FormatFloat(float64(uint64(1)<<uint(i)), 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"} %d\n", name, pre, total)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labels, sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, total)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// AttachDebug mounts GET /metrics (the Default registry) and the
+// net/http/pprof endpoints on mux.
+func AttachDebug(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", Default.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+// EngineSnapshot is a per-run tally of the same counters the global
+// registry aggregates process-wide. The engine accumulates it with
+// plain (non-atomic) arithmetic on its own goroutine and copies it into
+// Result.Telemetry, so library users and simevo-bench read identical
+// numbers without scraping HTTP. JSON tags let simevo-bench embed the
+// counters in BENCH_baseline.json.
+type EngineSnapshot struct {
+	Iterations uint64 `json:"iterations"`
+
+	EvalNs   uint64 `json:"eval_ns"`
+	SelectNs uint64 `json:"select_ns"`
+	AllocNs  uint64 `json:"alloc_ns"`
+
+	Evals            uint64 `json:"evals"`
+	IncrementalEvals uint64 `json:"incremental_evals"`
+	FullRebuilds     uint64 `json:"full_rebuilds"`
+	DirtyNets        uint64 `json:"dirty_nets"`
+
+	GoodnessHits   uint64 `json:"goodness_hits"`
+	GoodnessMisses uint64 `json:"goodness_misses"`
+
+	ScanVacancies    uint64 `json:"scan_vacancies"`
+	ScanPrunedBBox   uint64 `json:"scan_pruned_bbox"`
+	ScanPrunedSuffix uint64 `json:"scan_pruned_suffix"`
+	ScanBailedExact  uint64 `json:"scan_bailed_exact"`
+	ScanScored       uint64 `json:"scan_scored"`
+
+	CostFull          uint64 `json:"cost_full"`
+	CostDirty         uint64 `json:"cost_dirty"`
+	CostDirtyFallback uint64 `json:"cost_dirty_fallback"`
+
+	TimingUpdates   uint64 `json:"timing_updates"`
+	TimingRebuilds  uint64 `json:"timing_rebuilds"`
+	TimingConeCells uint64 `json:"timing_cone_cells"`
+}
+
+// Counters flattens the snapshot into a name → value map, matching the
+// JSON field names. Handy for reports that iterate metrics generically.
+func (s *EngineSnapshot) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"iterations":          s.Iterations,
+		"eval_ns":             s.EvalNs,
+		"select_ns":           s.SelectNs,
+		"alloc_ns":            s.AllocNs,
+		"evals":               s.Evals,
+		"incremental_evals":   s.IncrementalEvals,
+		"full_rebuilds":       s.FullRebuilds,
+		"dirty_nets":          s.DirtyNets,
+		"goodness_hits":       s.GoodnessHits,
+		"goodness_misses":     s.GoodnessMisses,
+		"scan_vacancies":      s.ScanVacancies,
+		"scan_pruned_bbox":    s.ScanPrunedBBox,
+		"scan_pruned_suffix":  s.ScanPrunedSuffix,
+		"scan_bailed_exact":   s.ScanBailedExact,
+		"scan_scored":         s.ScanScored,
+		"cost_full":           s.CostFull,
+		"cost_dirty":          s.CostDirty,
+		"cost_dirty_fallback": s.CostDirtyFallback,
+		"timing_updates":      s.TimingUpdates,
+		"timing_rebuilds":     s.TimingRebuilds,
+		"timing_cone_cells":   s.TimingConeCells,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"simevo/internal/netlist"
+	"simevo/internal/telemetry"
 )
 
 // Inc is an incremental static timing analyzer: the cost-pipeline
@@ -58,6 +59,20 @@ type Inc struct {
 	pending   []netlist.NetID // nets whose adNet needs a refresh
 	netMark   []bool
 	netsBuf   []netlist.NetID
+
+	// Telemetry tallies (plain counters: Inc is single-goroutine by
+	// contract). Snapshot/Restore leave them alone — they are monotone
+	// work counters, not analysis state.
+	statUpdates   uint64
+	statRebuilds  uint64
+	statConeCells uint64
+}
+
+// Stats reports incremental-update work totals: successful incremental
+// updates, full rebuilds (including fallbacks), and the total dirty-cone
+// cells recomputed across all updates.
+func (s *Inc) Stats() (updates, rebuilds, coneCells uint64) {
+	return s.statUpdates, s.statRebuilds, s.statConeCells
 }
 
 // NewInc builds the analyzer shell; Rebuild must run before any reads.
@@ -94,6 +109,8 @@ func (s *Inc) MaxDelay() float64 { return s.maxDelay }
 // Rebuild re-derives the full analysis from the given per-net lengths —
 // the reference path, and the periodic drift guard of the cost pipeline.
 func (s *Inc) Rebuild(lengths []float64) float64 {
+	s.statRebuilds++
+	telemetry.TimingRebuilds.Inc()
 	ckt := s.ckt
 	for n := range s.netDelay {
 		s.netDelay[n] = s.m.UnitWire * lengths[n]
@@ -136,6 +153,7 @@ func (s *Inc) Update(dirty []netlist.NetID, lengths []float64) float64 {
 		return s.Rebuild(lengths)
 	}
 	ckt := s.ckt
+	var visited int64 // cells popped off either wavefront this update
 	for _, n := range dirty {
 		nd := s.m.UnitWire * lengths[n]
 		if nd == s.netDelay[n] {
@@ -159,6 +177,7 @@ func (s *Inc) Update(dirty []netlist.NetID, lengths []float64) float64 {
 		for i := 0; i < len(bucket); i++ {
 			id := bucket[i]
 			s.inFwd[id] = false
+			visited++
 			na := s.arrivalOf(id)
 			if na == s.arr[id] {
 				continue
@@ -188,6 +207,7 @@ func (s *Inc) Update(dirty []netlist.NetID, lengths []float64) float64 {
 		for i := 0; i < len(bucket); i++ {
 			id := bucket[i]
 			s.inBwd[id] = false
+			visited++
 			nd := s.depOf(id)
 			if nd == s.dep[id] {
 				continue
@@ -227,6 +247,9 @@ func (s *Inc) Update(dirty []netlist.NetID, lengths []float64) float64 {
 		s.adNet[n] = s.adOf(n)
 	}
 	s.pending = s.pending[:0]
+	s.statUpdates++
+	s.statConeCells += uint64(visited)
+	telemetry.TimingConeCells.Observe(visited)
 	return s.maxDelay
 }
 

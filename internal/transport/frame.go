@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"simevo/internal/mpi"
+	"simevo/internal/telemetry"
 )
 
 // Wire framing: every message is a length-prefixed frame
@@ -59,6 +61,8 @@ func writeFrame(w io.Writer, f frame) error {
 			return err
 		}
 	}
+	telemetry.TransportSentFrames.Inc()
+	telemetry.TransportSentBytes.Add(uint64(len(hdr) + len(f.data)))
 	return nil
 }
 
@@ -84,21 +88,32 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	if len(buf) > frameHeader {
 		f.data = buf[frameHeader:]
 	}
+	telemetry.TransportRecvFrames.Inc()
+	telemetry.TransportRecvBytes.Add(uint64(len(pfx) + len(buf)))
 	return f, nil
 }
 
 // connWriter serializes frame writes to one connection: the coordinator
 // writes to a worker from the rank-0 strategy goroutine and from relay
-// readers concurrently.
+// readers concurrently. It keeps per-connection traffic totals (frames
+// and payload bytes) for the hub's worker detail report.
 type connWriter struct {
 	mu sync.Mutex
 	w  io.Writer
+
+	msgs  atomic.Int64 // frames successfully written
+	bytes atomic.Int64 // payload bytes successfully written
 }
 
 func (cw *connWriter) write(f frame) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	return writeFrame(cw.w, f)
+	if err := writeFrame(cw.w, f); err != nil {
+		return err
+	}
+	cw.msgs.Add(1)
+	cw.bytes.Add(int64(len(f.data)))
+	return nil
 }
 
 // inbox is a rank's received-message queue: FIFO per (src, tag) match,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"simevo/internal/mpi"
+	"simevo/internal/telemetry"
 )
 
 // Hub is the cluster coordinator: it accepts worker connections, parks them
@@ -45,6 +46,9 @@ type wconn struct {
 	rank     int32 // valid while in a group
 	dead     atomic.Bool
 	reported atomic.Bool // end-of-job notice already counted
+
+	inMsgs  atomic.Int64 // frames read from this worker over its lifetime
+	inBytes atomic.Int64 // payload bytes read from this worker
 }
 
 // Listen starts a hub on addr ("host:port"; ":0" picks a free port).
@@ -74,6 +78,37 @@ func (h *Hub) Workers() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.parked)
+}
+
+// WorkerDetail describes one parked worker's connection and lifetime
+// traffic as seen from the hub: sent_* is coordinator-to-worker,
+// recv_* worker-to-coordinator (payload bytes, framing excluded).
+type WorkerDetail struct {
+	Addr      string `json:"addr"`
+	SentMsgs  int64  `json:"sent_msgs"`
+	SentBytes int64  `json:"sent_bytes"`
+	RecvMsgs  int64  `json:"recv_msgs"`
+	RecvBytes int64  `json:"recv_bytes"`
+}
+
+// WorkerDetails reports every parked worker, in park (rank-assignment)
+// order — the per-rank expansion behind the /healthz cluster_workers
+// count. Workers currently lent to a group are not listed; they
+// reappear, totals intact, when the group releases them.
+func (h *Hub) WorkerDetails() []WorkerDetail {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]WorkerDetail, len(h.parked))
+	for i, w := range h.parked {
+		out[i] = WorkerDetail{
+			Addr:      w.conn.RemoteAddr().String(),
+			SentMsgs:  w.w.msgs.Load(),
+			SentBytes: w.w.bytes.Load(),
+			RecvMsgs:  w.inMsgs.Load(),
+			RecvBytes: w.inBytes.Load(),
+		}
+	}
+	return out
 }
 
 // Close shuts the hub down: stops accepting, dismisses parked workers, and
@@ -153,6 +188,8 @@ func (h *Hub) serveConn(w *wconn) {
 			w.conn.Close()
 			return
 		}
+		w.inMsgs.Add(1)
+		w.inBytes.Add(int64(len(f.data)))
 		g := w.group.Load()
 		switch {
 		case g == nil:
@@ -230,6 +267,11 @@ func (h *Hub) Acquire(ctx context.Context, workers int) (*Group, error) {
 		in:    newInbox(),
 		done:  make(chan *wconn, workers),
 		stats: make([]rankCounters, workers+1),
+		tel:   make([]rankTelemetry, workers+1),
+	}
+	for r := range g.tel {
+		t := &g.tel[r]
+		t.sentMsgs, t.sentBytes, t.recvMsgs, t.recvBytes = telemetry.RankTraffic(r)
 	}
 	for i, w := range ws {
 		w.rank = int32(i + 1)
@@ -259,9 +301,19 @@ type Group struct {
 	start time.Time
 	in    *inbox
 	done  chan *wconn
-	stats []rankCounters // per rank; see RankStats
+	stats []rankCounters  // per rank; see RankStats
+	tel   []rankTelemetry // per rank: process-wide registry counters
 
 	closeOnce sync.Once
+}
+
+// rankTelemetry caches one rank's registry counters, resolved once at
+// Acquire so countFrame pays no registry lookups. Unlike rankCounters
+// (which reset per group), the registry series are process-lifetime
+// cumulative across all groups using that rank index — Prometheus
+// counter semantics.
+type rankTelemetry struct {
+	sentMsgs, sentBytes, recvMsgs, recvBytes *telemetry.Counter
 }
 
 // rankCounters accumulates one rank's message/byte traffic as observed at
@@ -279,6 +331,10 @@ func (g *Group) countFrame(src, dst, n int) {
 	g.stats[src].sentBytes.Add(int64(n))
 	g.stats[dst].recvMsgs.Add(1)
 	g.stats[dst].recvBytes.Add(int64(n))
+	g.tel[src].sentMsgs.Inc()
+	g.tel[src].sentBytes.Add(uint64(n))
+	g.tel[dst].recvMsgs.Inc()
+	g.tel[dst].recvBytes.Add(uint64(n))
 }
 
 // RankStats reports per-rank traffic accounting — the real-transport

@@ -258,7 +258,7 @@ func TestTrialSetMatchesViewTrials(t *testing.T) {
 					wantBest, wantBound = int(f), s
 				}
 			}
-			gotBest, gotBound := set.ScanBest(view, vacs, free, rowOK, 0, len(free), 1e308)
+			gotBest, gotBound := set.ScanBest(view, vacs, free, rowOK, 0, len(free), 1e308, nil)
 			if gotBest != wantBest || gotBound != wantBound {
 				t.Fatalf("est %d: ScanBest (%d, %v) != ScoreBounded loop (%d, %v)",
 					est, gotBest, gotBound, wantBest, wantBound)
@@ -287,7 +287,7 @@ func TestScanBestTrailingZeroTieBreak(t *testing.T) {
 	free := []int32{0, 1}
 	rowOK := []bool{true}
 
-	best, _ := set.ScanBest(nil, vacs, free, rowOK, 0, len(free), 1e308)
+	best, _ := set.ScanBest(nil, vacs, free, rowOK, 0, len(free), 1e308, nil)
 	if best != 0 {
 		t.Fatalf("ScanBest picked vacancy %d, want the first of the tie (0)", best)
 	}

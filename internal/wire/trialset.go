@@ -368,6 +368,28 @@ type Vacancy struct {
 	Row  int32
 }
 
+// ScanStats tallies where ScanBest spends (and saves) work: how many
+// candidates it visited, how many each prune mechanism discarded, and
+// how many survived to a full score. Accumulation is plain arithmetic —
+// callers own one ScanStats per goroutine and fold them into telemetry
+// counters after the scan, keeping the inner loop free of atomics.
+type ScanStats struct {
+	Vacancies    uint64 // row-feasible candidates considered
+	PrunedBBox   uint64 // dropped by the leading-net bbox pre-check
+	PrunedSuffix uint64 // dropped by the suffix-bound (tail) estimate
+	BailedExact  uint64 // dropped by the exact partial-cost prefix check
+	Scored       uint64 // fully scored (survived every prune)
+}
+
+// Merge folds o into s.
+func (s *ScanStats) Merge(o *ScanStats) {
+	s.Vacancies += o.Vacancies
+	s.PrunedBBox += o.PrunedBBox
+	s.PrunedSuffix += o.PrunedSuffix
+	s.BailedExact += o.BailedExact
+	s.Scored += o.Scored
+}
+
 // ScanBest runs the full vacancy scan for the compiled cell over
 // free[lo:hi] — the ascending indices of still-free vacancies — skipping
 // width-infeasible rows, scoring the rest with the bounded early exit, and
@@ -379,9 +401,14 @@ type Vacancy struct {
 // covering every row. A serial caller may leave the memo cold — classes
 // fill lazily on first use, so rows no vacancy sits in are never computed.
 // Concurrent chunked use must PrefillClasses first (lazy filling is not
-// goroutine-safe) and needs one View per goroutine.
+// goroutine-safe) and needs one View per goroutine. st (which may be
+// nil) collects prune statistics with plain increments; it changes no
+// comparison, so the winner and the trajectory are bitwise unaffected.
 func (t *TrialSet) ScanBest(view *View, vacs []Vacancy, free []int32,
-	rowOK []bool, lo, hi int, bound0 float64) (int, float64) {
+	rowOK []bool, lo, hi int, bound0 float64, st *ScanStats) (int, float64) {
+	if st == nil {
+		st = new(ScanStats)
+	}
 	best, bound := -1, bound0
 	items := t.items
 	// Bbox pre-check on the leading net: a single-trunk (or bbox) trial
@@ -407,6 +434,7 @@ scan:
 			continue
 		}
 		x, y := vacs[v].X, vacs[v].Y
+		st.Vacancies++
 		if prune {
 			lox, hix, loy, hiy := minX0, maxX0, minY0, maxY0
 			if x < lox {
@@ -422,6 +450,7 @@ scan:
 				hiy = y
 			}
 			if (((hix-lox)+(hiy-loy))*pruneW+tail1)*scanSlack >= bound {
+				st.PrunedBBox++
 				continue
 			}
 		}
@@ -503,10 +532,16 @@ scan:
 			// can never prune a true sub-bound cost; the exact prefix
 			// check keeps the common case (cost alone already past the
 			// bound) at full strength.
-			if cost >= bound || (cost+tail[i+1])*scanSlack >= bound {
+			if cost >= bound {
+				st.BailedExact++
+				continue scan
+			}
+			if (cost+tail[i+1])*scanSlack >= bound {
+				st.PrunedSuffix++
 				continue scan
 			}
 		}
+		st.Scored++
 		if cost < bound { // unconditional first-minimum, even for an empty set
 			best, bound = v, cost
 		}
