@@ -14,10 +14,12 @@
 //	                            # restrict the baseline to one objective
 //	                            # mode (default: both paper modes, with
 //	                            # per-objective phase timings for wpd)
-//	simevo-bench -check-baseline BENCH_baseline.json -cpuprofile gate.prof
+//	simevo-bench -check-baseline BENCH_baseline.json -cpuprofile gate.prof \
+//	             -out-baseline measured_baseline.json
 //	                            # -cpuprofile/-memprofile cover gate runs
 //	                            # too: a regressed gate is exactly the run
-//	                            # worth profiling
+//	                            # worth profiling; -out-baseline writes the
+//	                            # freshly measured numbers for artifact upload
 //
 // Baselines embed each kept run's engine telemetry counters (iterations,
 // incremental vs rebuild evals, scan prune statistics) under "telemetry"
@@ -41,6 +43,7 @@ func main() {
 	objectives := flag.String("objectives", "wire+power,wire+power+delay",
 		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay)")
 	check := flag.String("check-baseline", "", "re-measure and fail if the incremental/scratch speedup regressed >15% against the baseline JSON at this path (covers every mode the file records)")
+	outBaseline := flag.String("out-baseline", "", "with -check-baseline: also write the freshly measured baseline JSON to this path (uploaded as a CI artifact)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -48,10 +51,10 @@ func main() {
 	// run's failures return an exit code instead of calling os.Exit so the
 	// deferred profile writers always flush — a regressed bench gate run
 	// is exactly the one worth profiling.
-	os.Exit(run(*table, *scale, *baseline, *objectives, *check, *cpuprofile, *memprofile))
+	os.Exit(run(*table, *scale, *baseline, *objectives, *check, *outBaseline, *cpuprofile, *memprofile))
 }
 
-func run(table, scale, baseline, objectives, check, cpuprofile, memprofile string) int {
+func run(table, scale, baseline, objectives, check, outBaseline, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -81,7 +84,7 @@ func run(table, scale, baseline, objectives, check, cpuprofile, memprofile strin
 	}
 
 	if check != "" {
-		if err := experiments.CheckBaseline(check, os.Stdout); err != nil {
+		if err := experiments.CheckBaseline(check, outBaseline, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simevo-bench: %v\n", err)
 			return 1
 		}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"simevo/internal/fuzzy"
+	"simevo/internal/gen"
+)
+
+// TestParallelWpdAllocMatchesReferenceAllCircuits is the tentpole
+// equivalence test for the sharded allocation scan: on every bundled
+// benchmark circuit, a wpd run with every fan-out forced on — chunked
+// vacancy scans (AllocWorkers), parallel goodness evaluation
+// (EvalWorkers), and the parallel dirty-net flush — must track the
+// serial DisableIncremental reference bitwise, step by step. The test is
+// meaningful under -race (CI runs it so): the chunked scan shares the
+// trial set's lazily-filled per-row memos across workers, which is only
+// sound because the row partition makes the fills disjoint.
+func TestParallelWpdAllocMatchesReferenceAllCircuits(t *testing.T) {
+	oldScan, oldFlush, oldEval := allocScanMinVacancies, flushMinDirtyNets, evalMinCells
+	allocScanMinVacancies, flushMinDirtyNets, evalMinCells = 1, 1, 1
+	defer func() {
+		allocScanMinVacancies, flushMinDirtyNets, evalMinCells = oldScan, oldFlush, oldEval
+	}()
+
+	for _, name := range gen.Catalog() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ckt, err := gen.Benchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters := 6
+			if name == "s3330" {
+				iters = 3 // the big circuit dominates the -race budget
+			}
+			mk := func(disable bool) *Engine {
+				cfg := DefaultConfig(fuzzy.WirePowerDelay)
+				cfg.MaxIters = iters
+				cfg.Seed = 2006
+				cfg.DisableIncremental = disable
+				if !disable {
+					cfg.AllocWorkers = 4
+					cfg.EvalWorkers = 4
+				}
+				p, err := NewProblem(ckt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.NewEngine(0)
+			}
+			ref := mk(true)
+			par := mk(false)
+			for i := 0; i < iters; i++ {
+				ref.Step()
+				par.Step()
+				if ref.Costs() != par.Costs() {
+					t.Fatalf("iter %d: costs diverged:\n reference %+v\n parallel  %+v",
+						i, ref.Costs(), par.Costs())
+				}
+				if ref.Mu() != par.Mu() {
+					t.Fatalf("iter %d: μ diverged: %v vs %v", i, ref.Mu(), par.Mu())
+				}
+				if ref.Placement().Fingerprint() != par.Placement().Fingerprint() {
+					t.Fatalf("iter %d: placements diverged", i)
+				}
+			}
+		})
+	}
+}

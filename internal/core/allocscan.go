@@ -10,19 +10,30 @@ import (
 // engine's shared worker pool (pool.go).
 //
 // For one selected cell, the trials against all free vacancies are
-// independent: each chunk of the vacancy pool is scored through its own
-// read-only wire.View (trial scoring never mutates the incremental state;
-// the View carries the only scratch). The reduction reproduces the serial
-// tie-breaking — the first vacancy with the strictly smallest score wins —
-// so parallel and serial scans pick identical slots and the search
-// trajectory is unchanged.
+// independent: the row buckets are partitioned into contiguous row ranges
+// and each range is scored through its own read-only wire.View (trial
+// scoring never mutates the incremental state; the View carries the only
+// scratch). The reduction reproduces the serial tie-breaking — the
+// lowest-index vacancy with the strictly smallest score wins — so parallel
+// and serial scans pick identical slots and the search trajectory is
+// unchanged.
 
 // allocScanMinVacancies is the free-vacancy count below which a cell's scan
-// is not worth the per-cell synchronization. With the persistent pool the
-// break-even sits far below the former spawn-per-allocate threshold of 512
-// (see BenchmarkAllocScanBreakEven). Variable so tests can force the
-// parallel path on small circuits.
-var allocScanMinVacancies = 160
+// is not worth the per-cell synchronization. Re-measured for the bucketed
+// row scan (BenchmarkAllocScanBreakEven sweeps the thresholds on a given
+// host): the sharded scan skips dominated regions wholesale, so the serial
+// scan does far less work per vacancy than the flat walk the previous
+// floor of 160 was tuned for, and the per-cell Batch synchronization
+// amortizes later — the floor moves up to 256. Variable so tests can force
+// the parallel path on small circuits.
+var allocScanMinVacancies = 256
+
+// flushMinDirtyNets is the dirty-net batch size below which the committed-
+// length flush stays serial: per-net re-estimation is cheap (most nets take
+// the bbox fast path), so small batches lose more to the Batch barrier than
+// the fan-out wins. Variable so tests can force the parallel flush on small
+// circuits.
+var flushMinDirtyNets = 256
 
 type scanResult struct {
 	idx   int
@@ -87,9 +98,10 @@ func (e *Engine) slotView(slot int) *wire.View {
 
 // scanCell scores every free, width-feasible vacancy for the cell prepared
 // by prepTrial (feasibility via the engine's per-cell rowOK table) across
-// the worker pool and returns the serial winner: the lowest-index vacancy
-// among those with the strictly smallest score.
-func (e *Engine) scanCell(workers, n int, bound0 float64) (int, float64) {
+// the worker pool — each worker scans a contiguous range of the row
+// buckets — and returns the serial winner: the lowest-index vacancy among
+// those with the strictly smallest score. rows is the bucket row count.
+func (e *Engine) scanCell(workers, rows int, bound0 float64) (int, float64) {
 	pool := e.ensurePool()
 	// The pool (and the slot-keyed state) is sized once; if GOMAXPROCS
 	// grows mid-process the auto worker count can exceed it, and Batch
@@ -103,25 +115,34 @@ func (e *Engine) scanCell(workers, n int, bound0 float64) (int, float64) {
 	}
 	e.scanRes = e.scanRes[:workers]
 	e.scanBound0 = bound0
-	pool.Batch(e.runCtx, workers, n, e.allocKern)
+	pool.Batch(e.runCtx, workers, rows, e.allocKern)
 
-	// Chunks are index-ordered, so keeping the first strict minimum across
-	// them reproduces the serial scan's winner exactly.
+	// Each chunk reports its own lowest-index strict minimum, but the row
+	// partition does not order vacancy indices across chunks, so the
+	// reduction breaks score ties on the index explicitly — reproducing
+	// the serial scan's first-minimum winner exactly.
 	best, bestScore := -1, 0.0
 	for _, r := range e.scanRes {
 		if r.idx < 0 {
 			continue
 		}
-		if best < 0 || r.score < bestScore {
+		if best < 0 || r.score < bestScore || (r.score == bestScore && r.idx < best) {
 			best, bestScore = r.idx, r.score
 		}
 	}
 	return best, bestScore
 }
 
-// scanChunk is the alloc-scan kernel body for one chunk of the free list.
+// scanChunk is the alloc-scan kernel body for one row range of the buckets.
 func (e *Engine) scanChunk(slot, lo, hi int) {
-	best, bound := e.trials.ScanBest(e.slotView(slot), e.vacs, e.freeVac,
+	best, score := e.trials.ScanBestRows(e.slotView(slot), e.vacs, &e.buckets,
 		e.rowOK, lo, hi, e.scanBound0, &e.slotScan[slot])
-	e.scanRes[slot] = scanResult{idx: best, score: bound}
+	e.scanRes[slot] = scanResult{idx: best, score: score}
+}
+
+// flushChunk is the dirty-net flush kernel: re-estimate one contiguous
+// range of the incremental state's dirty list through this slot's view
+// (per-worker evaluator scratch for the nets that need a full collection).
+func (e *Engine) flushChunk(slot, lo, hi int) {
+	e.inc.FlushChunk(e.slotView(slot), lo, hi)
 }

@@ -89,7 +89,10 @@ func BenchmarkAllocate(b *testing.B) {
 // break-even of the persistent worker pool is directly measurable: Serial
 // disables the fan-out entirely; the numeric variants engage it for cells
 // with at least that many free vacancies. The shipped default of
-// allocScanMinVacancies is chosen from this sweep.
+// allocScanMinVacancies (256, re-tuned for the bucketed row scan — see
+// its doc) is chosen from this sweep on a multi-core host; on a
+// single-CPU host scanWorkers() is 1 and every variant collapses to the
+// identical serial path, so the sweep only measures noise there.
 func BenchmarkAllocScanBreakEven(b *testing.B) {
 	thresholds := []struct {
 		name string

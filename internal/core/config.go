@@ -107,9 +107,10 @@ type Config struct {
 	// Results are identical in either mode: each worker scores its chunk
 	// through a read-only evaluator view and the reduction reproduces the
 	// serial first-minimum tie-breaking. The pool persists across
-	// iterations (workers retire after an idle period), so the fan-out
-	// engages once a cell has ~160 free vacancies instead of the former
-	// spawn-per-allocate break-even of ~512; see
+	// iterations (workers retire after an idle period); the fan-out
+	// engages once a cell has allocScanMinVacancies (256) free vacancies —
+	// the bucketed row scan prunes so much per vacancy that the
+	// synchronization amortizes later than the flat walk's ~160 floor; see
 	// BenchmarkAllocScanBreakEven for the sweep on a given host.
 	AllocWorkers int
 

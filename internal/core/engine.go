@@ -90,6 +90,7 @@ type Engine struct {
 	evalDst    []float64
 	allocKern  func(slot, lo, hi int) // bound once: scanChunk
 	evalKern   func(slot, lo, hi int) // bound once: evalChunk
+	flushKern  func(slot, lo, hi int) // bound once: flushChunk
 
 	// Telemetry: tel is the per-run tally copied into Result.Telemetry;
 	// scanStats / slotScan / slotEval are plain per-goroutine accumulators
@@ -112,7 +113,7 @@ type Engine struct {
 	vacRef   []layout.SlotRef
 	vacs     []wire.Vacancy
 	vacUsed  []bool
-	freeVac  []int32 // ascending indices of still-free vacancies
+	buckets  wire.VacancyBuckets // row-sharded x-sorted occupancy of vacs
 	rowW     []int
 	rowOK    []bool // per row: adding the current cell keeps the width bound
 }
@@ -156,6 +157,7 @@ func (e *Engine) init() {
 	e.runCtx = context.Background()
 	e.allocKern = e.scanChunk
 	e.evalKern = e.evalChunk
+	e.flushKern = e.flushChunk
 	e.domain = append([]netlist.CellID(nil), ckt.Movable()...)
 	e.allocOrder = cfg.AllocOrder
 	e.bestMu = -1
@@ -322,6 +324,14 @@ func (e *Engine) EvaluateCosts() {
 		// objective in O(dirty).
 		e.dirtyNets = e.inc.DirtySnapshot(e.dirtyNets)
 		e.invalidateGoodnessOnNets(e.dirtyNets)
+		// Large dirty batches re-estimate across the worker pool first
+		// (per-net estimates are independent and order-free, so the
+		// committed lengths are bitwise the serial flush's); Lengths then
+		// finds nothing left to flush and just copies.
+		if w := e.evalWorkers(); w > 1 && e.inc.DirtyLen() >= flushMinDirtyNets {
+			e.ensurePool().Batch(e.runCtx, w, e.inc.DirtyLen(), e.flushKern)
+			e.inc.FinishFlush()
+		}
 		e.lengths = e.inc.Lengths(e.lengths)
 		e.costs = e.pipe.ApplyDirty(e.dirtyNets, e.lengths)
 		e.tel.Evals++
@@ -677,7 +687,11 @@ func (e *Engine) selectCells() []netlist.CellID {
 //
 // With the incremental engine active, the cell's pins are lifted out of the
 // cached multisets (RemoveCell) so every vacancy is scored in O(log p) per
-// net, and large vacancy pools are fanned across the bounded worker pool
+// net through the row-sharded vacancy buckets (wire.ScanBestRows): the
+// vacancy pool is bucketed per row and x-sorted once per pass, occupancy is
+// journaled with O(1) commits, and each cell's scan walks outward from its
+// median anchor, cutting dominated regions wholesale. Large vacancy pools
+// additionally fan the per-cell scan across the bounded worker pool
 // (allocscan.go) — vacancy trials for one cell are independent.
 func (e *Engine) allocate(sel []netlist.CellID) {
 	if len(sel) == 0 {
@@ -687,15 +701,16 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 	cfg := &e.prob.Cfg
 
 	// Capture vacancies and prospective row widths.
+	tCapture := time.Now()
 	n := len(sel)
+	numRows := e.place.NumRows()
 	e.vacRef = resizeRefs(e.vacRef, n)
 	e.vacs = resizeVacs(e.vacs, n)
 	e.vacUsed = resizeBool(e.vacUsed, n)
-	e.freeVac = resizeI32(e.freeVac, n)
-	if cap(e.rowW) < e.place.NumRows() {
-		e.rowW = make([]int, e.place.NumRows())
+	if cap(e.rowW) < numRows {
+		e.rowW = make([]int, numRows)
 	}
-	e.rowW = e.rowW[:e.place.NumRows()]
+	e.rowW = e.rowW[:numRows]
 	for r := range e.rowW {
 		e.rowW[r] = e.place.RowWidth(r)
 	}
@@ -705,7 +720,6 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		e.vacRef[i] = ref
 		e.vacs[i] = wire.Vacancy{X: x, Y: y, Row: ref.Row}
 		e.vacUsed[i] = false
-		e.freeVac[i] = int32(i)
 		e.rowW[ref.Row] -= ckt.Cells[id].Width
 	}
 
@@ -713,6 +727,9 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 	limit := (1 + cfg.Alpha) * avg
 
 	useInc := e.inc != nil && e.inc.Built()
+	if useInc {
+		e.buckets.Build(e.vacs, numRows)
+	}
 	scanW := 0
 	if useInc && n >= allocScanMinVacancies {
 		if w := e.scanWorkers(); w > 1 {
@@ -720,31 +737,36 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 		}
 	}
 
-	if cap(e.rowOK) < e.place.NumRows() {
-		e.rowOK = make([]bool, e.place.NumRows())
+	if cap(e.rowOK) < numRows {
+		e.rowOK = make([]bool, numRows)
 	}
-	e.rowOK = e.rowOK[:e.place.NumRows()]
+	e.rowOK = e.rowOK[:numRows]
 
+	// Sub-phase stamps: tMark carries the previous cell's end stamp into
+	// the next cell's prep window, so the loop costs three clock reads per
+	// cell instead of four.
+	var prepD, scanD, commitD time.Duration
+	tMark := time.Now()
+	prepD = tMark.Sub(tCapture)
 	for own, id := range sel {
 		w := ckt.Cells[id].Width
 		e.prepTrial(id, useInc)
 		for r := range e.rowOK {
 			e.rowOK[r] = float64(e.rowW[r]+w) <= limit
 		}
+		t1 := time.Now()
 		// First pass: best width-feasible vacancy. The width bound is a
 		// hard constraint (Section 2), so infeasible vacancies are only
 		// considered in the fallback pass, by smallest violation.
 		best := -1
 		switch {
-		case scanW > 1 && len(e.freeVac) >= allocScanMinVacancies:
+		case scanW > 1 && e.buckets.Live() >= allocScanMinVacancies:
 			// The pool shrinks as cells are placed; late cells with few
 			// vacancies left drop back to the serial bounded scan, which
 			// picks identical winners without the per-cell synchronization.
-			// Chunked concurrent ScanBest needs the y memo prefilled (lazy
-			// fills are not goroutine-safe); the serial paths below fill
-			// lazily and only for rows actually scanned.
-			e.trials.PrefillClasses(layout.RowY)
-			best, _ = e.scanCell(scanW, len(e.freeVac), e.seedBound(own))
+			// The y memo fills lazily even here: entries index by
+			// (item, row) and workers partition rows, so fills are disjoint.
+			best, _ = e.scanCell(scanW, numRows, e.seedBound(own))
 		case useInc:
 			// Bounded scoring: a vacancy bails out once its partial cost
 			// reaches the best so far — the winner is provably unchanged.
@@ -753,8 +775,8 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 			// still free and feasible, makes most other vacancies bail on
 			// their first net; nextafter keeps equal-scoring earlier
 			// vacancies admissible, so the serial first-minimum wins.
-			best, _ = e.trials.ScanBest(e.inc.BaseView(), e.vacs, e.freeVac,
-				e.rowOK, 0, len(e.freeVac), e.seedBound(own), &e.scanStats)
+			best, _ = e.trials.ScanBestRows(e.inc.BaseView(), e.vacs, &e.buckets,
+				e.rowOK, 0, numRows, e.seedBound(own), &e.scanStats)
 		default:
 			bestScore := 0.0
 			for v := 0; v < n; v++ {
@@ -779,17 +801,30 @@ func (e *Engine) allocate(sel []netlist.CellID) {
 				}
 			}
 		}
+		t2 := time.Now()
 		e.place.FillHole(e.vacRef[best], id)
 		e.place.SetCoordHint(id, e.vacs[best].X, e.vacs[best].Y)
 		if useInc {
 			e.inc.PlaceCell(id, e.vacs[best].X, e.vacs[best].Y)
+			e.buckets.Commit(int32(best))
 		}
 		e.vacUsed[best] = true
-		e.dropFreeVac(int32(best))
 		e.rowW[e.vacs[best].Row] += w
+		t3 := time.Now()
+		prepD += t1.Sub(tMark)
+		scanD += t2.Sub(t1)
+		commitD += t3.Sub(t2)
+		tMark = t3
 	}
 	e.flushScanStats()
 	e.place.Recompute()
+	commitD += time.Since(tMark)
+	e.tel.AllocPrepNs += uint64(prepD)
+	e.tel.AllocScanNs += uint64(scanD)
+	e.tel.AllocCommitNs += uint64(commitD)
+	telemetry.AllocSubPrepNs.Observe(int64(prepD))
+	telemetry.AllocSubScanNs.Observe(int64(scanD))
+	telemetry.AllocSubCommitNs.Observe(int64(commitD))
 }
 
 // flushScanStats folds the per-goroutine ScanBest accumulators (the
@@ -811,11 +846,15 @@ func (e *Engine) flushScanStats() {
 	e.tel.ScanPrunedSuffix += agg.PrunedSuffix
 	e.tel.ScanBailedExact += agg.BailedExact
 	e.tel.ScanScored += agg.Scored
+	e.tel.ScanSkippedBucket += agg.SkippedBucket
+	e.tel.ScanRowsVisited += agg.RowsVisited
 	telemetry.ScanVacancies.Add(agg.Vacancies)
 	telemetry.ScanPrunedBBox.Add(agg.PrunedBBox)
 	telemetry.ScanPrunedSuffix.Add(agg.PrunedSuffix)
 	telemetry.ScanBailedExact.Add(agg.BailedExact)
 	telemetry.ScanScored.Add(agg.Scored)
+	telemetry.ScanSkippedBucket.Add(agg.SkippedBucket)
+	telemetry.ScanRowsVisited.Add(agg.RowsVisited)
 }
 
 // flushEvalTallies folds the pool slots' goodness-cache tallies after a
@@ -831,16 +870,6 @@ func (e *Engine) flushEvalTallies() {
 	e.tel.GoodnessMisses += misses
 	telemetry.GoodnessCacheHits.Add(hits)
 	telemetry.GoodnessCacheMisses.Add(misses)
-}
-
-// dropFreeVac removes one index from the ascending free-vacancy list.
-func (e *Engine) dropFreeVac(v int32) {
-	for i, f := range e.freeVac {
-		if f == v {
-			e.freeVac = append(e.freeVac[:i], e.freeVac[i+1:]...)
-			return
-		}
-	}
 }
 
 // prepTrial stages the per-cell trial state: the cell's incident nets with
@@ -872,17 +901,26 @@ func (e *Engine) prepTrial(id netlist.CellID, useInc bool) {
 		// Vacancy candidates sit on row centerlines, so the rows are the
 		// y-memo classes; RowY reproduces Recompute's centerline expression
 		// bit for bit. The memo fills lazily during serial scans; a
-		// parallel scan prefills it first (allocate).
+		// parallel scan prefills it first (allocate). PrepareScan derives
+		// the per-row suffix bounds and the anchor the bucketed scan
+		// prunes with — O(nets·rows), noise against the scan itself.
 		e.inc.CompileTrials(&e.trials, e.netsBuf, e.trialW, e.place.NumRows())
+		e.trials.PrepareScan(layout.RowY, e.place.NumRows())
 	}
 }
 
-// orderTrials sorts the cell's nets by descending remaining-pin
-// half-perimeter (ties by ascending net id) so the bounded vacancy scan
-// meets the dominant contributions first and bails as early as possible.
-// Both evaluation modes order by the same (value-equal) spans, so the
-// trial-cost accumulation — and with it the search trajectory — stays
-// bitwise identical between them.
+// orderTrials sorts the cell's nets by descending weighted remaining-pin
+// half-perimeter — span times the net's aggregated objective weight, which
+// in wpd mode embeds the cached timing criticality — so the bounded
+// vacancy scan meets the dominant weighted contributions first and bails
+// as early as possible (ties by ascending net id). The unweighted span
+// orders wp scans well, but under delay weighting a short critical net
+// can dominate the trial cost; weighting the key is what lets the wpd
+// scan's suffix bounds bite like the wp scan's. Both evaluation modes
+// order by the same (value-equal) keys — the spans are exact min/max
+// arithmetic and the weights are computed identically — so the trial-cost
+// accumulation, and with it the search trajectory, stays bitwise identical
+// between them.
 func (e *Engine) orderTrials(id netlist.CellID, useInc bool) {
 	n := len(e.netsBuf)
 	if n < 2 {
@@ -891,9 +929,9 @@ func (e *Engine) orderTrials(id netlist.CellID, useInc bool) {
 	e.trialKey = resizeF64(e.trialKey, n)
 	for i, nid := range e.netsBuf {
 		if useInc {
-			e.trialKey[i] = e.inc.StoredSpan(nid)
+			e.trialKey[i] = e.inc.StoredSpan(nid) * e.trialW[i]
 		} else {
-			e.trialKey[i] = e.remainingSpan(nid, id)
+			e.trialKey[i] = e.remainingSpan(nid, id) * e.trialW[i]
 		}
 	}
 	for i := 1; i < n; i++ {

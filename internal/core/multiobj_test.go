@@ -116,6 +116,12 @@ func TestScanPruneSlackRegression(t *testing.T) {
 	if tel.ScanPrunedBBox+tel.ScanPrunedSuffix+tel.ScanBailedExact == 0 {
 		t.Error("telemetry: ScanBest pruned nothing over 25 s3330 iterations")
 	}
+	if tel.ScanSkippedBucket == 0 {
+		t.Error("telemetry: sharded scan cut no bucket regions wholesale")
+	}
+	if tel.ScanRowsVisited == 0 {
+		t.Error("telemetry: sharded scan entered no row buckets")
+	}
 	if tel.CostDirty+tel.CostDirtyFallback == 0 {
 		t.Error("telemetry: cost pipeline recorded no dirty-path evaluations")
 	}

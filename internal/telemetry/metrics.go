@@ -18,6 +18,11 @@ var (
 
 	EngineIterations = Default.Counter("simevo_engine_iterations_total", "Completed SimE iterations (selection + allocation) across all engines.")
 
+	// Allocation sub-phase timers (trial prep, vacancy scan, commit).
+	AllocSubPrepNs   = Default.Histogram("simevo_engine_alloc_subphase_ns", "Allocation sub-phase wall time per iteration in nanoseconds.", "sub", "prep")
+	AllocSubScanNs   = Default.Histogram("simevo_engine_alloc_subphase_ns", "Allocation sub-phase wall time per iteration in nanoseconds.", "sub", "scan")
+	AllocSubCommitNs = Default.Histogram("simevo_engine_alloc_subphase_ns", "Allocation sub-phase wall time per iteration in nanoseconds.", "sub", "commit")
+
 	// Cost-evaluation shape: which EvaluateCosts branch ran, and how
 	// many dirty nets an incremental evaluation folded.
 	EngineEvalsIncremental = Default.Counter("simevo_engine_evals_total", "Cost evaluations by kind.", "kind", "incremental")
@@ -34,7 +39,11 @@ var (
 	ScanPrunedBBox   = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "bbox_precheck")
 	ScanPrunedSuffix = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "suffix_bound")
 	ScanBailedExact  = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "exact_prefix")
-	ScanScored       = Default.Counter("simevo_scan_scored_total", "ScanBest candidates fully scored (survived every prune).")
+	// bucket_skip counts candidates never visited at all: vacancies inside
+	// whole rows or bucket tails the sharded scan discarded wholesale.
+	ScanSkippedBucket = Default.Counter("simevo_scan_pruned_total", "ScanBest candidates pruned, by mechanism.", "by", "bucket_skip")
+	ScanRowsVisited   = Default.Counter("simevo_scan_rows_visited_total", "Row buckets entered by the sharded vacancy scan.")
+	ScanScored        = Default.Counter("simevo_scan_scored_total", "ScanBest candidates fully scored (survived every prune).")
 
 	// cost.Objective pipeline: full rebuilds vs incremental updates vs
 	// incremental calls that fell back to a full rebuild internally.

@@ -13,6 +13,13 @@ type EngineSnapshot struct {
 	SelectNs uint64 `json:"select_ns"`
 	AllocNs  uint64 `json:"alloc_ns"`
 
+	// Allocation sub-phase split: per-cell trial preparation (capture +
+	// bucket build + CompileTrials), the vacancy scans themselves, and the
+	// commit/bookkeeping tail. Sums to ~AllocNs.
+	AllocPrepNs   uint64 `json:"alloc_prep_ns"`
+	AllocScanNs   uint64 `json:"alloc_scan_ns"`
+	AllocCommitNs uint64 `json:"alloc_commit_ns"`
+
 	Evals            uint64 `json:"evals"`
 	IncrementalEvals uint64 `json:"incremental_evals"`
 	FullRebuilds     uint64 `json:"full_rebuilds"`
@@ -21,11 +28,13 @@ type EngineSnapshot struct {
 	GoodnessHits   uint64 `json:"goodness_hits"`
 	GoodnessMisses uint64 `json:"goodness_misses"`
 
-	ScanVacancies    uint64 `json:"scan_vacancies"`
-	ScanPrunedBBox   uint64 `json:"scan_pruned_bbox"`
-	ScanPrunedSuffix uint64 `json:"scan_pruned_suffix"`
-	ScanBailedExact  uint64 `json:"scan_bailed_exact"`
-	ScanScored       uint64 `json:"scan_scored"`
+	ScanVacancies     uint64 `json:"scan_vacancies"`
+	ScanPrunedBBox    uint64 `json:"scan_pruned_bbox"`
+	ScanPrunedSuffix  uint64 `json:"scan_pruned_suffix"`
+	ScanBailedExact   uint64 `json:"scan_bailed_exact"`
+	ScanScored        uint64 `json:"scan_scored"`
+	ScanSkippedBucket uint64 `json:"scan_skipped_bucket"`
+	ScanRowsVisited   uint64 `json:"scan_rows_visited"`
 
 	CostFull          uint64 `json:"cost_full"`
 	CostDirty         uint64 `json:"cost_dirty"`
@@ -44,6 +53,9 @@ func (s *EngineSnapshot) Counters() map[string]uint64 {
 		"eval_ns":             s.EvalNs,
 		"select_ns":           s.SelectNs,
 		"alloc_ns":            s.AllocNs,
+		"alloc_prep_ns":       s.AllocPrepNs,
+		"alloc_scan_ns":       s.AllocScanNs,
+		"alloc_commit_ns":     s.AllocCommitNs,
 		"evals":               s.Evals,
 		"incremental_evals":   s.IncrementalEvals,
 		"full_rebuilds":       s.FullRebuilds,
@@ -55,6 +67,8 @@ func (s *EngineSnapshot) Counters() map[string]uint64 {
 		"scan_pruned_suffix":  s.ScanPrunedSuffix,
 		"scan_bailed_exact":   s.ScanBailedExact,
 		"scan_scored":         s.ScanScored,
+		"scan_skipped_bucket": s.ScanSkippedBucket,
+		"scan_rows_visited":   s.ScanRowsVisited,
 		"cost_full":           s.CostFull,
 		"cost_dirty":          s.CostDirty,
 		"cost_dirty_fallback": s.CostDirtyFallback,

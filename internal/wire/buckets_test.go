@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"simevo/internal/gen"
+	"simevo/internal/layout"
+	"simevo/internal/rng"
+)
+
+// catalogVacancies captures a vacancy pool the way the engine's allocation
+// pass does — one slot per selected cell, at the cell's committed
+// coordinate — over a random selection of the named benchmark circuit's
+// movable cells.
+func catalogVacancies(t *testing.T, name string, keepOneIn int, seed uint64) ([]Vacancy, int) {
+	t.Helper()
+	ckt, err := gen.Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := layout.DefaultNumRows(ckt)
+	place := layout.NewRandom(ckt, rows, rng.New(9))
+	r := rng.New(seed)
+	var vacs []Vacancy
+	for _, id := range ckt.Movable() {
+		if r.Intn(keepOneIn) != 0 {
+			continue
+		}
+		x, y := place.Coord(id)
+		vacs = append(vacs, Vacancy{X: x, Y: y, Row: int32(place.Slot(id).Row)})
+	}
+	if len(vacs) < 2 {
+		t.Fatalf("%s: vacancy pool too small (%d)", name, len(vacs))
+	}
+	return vacs, rows
+}
+
+// requireBucketsEqual asserts two bucket structures over the same vacancy
+// pool agree position by position — order, coordinates, and liveness.
+func requireBucketsEqual(t *testing.T, tag string, got, want *VacancyBuckets, rows int) {
+	t.Helper()
+	if got.Live() != want.Live() {
+		t.Fatalf("%s: live totals %d vs %d", tag, got.Live(), want.Live())
+	}
+	for r := 0; r < rows; r++ {
+		if got.LiveInRow(r) != want.LiveInRow(r) {
+			t.Fatalf("%s: row %d live %d vs %d", tag, r, got.LiveInRow(r), want.LiveInRow(r))
+		}
+		glo, ghi := got.RowSpan(r)
+		wlo, whi := want.RowSpan(r)
+		if glo != wlo || ghi != whi {
+			t.Fatalf("%s: row %d span [%d,%d) vs [%d,%d)", tag, r, glo, ghi, wlo, whi)
+		}
+		for p := glo; p < ghi; p++ {
+			if got.At(p) != want.At(p) || got.XAt(p) != want.XAt(p) || got.Alive(p) != want.Alive(p) {
+				t.Fatalf("%s: row %d pos %d: (%d, %v, %v) vs (%d, %v, %v)", tag, r, p,
+					got.At(p), got.XAt(p), got.Alive(p),
+					want.At(p), want.XAt(p), want.Alive(p))
+			}
+		}
+	}
+}
+
+// TestVacancyBucketsJournalMatchesRebuild drives 10k randomized commit/free
+// journal operations — including idempotent repeats — against the row
+// buckets of every bundled benchmark circuit and asserts, at checkpoints
+// and at the end, that the journaled state is identical to a from-scratch
+// Build replayed to the same occupancy.
+func TestVacancyBucketsJournalMatchesRebuild(t *testing.T) {
+	const ops = 10000
+	for _, name := range gen.Catalog() {
+		t.Run(name, func(t *testing.T) {
+			vacs, rows := catalogVacancies(t, name, 2, 41)
+			var b VacancyBuckets
+			b.Build(vacs, rows)
+			r := rng.New(0x6a09)
+			dead := make([]bool, len(vacs))
+			for op := 1; op <= ops; op++ {
+				v := int32(r.Intn(len(vacs)))
+				if r.Intn(2) == 0 {
+					b.Commit(v)
+					dead[v] = true
+				} else {
+					b.Free(v)
+					dead[v] = false
+				}
+				if op%2500 == 0 || op == ops {
+					var fresh VacancyBuckets
+					fresh.Build(vacs, rows)
+					deadN := 0
+					for i, d := range dead {
+						if d {
+							fresh.Commit(int32(i))
+							deadN++
+						}
+					}
+					if b.Live() != len(vacs)-deadN {
+						t.Fatalf("op %d: journal live %d, mirror says %d", op, b.Live(), len(vacs)-deadN)
+					}
+					requireBucketsEqual(t, name, &b, &fresh, rows)
+				}
+			}
+		})
+	}
+}
+
+// scanState compiles a random cell's trials and a bucketed vacancy pool
+// (with a committed subset), returning everything both scan paths need.
+type scanState struct {
+	set   TrialSet
+	vacs  []Vacancy
+	bk    VacancyBuckets
+	free  []int32 // live vacancies, ascending index — the flat scan's input
+	rowOK []bool
+	rows  int
+}
+
+// TestScanBestRowsMatchesFlatScan is the sharded-scan equivalence test:
+// across random cells, vacancy pools (with committed entries and
+// infeasible rows), and seed bounds, ScanBestRows must return bitwise the
+// same (winner, score) as the flat ScanBest over the live list — which
+// TestTrialSetMatchesViewTrials in turn pins to the brute-force
+// ScoreBounded loop.
+func TestScanBestRowsMatchesFlatScan(t *testing.T) {
+	ckt := testCircuit(t, 36)
+	movable := ckt.Movable()
+	for _, est := range allEstimators {
+		place := layout.NewRandom(ckt, 8, rng.New(5))
+		inc := NewIncremental(ckt, est)
+		inc.Rebuild(place)
+		view := inc.View()
+		r := rng.New(0xb0c5)
+		var s scanState
+		s.rows = place.NumRows()
+
+		for step := 0; step < 80; step++ {
+			id := movable[r.Intn(len(movable))]
+			nets := ckt.CellNets(id, nil)
+			weights := make([]float64, len(nets))
+			for i := range weights {
+				weights[i] = 1 + float64(r.Intn(8))/4
+			}
+			inc.RemoveCell(id)
+			inc.CompileTrials(&s.set, nets, weights, s.rows)
+
+			nVac := 8 + r.Intn(40)
+			s.vacs = s.vacs[:0]
+			for i := 0; i < nVac; i++ {
+				row := int32(r.Intn(s.rows))
+				s.vacs = append(s.vacs, Vacancy{
+					X: float64(r.Intn(60)) / 2, Y: layout.RowY(int(row)), Row: row,
+				})
+			}
+			s.bk.Build(s.vacs, s.rows)
+			for i := 0; i < nVac/4; i++ {
+				s.bk.Commit(int32(r.Intn(nVac)))
+			}
+			s.free = s.free[:0]
+			for v := 0; v < nVac; v++ {
+				if s.bk.Alive(int(s.bk.pos[v])) {
+					s.free = append(s.free, int32(v))
+				}
+			}
+			s.rowOK = s.rowOK[:0]
+			for row := 0; row < s.rows; row++ {
+				s.rowOK = append(s.rowOK, r.Intn(8) != 0)
+			}
+
+			// Alternate the unbounded scan with an engine-style seed bound
+			// (nextafter above a random live vacancy's exact score).
+			bound0 := 1e308
+			if step%2 == 1 && len(s.free) > 0 {
+				v := s.free[r.Intn(len(s.free))]
+				if s.rowOK[s.vacs[v].Row] {
+					score := s.set.Score(view, s.vacs[v].X, s.vacs[v].Y, int(s.vacs[v].Row))
+					bound0 = math.Nextafter(score, math.Inf(1))
+				}
+			}
+
+			s.set.PrepareScan(layout.RowY, s.rows)
+			gotBest, gotScore := s.set.ScanBestRows(view, s.vacs, &s.bk, s.rowOK, 0, s.rows, bound0, nil)
+			wantBest, wantScore := s.set.ScanBest(view, s.vacs, s.free, s.rowOK, 0, len(s.free), bound0, nil)
+			if gotBest != wantBest || gotScore != wantScore {
+				t.Fatalf("est %d step %d: ScanBestRows (%d, %v) != ScanBest (%d, %v)",
+					est, step, gotBest, gotScore, wantBest, wantScore)
+			}
+			inc.RestoreCell(id)
+		}
+	}
+}
+
+// TestScanBestRowsTieHeavy pins the earliest-index tie rule under the
+// out-of-order bucket walk: a seeded pool where many vacancies share exact
+// coordinates (so their trial scores are bitwise equal) must always
+// resolve to the lowest vacancy index among the minimum-score candidates —
+// the same winner the in-order reference loop picks.
+func TestScanBestRowsTieHeavy(t *testing.T) {
+	ckt := testCircuit(t, 36)
+	movable := ckt.Movable()
+	place := layout.NewRandom(ckt, 8, rng.New(5))
+	inc := NewIncremental(ckt, Steiner)
+	inc.Rebuild(place)
+	view := inc.View()
+	r := rng.New(0x71e5)
+	rows := place.NumRows()
+	var set TrialSet
+
+	for step := 0; step < 60; step++ {
+		id := movable[r.Intn(len(movable))]
+		nets := ckt.CellNets(id, nil)
+		weights := make([]float64, len(nets))
+		for i := range weights {
+			weights[i] = 1 + float64(r.Intn(8))/4
+		}
+		inc.RemoveCell(id)
+		inc.CompileTrials(&set, nets, weights, rows)
+
+		// Few distinct positions, many copies each: most scans tie.
+		nPos := 1 + r.Intn(4)
+		type pos struct {
+			x   float64
+			row int32
+		}
+		dist := make([]pos, nPos)
+		for i := range dist {
+			dist[i] = pos{x: float64(r.Intn(20)) / 2, row: int32(r.Intn(rows))}
+		}
+		nVac := 30
+		vacs := make([]Vacancy, nVac)
+		for i := range vacs {
+			p := dist[r.Intn(nPos)]
+			vacs[i] = Vacancy{X: p.x, Y: layout.RowY(int(p.row)), Row: p.row}
+		}
+		var bk VacancyBuckets
+		bk.Build(vacs, rows)
+		rowOK := make([]bool, rows)
+		for i := range rowOK {
+			rowOK[i] = true
+		}
+
+		set.PrepareScan(layout.RowY, rows)
+		got, gotScore := set.ScanBestRows(view, vacs, &bk, rowOK, 0, rows, 1e308, nil)
+
+		// Brute-force reference: first index with the strictly smallest
+		// exact score.
+		want, wantScore := -1, 0.0
+		for v := range vacs {
+			score := set.Score(view, vacs[v].X, vacs[v].Y, int(vacs[v].Row))
+			if want < 0 || score < wantScore {
+				want, wantScore = v, score
+			}
+		}
+		if got != want || gotScore != wantScore {
+			t.Fatalf("step %d: tie resolved to %d (%v), want earliest index %d (%v)",
+				step, got, gotScore, want, wantScore)
+		}
+		inc.RestoreCell(id)
+	}
+}

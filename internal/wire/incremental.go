@@ -441,6 +441,15 @@ func (inc *Incremental) NetLength(n netlist.NetID) float64 {
 // hpwl() bit for bit without collecting a single pin. Everything else goes
 // through the embedded Evaluator's canonical pin-order path.
 func (inc *Incremental) estimate(n netlist.NetID) float64 {
+	return inc.estimateWith(inc.base.ev, n)
+}
+
+// estimateWith is estimate through a caller-supplied evaluator scratch, so
+// concurrent flush chunks (FlushChunk) can re-estimate disjoint net ranges
+// without sharing the base evaluator. The value is independent of which
+// evaluator computes it: the bbox fast path reads only the sorted
+// multisets, and NetLength collects pins in pin order from the mirror.
+func (inc *Incremental) estimateWith(ev *Evaluator, n netlist.NetID) float64 {
 	g := &inc.geoms[n]
 	deg := len(g.xv)
 	if deg < 2 {
@@ -449,7 +458,7 @@ func (inc *Incremental) estimate(n netlist.NetID) float64 {
 	if inc.est == HPWL || (inc.est == Steiner && deg <= 3) {
 		return (g.xv[deg-1] - g.xv[0]) + (g.yv[deg-1] - g.yv[0])
 	}
-	return inc.base.ev.NetLength(n, inc)
+	return ev.NetLength(n, inc)
 }
 
 // Built reports whether Rebuild has initialized the state.
@@ -493,6 +502,38 @@ func (inc *Incremental) flush() {
 			inc.lengths[n] = inc.estimate(n)
 			inc.isDirty[n] = false
 		}
+	}
+	inc.dirty = inc.dirty[:0]
+}
+
+// DirtyLen returns the current dirty-net count — the fan-out domain for a
+// chunked parallel flush.
+func (inc *Incremental) DirtyLen() int { return len(inc.dirty) }
+
+// FlushChunk re-estimates dirty nets [lo, hi) of the dirty list through
+// the given view's evaluator scratch, writing the committed lengths but
+// leaving the dirty flags set. Chunks over disjoint ranges may run
+// concurrently (each net's estimate reads shared immutable state and
+// writes only its own length slot); a serial FinishFlush completes the
+// flush. Per-net estimates are order-independent and bitwise identical to
+// the serial flush's, so a chunked flush followed by FinishFlush is
+// indistinguishable from Lengths' built-in flush.
+func (inc *Incremental) FlushChunk(v *View, lo, hi int) {
+	if len(inc.removed) != 0 {
+		panic("wire: FlushChunk with removed cells outstanding")
+	}
+	for _, n := range inc.dirty[lo:hi] {
+		if inc.isDirty[n] {
+			inc.lengths[n] = inc.estimateWith(v.ev, n)
+		}
+	}
+}
+
+// FinishFlush clears the dirty flags and list after every FlushChunk of a
+// chunked parallel flush completed.
+func (inc *Incremental) FinishFlush() {
+	for _, n := range inc.dirty {
+		inc.isDirty[n] = false
 	}
 	inc.dirty = inc.dirty[:0]
 }

@@ -46,6 +46,75 @@ type TrialSet struct {
 	// under the bound — deflated by scanSlack so float reassociation
 	// cannot turn the estimate into an over-prune; see scanSlack.
 	tail []float64
+
+	// Row-sharded scan state (PrepareScan). rowTail[r*stride + i] is the
+	// per-row sharpening of tail: Σ_{j>=i} w_j · (storedSpan_j + yPen_j(r)),
+	// where yPen_j(r) is the y-extension the row's centerline forces on the
+	// stored pins' bbox — a lower bound on the weighted cost of items i..
+	// for ANY candidate in row r (every bbox/trunk trial is at least the
+	// stored half-perimeter extended by the candidate; RMST and empty nets
+	// conservatively contribute 0). The weights embed the active objective
+	// scores — in wpd mode the cached per-net timing criticality — so the
+	// bound is criticality-aware and wpd scans prune like wp scans.
+	// Columns fill lazily, one row on first walk (ensureRowTail): the
+	// outward row iteration cuts most rows before their suffix column is
+	// ever needed, and the chunked parallel scan partitions rows, so the
+	// lazy fill touches disjoint memory per worker.
+	rowTail  []float64
+	rowReady []bool
+	// rowLB[r] = C + Σ w_j · yPen_j(y_r), the whole-trial lower bound at
+	// row r's centerline (C = Σ w_j · storedSpan_j), computed for every
+	// row by an O(rows + items) breakpoint sweep: the y-penalty envelope
+	// is convex piecewise-linear in y, so integrating its slope across
+	// the sorted row centerlines reproduces the per-row sums with a few
+	// flops per row instead of O(items). The sweep's accumulated rounding
+	// is absorbed by scanSlack like any other reassociation error. When
+	// even rowLB[r] (deflated) reaches the running bound, ScanBestRows
+	// skips the whole row bucket; anchorRow is the argmin — the most
+	// promising row, where the outward row iteration starts.
+	rowLB     []float64
+	rowY      []float64
+	anchorRow int
+	scanRows  int
+	// Per-item x-penalty envelope for the per-vacancy precheck and the
+	// outward walk. xlo/xhi/xw hold the stored x-interval and weight of
+	// every bbox/trunk item, so xLB(x) = Σ w_j · dist(x, [xlo_j, xhi_j])
+	// is a lower bound on the x-extension the candidate forces across the
+	// whole trial (each bbox/trunk cost is at least storedSpan + xPen +
+	// yPen; see rowTail). rowLB[r] + xLB(x) therefore lower-bounds the
+	// entire trial cost.
+	//
+	// xLB is convex piecewise-linear with its (real-arithmetic) minimum on
+	// the weighted-median interval [xCutLo, xCutHi] of the item intervals:
+	// beyond it, xLB is nondecreasing outward, so once the precheck prunes
+	// a vacancy past the cut point the entire remaining bucket tail in
+	// that direction is dominated and cut wholesale. FP rounding can bend
+	// the computed sum a few ULPs off true monotonicity, but the prune
+	// compares against bound/scanSlack: the 1e-12 slack dwarfs both the
+	// summation error and any near-zero-slope misjudgment of the cut
+	// interval, so a cut vacancy's true cost still reaches the bound.
+	// yCutLo/yCutHi are the same construction for the y envelope, cutting
+	// whole row directions in ScanBestRows. anchorX, the midpoint of the
+	// cut interval (the envelope's minimum region), seeds the in-row walk.
+	hasPrune       bool
+	xlo, xhi, xw   []float64
+	ylo, yhi       []float64 // same items' y-intervals (weights shared via xw)
+	xCutLo, xCutHi float64
+	yCutLo, yCutHi float64
+	anchorX        float64
+	evp, evw       []float64 // breakpoint-sweep scratch: positions, weights
+	// Piecewise-linear form of the x envelope, built once per cell from the
+	// cut interval's sorted endpoints: xbp are the deduplicated breakpoints,
+	// xbv[i] = xLB(xbp[i]), and xbs[i] the slope on [xbp[i], xbp[i+1]);
+	// left of xbp[0] the slope is -xTotW (the negated total weight). envAt
+	// evaluates the envelope in O(1) given the segment index, turning the
+	// per-vacancy O(items) penalty loop into a monotone cursor walk. The
+	// segment values are themselves a breakpoint sweep, so like rowLB they
+	// are reassociated sums of the same nonnegative terms — every compare
+	// against them stays deflated by scanSlack, which dwarfs the sweep's
+	// accumulated rounding.
+	xbp, xbv, xbs []float64
+	xTotW         float64
 }
 
 // scanSlack deflates the estimate-based prune thresholds of ScanBest.
@@ -187,6 +256,253 @@ func (t *TrialSet) PrefillClasses(yOf func(class int) float64) {
 			t.fillClass(i, c, yOf(c))
 		}
 	}
+}
+
+// PrepareScan computes the row-sharded prune state ScanBestRows consumes:
+// the per-row suffix bounds rowTail (see the field comment) and the
+// leading-item anchor/x-interval. yOf maps a row to its centerline y and
+// must reproduce the candidates' y bit for bit (the engine passes
+// layout.RowY); rows must cover every candidate row. O(items·rows) — noise
+// against the O(items·vacancies) scan it accelerates. Call after
+// CompileTrials and before any ScanBestRows; the state is read-only during
+// scans, so concurrent row-chunked scanning needs no further setup beyond
+// PrefillClasses.
+func (t *TrialSet) PrepareScan(yOf func(class int) float64, rows int) {
+	stride := len(t.items) + 1
+	t.rowTail = resizeFloats(t.rowTail, rows*stride)
+	t.rowReady = resizeBools(t.rowReady, rows)
+	t.rowLB = resizeFloats(t.rowLB, rows)
+	t.rowY = resizeFloats(t.rowY, rows)
+	t.scanRows = rows
+	for r := 0; r < rows; r++ {
+		t.rowReady[r] = false
+		t.rowY[r] = yOf(r)
+	}
+
+	// Compile the x-penalty envelope, the walk anchor, and the constant
+	// part C = Σ w_j · storedSpan_j of the per-row bound.
+	t.xlo, t.xhi, t.xw = t.xlo[:0], t.xhi[:0], t.xw[:0]
+	t.ylo, t.yhi = t.ylo[:0], t.yhi[:0]
+	t.anchorX = math.Inf(-1) // seek to the region start: right walk covers all
+	c := 0.0
+	for i := range t.items {
+		it := &t.items[i]
+		if it.kind != trialBBox && it.kind != trialTrunk {
+			continue
+		}
+		t.xlo = append(t.xlo, it.minX)
+		t.xhi = append(t.xhi, it.maxX)
+		t.xw = append(t.xw, it.w)
+		t.ylo = append(t.ylo, it.minY)
+		t.yhi = append(t.yhi, it.maxY)
+		c += ((it.maxX - it.minX) + (it.maxY - it.minY)) * it.w
+	}
+	t.hasPrune = len(t.xw) > 0
+	if !t.hasPrune {
+		t.xCutLo, t.xCutHi = math.Inf(-1), math.Inf(1)
+		t.yCutLo, t.yCutHi = math.Inf(-1), math.Inf(1)
+		for r := 0; r < rows; r++ {
+			t.rowLB[r] = 0
+		}
+		t.anchorRow = 0
+		return
+	}
+
+	// Weighted-median cut interval of the x envelope; its midpoint is the
+	// envelope's minimum region — the most promising x — and seeds the
+	// outward walk.
+	t.xCutLo, t.xCutHi = t.cutInterval(t.xlo, t.xhi)
+	t.anchorX = (t.xCutLo + t.xCutHi) / 2
+	// The x events are still sorted in evp/evw: fold them into the
+	// piecewise-linear envelope the walks evaluate per vacancy.
+	t.buildEnvelope()
+	// Same for the y envelope, which also drives the rowLB sweep below.
+	t.yCutLo, t.yCutHi = t.cutInterval(t.ylo, t.yhi)
+
+	// Sweep the convex y-penalty envelope across the row centerlines:
+	// rowLB[r] = C + f(y_r) with f integrated breakpoint to breakpoint.
+	// The sorted (position, weight) breakpoints are still in evp/evw from
+	// cutInterval; slope starts at -Σw left of every interval.
+	slope, f := 0.0, 0.0
+	y0 := t.rowY[0]
+	for j, w := range t.xw {
+		slope -= w
+		if lo := t.ylo[j]; y0 < lo {
+			f += w * (lo - y0)
+		} else if hi := t.yhi[j]; y0 > hi {
+			f += w * (y0 - hi)
+		}
+	}
+	k := 0
+	for k < len(t.evp) && t.evp[k] <= y0 {
+		slope += t.evw[k]
+		k++
+	}
+	t.rowLB[0] = c + f
+	t.anchorRow = 0
+	minLB := t.rowLB[0]
+	for r := 1; r < rows; r++ {
+		y, prev := t.rowY[r], t.rowY[r-1]
+		for k < len(t.evp) && t.evp[k] <= y {
+			if t.evp[k] > prev {
+				f += slope * (t.evp[k] - prev)
+				prev = t.evp[k]
+			}
+			slope += t.evw[k]
+			k++
+		}
+		f += slope * (y - prev)
+		t.rowLB[r] = c + f
+		if t.rowLB[r] < minLB {
+			minLB = t.rowLB[r]
+			t.anchorRow = r
+		}
+	}
+}
+
+// cutInterval sorts the prunable items' interval endpoints along one axis
+// into evp/evw and returns the weighted-median interval [cutLo, cutHi] of
+// the penalty envelope f(p) = Σ w_j · dist(p, I_j): the envelope's slope is
+// ≤ 0 left of cutLo and ≥ 0 right of cutHi, so f is nonincreasing toward
+// the interval from the left and nondecreasing away from it on the right —
+// the directional-cut thresholds. Leaves the sorted breakpoints in evp/evw
+// for the caller's sweep.
+func (t *TrialSet) cutInterval(los, his []float64) (cutLo, cutHi float64) {
+	t.evp, t.evw = t.evp[:0], t.evw[:0]
+	total := 0.0
+	for j, w := range t.xw {
+		t.evp = append(t.evp, los[j], his[j])
+		t.evw = append(t.evw, w, w)
+		total += w
+	}
+	// Insertion sort by position (ties keep insertion order; the envelope
+	// slope only depends on the multiset of events at each position).
+	for i := 1; i < len(t.evp); i++ {
+		p, w := t.evp[i], t.evw[i]
+		j := i - 1
+		for j >= 0 && t.evp[j] > p {
+			t.evp[j+1], t.evw[j+1] = t.evp[j], t.evw[j]
+			j--
+		}
+		t.evp[j+1], t.evw[j+1] = p, w
+	}
+	// Slope left of everything is -total; each event adds its weight.
+	slope := -total
+	cutLo, cutHi = t.evp[0], math.NaN()
+	for k := range t.evp {
+		if slope <= 0 {
+			cutLo = t.evp[k] // largest breakpoint with slope ≤ 0 on its left
+		}
+		slope += t.evw[k]
+		if math.IsNaN(cutHi) && slope >= 0 {
+			cutHi = t.evp[k] // smallest breakpoint with slope ≥ 0 on its right
+		}
+	}
+	if math.IsNaN(cutHi) {
+		cutHi = t.evp[len(t.evp)-1]
+	}
+	return cutLo, cutHi
+}
+
+// buildEnvelope folds the sorted x events left in evp/evw by cutInterval
+// into the piecewise-linear form of xLB(x) = Σ w_j · dist(x, [xlo_j,
+// xhi_j]): deduplicated breakpoints xbp, the envelope value at each
+// breakpoint xbv, and the slope of the segment to its right xbs. The
+// value sweep integrates slope·Δx breakpoint to breakpoint — the same
+// reassociation the rowLB sweep performs along y — so consumers must
+// treat envAt results as scanSlack-deflated estimates, never exact sums.
+func (t *TrialSet) buildEnvelope() {
+	t.xbp, t.xbv, t.xbs = t.xbp[:0], t.xbv[:0], t.xbs[:0]
+	total := 0.0
+	for _, w := range t.xw {
+		total += w
+	}
+	t.xTotW = total
+	b0 := t.evp[0]
+	f := 0.0
+	for j, w := range t.xw {
+		f += w * (t.xlo[j] - b0) // b0 = min endpoint ≤ every xlo
+	}
+	slope, prev := -total, b0
+	for i := 0; i < len(t.evp); {
+		p := t.evp[i]
+		f += slope * (p - prev)
+		for i < len(t.evp) && t.evp[i] == p {
+			slope += t.evw[i]
+			i++
+		}
+		t.xbp = append(t.xbp, p)
+		t.xbv = append(t.xbv, f)
+		t.xbs = append(t.xbs, slope)
+		prev = p
+	}
+}
+
+// envSeg returns the envelope segment index for x: the largest i with
+// xbp[i] <= x, or -1 left of every breakpoint.
+func (t *TrialSet) envSeg(x float64) int {
+	seg := searchF64(t.xbp, x) - 1
+	if seg+1 < len(t.xbp) && t.xbp[seg+1] == x {
+		seg++
+	}
+	return seg
+}
+
+// envAt evaluates the x-penalty envelope at x, which must lie on segment
+// seg (envSeg, or a cursor advanced by the caller). The result carries
+// the sweep's reassociation error — compare it only slack-deflated.
+func (t *TrialSet) envAt(seg int, x float64) float64 {
+	if seg < 0 {
+		return t.xbv[0] + t.xTotW*(t.xbp[0]-x)
+	}
+	return t.xbv[seg] + t.xbs[seg]*(x-t.xbp[seg])
+}
+
+// ensureRowTail fills row's suffix column of rowTail on first use, at full
+// sharpness: a bbox item contributes its exact y half (extended span), and
+// a trunk item contributes storedSpanX + min(yBranch, ySpanExt) — both
+// memoized per row, and both valid lower bounds on the trunk cost, since
+// the horizontal orientation costs spanX(x) + yBranch ≥ storedSpanX +
+// xPen + yBranch and the vertical one ySpanExt + xBranch ≥ ySpanExt +
+// storedSpanX + xPen (the x branch sum is at least the merged x span).
+// The xPen part is tracked separately by the walk's envelope (xRem).
+// Filling the column also warms the trunk y-memo the scoring loop uses.
+// Safe under the chunked parallel scan: rows are partitioned across
+// workers, so each column (and its ready bit) is touched by exactly one
+// goroutine.
+func (t *TrialSet) ensureRowTail(row int) {
+	if t.rowReady[row] {
+		return
+	}
+	y := t.rowY[row]
+	base := row * (len(t.items) + 1)
+	acc := 0.0
+	t.rowTail[base+len(t.items)] = 0
+	for i := len(t.items) - 1; i >= 0; i-- {
+		it := &t.items[i]
+		switch it.kind {
+		case trialBBox:
+			yPen := 0.0
+			if y < it.minY {
+				yPen = it.minY - y
+			} else if y > it.maxY {
+				yPen = y - it.maxY
+			}
+			acc += ((it.maxX - it.minX) + (it.maxY - it.minY) + yPen) * it.w
+		case trialTrunk:
+			slot := i*t.yClasses + row
+			if !t.filled[slot] {
+				t.fillClass(i, row, y)
+			}
+			yMin := t.memo[2*slot] // y branch total (horizontal trunk)
+			if s := t.memo[2*slot+1]; s < yMin {
+				yMin = s // extended y span (vertical trunk)
+			}
+			acc += ((it.maxX - it.minX) + yMin) * it.w
+		}
+		t.rowTail[base+i] = acc
+	}
+	t.rowReady[row] = true
 }
 
 func (t *TrialSet) fillClass(i, class int, y float64) {
@@ -374,11 +690,13 @@ type Vacancy struct {
 // callers own one ScanStats per goroutine and fold them into telemetry
 // counters after the scan, keeping the inner loop free of atomics.
 type ScanStats struct {
-	Vacancies    uint64 // row-feasible candidates considered
-	PrunedBBox   uint64 // dropped by the leading-net bbox pre-check
-	PrunedSuffix uint64 // dropped by the suffix-bound (tail) estimate
-	BailedExact  uint64 // dropped by the exact partial-cost prefix check
-	Scored       uint64 // fully scored (survived every prune)
+	Vacancies     uint64 // row-feasible candidates considered
+	PrunedBBox    uint64 // dropped by the leading-net bbox pre-check
+	PrunedSuffix  uint64 // dropped by the suffix-bound (tail) estimate
+	BailedExact   uint64 // dropped by the exact partial-cost prefix check
+	Scored        uint64 // fully scored (survived every prune)
+	SkippedBucket uint64 // never visited: cut wholesale by a row/tail skip
+	RowsVisited   uint64 // row buckets entered by the sharded scan
 }
 
 // Merge folds o into s.
@@ -388,6 +706,8 @@ func (s *ScanStats) Merge(o *ScanStats) {
 	s.PrunedSuffix += o.PrunedSuffix
 	s.BailedExact += o.BailedExact
 	s.Scored += o.Scored
+	s.SkippedBucket += o.SkippedBucket
+	s.RowsVisited += o.RowsVisited
 }
 
 // ScanBest runs the full vacancy scan for the compiled cell over
@@ -547,4 +867,289 @@ scan:
 		}
 	}
 	return best, bound
+}
+
+// rowScan is ScanBestRows' walk state, shared by the two directional walks
+// of each row. bound is the tie-admitting prune threshold: one ulp above
+// the best score so far (or the caller's bound0 before any accept), so an
+// out-of-order walk never bails an exact tie — the explicit index
+// tie-break below then reproduces the flat scan's earliest-index winner.
+type rowScan struct {
+	view      *View
+	vacs      []Vacancy
+	bk        *VacancyBuckets
+	st        *ScanStats
+	best      int
+	bestScore float64
+	bound     float64
+	visited   uint64
+}
+
+// ScanBestRows is the row-sharded replacement for the flat ScanBest: it
+// visits only rows [rowLo, rowHi) of the buckets, skipping infeasible and
+// empty rows, skipping whole rows whose rowTail lower bound already
+// reaches the running bound, and walking each surviving bucket outward
+// from the vacancy nearest the cell's median anchor. The outward order
+// tightens the bound with the best candidates first, and the per-vacancy
+// precheck — rowTail[row] plus the leading item's x-penalty, weakly
+// monotone in the outward x distance — cuts the entire remaining bucket
+// tail the moment it fires beyond the anchor interval, skipping dominated
+// regions wholesale instead of bailing per vacancy.
+//
+// The winner is the lowest-index vacancy among those with the strictly
+// smallest score — bitwise the flat ScanBest's (and the reference loop's)
+// first-minimum — restored from the out-of-order walk by the tie-admitting
+// bound plus an explicit index tie-break. Requires CompileTrials,
+// PrepareScan (with yOf matching the vacancies' row centerlines), and a
+// bucket Build over the same vacancy pool. The y memo may start cold:
+// lazy fills index by (item, row), so row-chunked concurrent scans touch
+// disjoint entries — each goroutine still needs its own View. Returns
+// (-1, bound0) if no vacancy is admissible under bound0.
+func (t *TrialSet) ScanBestRows(view *View, vacs []Vacancy, bk *VacancyBuckets,
+	rowOK []bool, rowLo, rowHi int, bound0 float64, st *ScanStats) (int, float64) {
+	if st == nil {
+		st = new(ScanStats)
+	}
+	c := rowScan{view: view, vacs: vacs, bk: bk, st: st, best: -1, bound: bound0}
+	r0 := t.anchorRow
+	if r0 < rowLo {
+		r0 = rowLo
+	}
+	if r0 >= rowHi {
+		r0 = rowHi - 1
+	}
+	t.walkRows(&c, rowOK, r0, rowHi, +1)
+	t.walkRows(&c, rowOK, r0-1, rowLo-1, -1)
+	if c.best < 0 {
+		return -1, bound0
+	}
+	return c.best, c.bestScore
+}
+
+// walkRows iterates rows from r toward end (exclusive) in steps of dir —
+// outward from the anchor row, so the bound tightens on the most promising
+// rows first. Rows whose rowLB (or rowLB plus the row's best-case x
+// penalty) already reaches the bound are skipped wholesale; when the rowLB
+// skip fires at a centerline beyond the y cut interval, every remaining
+// row in the walk direction is dominated too (the y envelope is
+// nondecreasing outward) and the whole direction is cut.
+func (t *TrialSet) walkRows(c *rowScan, rowOK []bool, r, end, dir int) {
+	bk, st := c.bk, c.st
+	for ; r != end; r += dir {
+		liveN := uint64(bk.rowN[r])
+		if liveN == 0 || !rowOK[r] {
+			continue
+		}
+		st.RowsVisited++
+		if t.rowLB[r]*scanSlack >= c.bound {
+			st.SkippedBucket += liveN
+			y := t.rowY[r]
+			if (dir > 0 && y >= t.yCutHi) || (dir < 0 && y <= t.yCutLo) {
+				for rr := r + dir; rr != end; rr += dir {
+					if rowOK[rr] {
+						st.SkippedBucket += uint64(bk.rowN[rr])
+					}
+				}
+				return
+			}
+			continue
+		}
+		lo, hi := int(bk.start[r]), int(bk.start[r+1])
+		xlb := 0.0
+		if t.hasPrune {
+			// Best-case x penalty anywhere in this row: the envelope is
+			// convex with its minimum on [xCutLo, xCutHi], so its minimum
+			// over the row's x range is attained at the cut point clamped
+			// into the range (dead entries only widen the range — still a
+			// valid lower bound).
+			xc := t.xCutLo
+			if xc < bk.xs[lo] {
+				xc = bk.xs[lo]
+			}
+			if xc > bk.xs[hi-1] {
+				xc = bk.xs[hi-1]
+			}
+			xlb = t.envAt(t.envSeg(xc), xc)
+			if (t.rowLB[r]+xlb)*scanSlack >= c.bound {
+				st.SkippedBucket += liveN
+				continue
+			}
+		}
+		t.ensureRowTail(r)
+		// Re-check with the sharp memoized column before paying for the
+		// seek and walk: rowTail[base] upgrades the sweep's span-based
+		// bound with the true per-row trunk y halves.
+		if (t.rowTail[r*(len(t.items)+1)]+xlb)*scanSlack >= c.bound {
+			st.SkippedBucket += liveN
+			continue
+		}
+		p0 := bk.SeekGE(r, t.anchorX)
+		c.visited = 0
+		t.walkDir(c, r, p0, hi, +1)
+		t.walkDir(c, r, p0-1, lo-1, -1)
+		st.SkippedBucket += liveN - c.visited
+	}
+}
+
+// walkDir walks one row bucket from position p toward end (exclusive) in
+// steps of dir, scoring live vacancies under the cursor's running bound.
+// Dead (committed) positions cost one branch each. When the precheck fires
+// at an x outside the leading item's stored interval, every remaining
+// position in the walk direction has a precheck value at least as large
+// (weak FP monotonicity of max/sub/add/positive-mul), so the walk stops —
+// the dominated tail is never visited.
+func (t *TrialSet) walkDir(c *rowScan, row, p, end, dir int) {
+	bk, st, vacs := c.bk, c.st, c.vacs
+	items, stride := t.items, len(t.items)+1
+	rowBase := row * stride
+	rowLB := t.rowTail[rowBase]
+	// The walk is monotone in x, so the envelope segment cursor advances
+	// amortized O(1) per position: one binary search seeds it, then each
+	// vacancy's precheck is a single multiply-add instead of the O(items)
+	// penalty loop.
+	seg, nbp := 0, len(t.xbp)
+	if t.hasPrune && p != end {
+		seg = t.envSeg(bk.xs[p])
+	}
+walk:
+	for ; p != end; p += dir {
+		if !bk.live[p] {
+			continue
+		}
+		v := int(bk.order[p])
+		x := bk.xs[p]
+		c.visited++
+		st.Vacancies++
+		xRem := 0.0
+		if t.hasPrune {
+			if dir > 0 {
+				for seg+1 < nbp && t.xbp[seg+1] <= x {
+					seg++
+				}
+			} else {
+				for seg >= 0 && t.xbp[seg] > x {
+					seg--
+				}
+			}
+			// xRem estimates the x penalty still owed by the whole trial
+			// (a reassociated sweep sum — compare only slack-deflated).
+			xRem = t.envAt(seg, x)
+			if (rowLB+xRem)*scanSlack >= c.bound {
+				st.PrunedBBox++
+				if (dir > 0 && x >= t.xCutHi) || (dir < 0 && x <= t.xCutLo) {
+					// Beyond the cut interval the envelope is
+					// nondecreasing in the walk direction: cut the
+					// whole tail.
+					return
+				}
+				continue walk
+			}
+		}
+		y := vacs[v].Y
+		cost := 0.0
+		for i := range items {
+			it := &items[i]
+			switch it.kind {
+			case trialBBox:
+				lox, hix, loy, hiy := it.minX, it.maxX, it.minY, it.maxY
+				if x < lox {
+					lox = x
+				}
+				if x > hix {
+					hix = x
+				}
+				if y < loy {
+					loy = y
+				}
+				if y > hiy {
+					hiy = y
+				}
+				cost += ((hix - lox) + (hiy - loy)) * it.w
+			case trialTrunk:
+				slot := i*t.yClasses + row
+				if !t.filled[slot] {
+					t.fillClass(i, row, y)
+				}
+				yBranch, ySpan := t.memo[2*slot], t.memo[2*slot+1]
+
+				lox, hix := it.minX, it.maxX
+				if x < lox {
+					lox = x
+				}
+				if x > hix {
+					hix = x
+				}
+				h := (hix - lox) + yBranch
+
+				var medX float64
+				if it.oddM {
+					medX = clampMed(x, it.ax0, it.ax1)
+				} else {
+					medX = (clampMed(x, it.ax0, it.ax1) + clampMed(x, it.ax1, it.ax2)) / 2
+				}
+				var si int
+				switch {
+				case medX <= it.ax0:
+					si = int(it.ix0)
+				case medX <= it.ax1:
+					si = int(it.ixMid)
+				default:
+					si = int(it.ixMid) + 1
+				}
+				xBranch := branchSumAt(it.xv, it.xp, medX, si)
+				if x > medX {
+					xBranch += x - medX
+				} else {
+					xBranch += medX - x
+				}
+				v2 := ySpan + xBranch
+
+				if v2 < h {
+					h = v2
+				}
+				cost += h * it.w
+			case trialRMST:
+				cost += c.view.TrialNetAt(it.net, x, y) * it.w
+			case trialZero:
+				// Falls through to the bound check, like ScanBest: a
+				// trailing zero record at the bound is handled by the
+				// accept logic's index tie-break below.
+			}
+			// Retire this item's envelope term so xRem keeps tracking the
+			// x-penalty still owed by items i+1... xRem started as the
+			// sweep-built envelope estimate, so after retirement it can
+			// sit a few ULPs off the true remainder in either direction —
+			// too small only weakens the prune, too large is absorbed by
+			// scanSlack like the reassociation error it already covers.
+			if it.kind == trialBBox || it.kind == trialTrunk {
+				if x < it.minX {
+					xRem -= it.w * (it.minX - x)
+				} else if x > it.maxX {
+					xRem -= it.w * (x - it.maxX)
+				}
+			}
+			// Same two-stage bail as ScanBest, with the row-sharpened
+			// suffix bound — plus the remaining x-penalty envelope: the
+			// exact prefix check at full strength, then the estimate
+			// deflated by scanSlack (it is a reassociated sum, and must
+			// never prune a true sub-bound cost — the PR-5 ULP lesson).
+			if cost >= c.bound {
+				st.BailedExact++
+				continue walk
+			}
+			if (cost+(t.rowTail[rowBase+i+1]+xRem))*scanSlack >= c.bound {
+				st.PrunedSuffix++
+				continue walk
+			}
+		}
+		st.Scored++
+		// A completed score satisfies cost < bound = nextafter(best), so
+		// cost <= bestScore: accept strict improvements and equal-score
+		// candidates with a lower index — together with the tie-admitting
+		// bound this reproduces the serial first-minimum exactly.
+		if c.best < 0 || cost < c.bestScore || (cost == c.bestScore && v < c.best) {
+			c.best, c.bestScore = v, cost
+			c.bound = math.Nextafter(cost, math.Inf(1))
+		}
+	}
 }
