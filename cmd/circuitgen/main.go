@@ -7,6 +7,8 @@
 //	circuitgen -ckt s1196 -o s1196.bench     # dump a catalog circuit
 //	circuitgen -stats s1196                  # print its statistics
 //	circuitgen -gates 800 -dff 40 -o my.bench
+//	circuitgen -cells 50000 -seed 7 -o big.bench   # scale-tier generation
+//	circuitgen -preset large -o large.bench        # the 100k-cell tier
 package main
 
 import (
@@ -27,9 +29,22 @@ func main() {
 	pos := flag.Int("po", 8, "custom generation: primary outputs")
 	depth := flag.Int("depth", 12, "custom generation: logic depth")
 	seed := flag.Uint64("seed", 1, "custom generation: seed")
+	cells := flag.Int("cells", 0, "scale-tier generation: movable cell count (ISCAS-89 profile; uses -seed)")
+	preset := flag.String("preset", "", "scale-tier preset: large (100k cells, seed 1)")
 	flag.Parse()
 
 	switch {
+	case *preset != "":
+		if *preset != "large" {
+			fatal(fmt.Errorf("unknown preset %q (have large)", *preset))
+		}
+		c, err := simevo.Generate(simevo.ScaledParams("large", simevo.LargeCells, *seed))
+		fatal(err)
+		fatal(dump(c, *out))
+	case *cells > 0:
+		c, err := simevo.Generate(simevo.ScaledParams(fmt.Sprintf("c%d", *cells), *cells, *seed))
+		fatal(err)
+		fatal(dump(c, *out))
 	case *statsOf != "":
 		c, err := load(*statsOf)
 		fatal(err)

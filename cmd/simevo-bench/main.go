@@ -12,8 +12,10 @@
 //	                            # baseline (and nothing else)
 //	simevo-bench -baseline BENCH_baseline.json -objectives wire+power+delay
 //	                            # restrict the baseline to one objective
-//	                            # mode (default: both paper modes, with
-//	                            # per-objective phase timings for wpd)
+//	                            # mode (default: both paper modes plus the
+//	                            # congestion-enabled mode and the 100k-cell
+//	                            # "large" scale entry, with per-objective
+//	                            # phase timings for wpd/wpdc)
 //	simevo-bench -check-baseline BENCH_baseline.json -cpuprofile gate.prof \
 //	             -out-baseline measured_baseline.json
 //	                            # -cpuprofile/-memprofile cover gate runs
@@ -40,8 +42,8 @@ func main() {
 	table := flag.String("table", "all", `experiment to run: "profile", "1".."4", "compare", or "all"`)
 	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
 	baseline := flag.String("baseline", "", "write the incremental-engine perf baseline JSON to this path and exit")
-	objectives := flag.String("objectives", "wire+power,wire+power+delay",
-		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay)")
+	objectives := flag.String("objectives", "",
+		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay, wire+power+delay+congestion, large; empty = all)")
 	check := flag.String("check-baseline", "", "re-measure and fail if the incremental/scratch speedup regressed >15% against the baseline JSON at this path (covers every mode the file records)")
 	outBaseline := flag.String("out-baseline", "", "with -check-baseline: also write the freshly measured baseline JSON to this path (uploaded as a CI artifact)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")

@@ -102,7 +102,8 @@ func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, 
 	fatal(err)
 
 	fmt.Printf("best μ(s) = %.3f\n", res.BestMu)
-	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f\n", res.Wire, res.Power, res.Delay)
+	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f  congestion %.2f\n",
+		res.Wire, res.Power, res.Delay, res.Congest)
 	fmt.Printf("runtime: %.2f s\n", res.VirtualTimeMS/1000)
 }
 

@@ -36,8 +36,9 @@ import (
 
 func main() {
 	ckt := flag.String("ckt", "s1196", "benchmark circuit ("+strings.Join(simevo.BenchmarkNames(), ", ")+") or a .bench file path")
+	aux := flag.String("aux", "", "Bookshelf/ISPD .aux benchmark to place instead of -ckt")
 	strategy := flag.String("strategy", "serial", "serial | type1 | type2 | type3")
-	objectives := flag.String("objectives", "wp", "wp (wirelength+power) | wpd (+delay)")
+	objectives := flag.String("objectives", "wp", "wp (wirelength+power) | wpd (+delay) | wpc (+congestion) | wpdc (+delay+congestion)")
 	iters := flag.Int("iters", 350, "SimE iterations")
 	seed := flag.Uint64("seed", 2006, "random seed")
 	procs := flag.Int("procs", 3, "cluster size for parallel strategies")
@@ -66,7 +67,13 @@ func main() {
 		return
 	}
 
-	circuit, err := loadCircuit(*ckt)
+	var circuit *simevo.Circuit
+	var err error
+	if *aux != "" {
+		circuit, err = simevo.LoadBookshelf(*aux)
+	} else {
+		circuit, err = loadCircuit(*ckt)
+	}
 	fatal(err)
 
 	var obj simevo.Objectives
@@ -75,6 +82,10 @@ func main() {
 		obj = simevo.WirePower
 	case "wpd":
 		obj = simevo.WirePowerDelay
+	case "wpc":
+		obj = simevo.WirePowerCongest
+	case "wpdc":
+		obj = simevo.WirePowerDelayCongest
 	default:
 		fatal(fmt.Errorf("unknown objectives %q", *objectives))
 	}
@@ -82,6 +93,9 @@ func main() {
 	cfg := simevo.DefaultConfig(obj)
 	cfg.MaxIters = *iters
 	cfg.Seed = *seed
+	if rows := circuit.RowsHint(); rows > 0 {
+		cfg.NumRows = rows
+	}
 	placer, err := simevo.NewPlacer(circuit, cfg)
 	fatal(err)
 
@@ -99,7 +113,8 @@ func main() {
 	fmt.Printf("circuit %s: %d cells, %d nets; objectives %s; %d iterations\n",
 		circuit.Name(), circuit.NumCells(), circuit.NumNets(), obj, *iters)
 	init := placer.InitialCosts()
-	fmt.Printf("initial costs: wire %.0f  power %.1f  delay %.1f\n", init.Wire, init.Power, init.Delay)
+	fmt.Printf("initial costs: wire %.0f  power %.1f  delay %.1f  congestion %.2f\n",
+		init.Wire, init.Power, init.Delay, init.Congest)
 
 	switch *strategy {
 	case "serial":
@@ -140,7 +155,8 @@ func loadCircuit(name string) (*simevo.Circuit, error) {
 
 func report(mu float64, costs simevo.Costs, seconds float64) {
 	fmt.Printf("best μ(s) = %.3f\n", mu)
-	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f\n", costs.Wire, costs.Power, costs.Delay)
+	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f  congestion %.2f\n",
+		costs.Wire, costs.Power, costs.Delay, costs.Congest)
 	fmt.Printf("runtime: %.2f s\n", seconds)
 }
 

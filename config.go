@@ -11,13 +11,17 @@ import (
 type Objectives = fuzzy.Objectives
 
 // Objective constants. The paper evaluates WirePower (Tables 1-2) and
-// WirePowerDelay (Table 3).
+// WirePowerDelay (Table 3); Congest adds the RUDY-style routing-demand
+// overflow term this implementation layers on top.
 const (
-	Wire           = fuzzy.Wire
-	Power          = fuzzy.Power
-	Delay          = fuzzy.Delay
-	WirePower      = fuzzy.WirePower
-	WirePowerDelay = fuzzy.WirePowerDelay
+	Wire                  = fuzzy.Wire
+	Power                 = fuzzy.Power
+	Delay                 = fuzzy.Delay
+	Congest               = fuzzy.Congest
+	WirePower             = fuzzy.WirePower
+	WirePowerDelay        = fuzzy.WirePowerDelay
+	WirePowerCongest      = fuzzy.WirePowerCongest
+	WirePowerDelayCongest = fuzzy.WirePowerDelayCongest
 )
 
 // Costs carries raw objective costs (wirelength, power, delay).

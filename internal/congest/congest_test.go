@@ -1,0 +1,225 @@
+package congest
+
+import (
+	"math"
+	"testing"
+
+	"simevo/internal/gen"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/rng"
+	"simevo/internal/wire"
+)
+
+func testCircuit(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	ckt, err := gen.Generate(gen.Params{
+		Name: "cg", Gates: 180, DFFs: 12, PIs: 8, POs: 8, Depth: 9, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+// memSource is a mutable coordinate store for randomized grid tests.
+type memSource struct {
+	ckt  *netlist.Circuit
+	x, y []float64
+}
+
+func newMemSource(ckt *netlist.Circuit, p *layout.Placement) *memSource {
+	s := &memSource{ckt: ckt, x: make([]float64, len(ckt.Cells)), y: make([]float64, len(ckt.Cells))}
+	for i := range ckt.Cells {
+		s.x[i], s.y[i] = p.Coord(netlist.CellID(i))
+	}
+	return s
+}
+
+func (s *memSource) Coord(id netlist.CellID) (x, y float64) { return s.x[id], s.y[id] }
+
+func (s *memSource) NetBBox(n netlist.NetID) (minX, minY, maxX, maxY float64, ok bool) {
+	net := s.ckt.Net(n)
+	if net.Degree() == 0 {
+		return 0, 0, 0, 0, false
+	}
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	visit := func(id netlist.CellID) {
+		minX, maxX = math.Min(minX, s.x[id]), math.Max(maxX, s.x[id])
+		minY, maxY = math.Min(minY, s.y[id]), math.Max(maxY, s.y[id])
+	}
+	visit(net.Driver)
+	for _, sk := range net.Sinks {
+		visit(sk)
+	}
+	return minX, minY, maxX, maxY, true
+}
+
+func gridsEqual(t *testing.T, a, b *Grid, ctx string) {
+	t.Helper()
+	if len(a.demand) != len(b.demand) {
+		t.Fatalf("%s: grid sizes differ", ctx)
+	}
+	for i := range a.demand {
+		if a.demand[i] != b.demand[i] {
+			t.Fatalf("%s: bin %d differs: %d vs %d", ctx, i, a.demand[i], b.demand[i])
+		}
+	}
+	if a.Value() != b.Value() || a.total != b.total || a.peak != b.peak || a.overflowNum != b.overflowNum {
+		t.Fatalf("%s: aggregates differ: val %v/%v total %d/%d peak %d/%d over %d/%d",
+			ctx, a.Value(), b.Value(), a.total, b.total, a.peak, b.peak, a.overflowNum, b.overflowNum)
+	}
+}
+
+// TestRandomizedDirtyEqualsRebuild is the randomized grid-vs-rebuild
+// equivalence satellite: after every random batch of cell moves, folding
+// only the dirty nets through ApplyDirty must leave the grid bitwise
+// identical — bins and the overflow aggregates — to a from-scratch Full
+// on a fresh grid over the same coordinates.
+func TestRandomizedDirtyEqualsRebuild(t *testing.T) {
+	ckt := testCircuit(t)
+	r := rng.New(99)
+	place := layout.NewRandom(ckt, 12, r)
+	src := newMemSource(ckt, place)
+	spec := SpecFor(ckt, 12, 0)
+	lengths := make([]float64, ckt.NumNets())
+
+	inc := New(ckt, spec, src)
+	inc.Silence()
+	inc.Full(lengths)
+
+	movable := ckt.Movable()
+	width := spec.Width
+	for round := 0; round < 60; round++ {
+		// Move a random handful of cells (occasionally a big batch, to
+		// cross the n/4 full-rebuild fallback).
+		k := 1 + int(r.Intn(6))
+		if round%17 == 0 {
+			k = len(movable) / 2
+		}
+		dirtyMark := make(map[netlist.NetID]bool)
+		var nets []netlist.NetID
+		for j := 0; j < k; j++ {
+			id := movable[r.Intn(len(movable))]
+			src.x[id] = r.Float64() * width
+			src.y[id] = r.Float64() * spec.Height
+			nets = ckt.CellNets(id, nets[:0])
+			for _, n := range nets {
+				dirtyMark[n] = true
+			}
+		}
+		dirty := make([]netlist.NetID, 0, len(dirtyMark))
+		for n := range dirtyMark {
+			dirty = append(dirty, n)
+		}
+		inc.ApplyDirty(dirty, lengths)
+
+		ref := New(ckt, spec, src)
+		ref.Silence()
+		ref.Full(lengths)
+		gridsEqual(t, inc, ref, "after random moves")
+	}
+	if up, rb := inc.Stats(); up == 0 || rb == 0 {
+		t.Fatalf("stats did not track churn: %d bin updates, %d rebuilds", up, rb)
+	}
+}
+
+// TestSnapshotRestore checks Snapshot/Restore round-trips the full grid
+// state: restore after arbitrary churn must reproduce the snapshotted
+// bins and aggregates bitwise.
+func TestSnapshotRestore(t *testing.T) {
+	ckt := testCircuit(t)
+	r := rng.New(5)
+	place := layout.NewRandom(ckt, 10, r)
+	src := newMemSource(ckt, place)
+	spec := SpecFor(ckt, 10, 0)
+	lengths := make([]float64, ckt.NumNets())
+
+	g := New(ckt, spec, src)
+	g.Silence()
+	g.Full(lengths)
+	want := New(ckt, spec, src)
+	want.Silence()
+	want.Full(lengths)
+	snap := g.Snapshot()
+
+	movable := ckt.Movable()
+	var nets []netlist.NetID
+	for j := 0; j < 25; j++ {
+		id := movable[r.Intn(len(movable))]
+		src.x[id] = r.Float64() * spec.Width
+		src.y[id] = r.Float64() * spec.Height
+		nets = ckt.CellNets(id, nets[:0])
+		g.ApplyDirty(nets, lengths)
+	}
+	g.Restore(snap)
+	gridsEqual(t, g, want, "after Restore")
+}
+
+// TestSourceEquivalence pins that the two geometry sources — the
+// placement visitor and wire.Incremental's sorted multisets — produce
+// bitwise-identical grids for the same coordinates. This is the
+// cross-mode invariant the engine trajectory equivalence rests on.
+func TestSourceEquivalence(t *testing.T) {
+	ckt := testCircuit(t)
+	place := layout.NewRandom(ckt, 12, rng.New(3))
+	spec := SpecFor(ckt, 12, 0)
+	lengths := make([]float64, ckt.NumNets())
+
+	inc := wire.NewIncremental(ckt, wire.Steiner)
+	inc.Rebuild(place)
+
+	a := New(ckt, spec, PlacementSource{P: place})
+	a.Silence()
+	a.Full(lengths)
+	b := New(ckt, spec, inc)
+	b.Silence()
+	b.Full(lengths)
+	gridsEqual(t, a, b, "placement vs incremental source")
+}
+
+// TestBinBoundaryConvention pins the package's half-open floor
+// convention: a coordinate exactly on a bin boundary belongs to the
+// higher-indexed bin, and out-of-die overhang clamps to the edge bins.
+func TestBinBoundaryConvention(t *testing.T) {
+	g := New(testCircuit(t), Spec{NX: 8, NY: 4, Width: 64, Height: 16}, nil)
+	if got := g.BinX(16.0); got != 2 { // 16 = 2·binW exactly
+		t.Errorf("BinX(16) = %d, want 2 (boundary belongs to the higher bin)", got)
+	}
+	if got := g.BinX(15.9999); got != 1 {
+		t.Errorf("BinX(15.9999) = %d, want 1", got)
+	}
+	if got := g.BinX(-4.0); got != 0 { // pad overhang clamps from below
+		t.Errorf("BinX(-4) = %d, want 0", got)
+	}
+	if got := g.BinX(64.0); got != 7 { // right edge clamps into the last bin
+		t.Errorf("BinX(64) = %d, want 7", got)
+	}
+	if got := g.BinY(4.0); got != 1 {
+		t.Errorf("BinY(4) = %d, want 1", got)
+	}
+}
+
+// TestContributionConservation checks the integer remainder dealing: the
+// bins covered by one net sum to exactly the net's quantized
+// half-perimeter, so total demand equals total HPWL up to quantization.
+func TestContributionConservation(t *testing.T) {
+	ckt := testCircuit(t)
+	place := layout.NewRandom(ckt, 12, rng.New(8))
+	spec := SpecFor(ckt, 12, 0)
+	g := New(ckt, spec, PlacementSource{P: place})
+	g.Silence()
+	g.Full(make([]float64, ckt.NumNets()))
+
+	var sumBins, sumContrib int64
+	for _, d := range g.demand {
+		sumBins += d
+	}
+	for _, c := range g.contrib {
+		sumContrib += c
+	}
+	if sumBins != sumContrib {
+		t.Fatalf("bins sum %d != contributions sum %d", sumBins, sumContrib)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"simevo/internal/congest"
 	"simevo/internal/cost"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
@@ -34,9 +35,27 @@ func referenceCosts(ckt *netlist.Circuit, cfg *Config, lv *netlist.Levels, acts 
 	lengths := ev.Lengths(place, nil)
 
 	// Wire and power reference costs are always needed (they normalize
-	// the always-reported raw costs); delay only when active.
-	pipe := cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, acts, lv, cfg.TimingModel)
+	// the always-reported raw costs); delay and congestion only when
+	// active. The congestion grid here uses the same static geometry the
+	// engines build (congestSpec), sourced from the reference placement.
+	var extras []cost.Objective
+	if cfg.Objectives.Has(fuzzy.Congest) {
+		extras = append(extras, congest.New(ckt, congestSpec(ckt, cfg), congest.PlacementSource{P: place}))
+	}
+	pipe := cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, acts, lv, cfg.TimingModel, extras...)
 	return pipe.Full(lengths)
+}
+
+// congestSpec derives the congestion grid geometry for a run: the same
+// row count the placements use and the configured bin-column count. A
+// static function of circuit and config, so the reference evaluation and
+// every engine of the run share one grid frame.
+func congestSpec(ckt *netlist.Circuit, cfg *Config) congest.Spec {
+	rows := cfg.NumRows
+	if rows <= 0 {
+		rows = layout.DefaultNumRows(ckt)
+	}
+	return congest.SpecFor(ckt, rows, cfg.CongestBins)
 }
 
 // lowerBoundsFromReference converts reference costs into the normalization
@@ -49,8 +68,9 @@ func lowerBoundsFromReference(ref fuzzy.Costs, goals fuzzy.Goals) fuzzy.Costs {
 		return c / g
 	}
 	return fuzzy.Costs{
-		Wire:  div(ref.Wire, goals.Wire.Goal),
-		Power: div(ref.Power, goals.Power.Goal),
-		Delay: div(ref.Delay, goals.Delay.Goal),
+		Wire:    div(ref.Wire, goals.Wire.Goal),
+		Power:   div(ref.Power, goals.Power.Goal),
+		Delay:   div(ref.Delay, goals.Delay.Goal),
+		Congest: div(ref.Congest, goals.Congest.Goal),
 	}
 }

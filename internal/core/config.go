@@ -61,6 +61,12 @@ type Config struct {
 	// NumRows overrides the row count (0 = layout.DefaultNumRows).
 	NumRows int
 
+	// CongestBins is the congestion grid's bin-column count (0 =
+	// congest.DefaultNX). Only consulted when Objectives includes
+	// fuzzy.Congest. The grid geometry is a static function of circuit
+	// and config, so every engine of a run bins identically.
+	CongestBins int
+
 	// Seed drives all stochastic decisions; runs are reproducible.
 	Seed uint64
 
@@ -182,6 +188,14 @@ func (c *Config) validate() error {
 	}
 	if c.Goals.Wire.Goal <= 1 || c.Goals.Power.Goal <= 1 || c.Goals.Delay.Goal <= 1 {
 		return fmt.Errorf("core: membership goals must exceed 1")
+	}
+	// Configs predating the congestion objective leave its goal zero;
+	// normalize instead of erroring so stored Specs keep validating.
+	if c.Goals.Congest.Goal <= 1 {
+		c.Goals.Congest = fuzzy.DefaultGoals().Congest
+	}
+	if c.CongestBins < 0 {
+		return fmt.Errorf("core: CongestBins %d must be >= 0", c.CongestBins)
 	}
 	if c.KPaths <= 0 {
 		c.KPaths = 8

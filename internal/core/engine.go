@@ -6,6 +6,7 @@ import (
 	"slices"
 	"time"
 
+	"simevo/internal/congest"
 	"simevo/internal/cost"
 	"simevo/internal/fuzzy"
 	"simevo/internal/layout"
@@ -42,9 +43,10 @@ type Engine struct {
 	// cost.Objective interface, evaluated from the full length array
 	// (reference / rebuild) or folded forward from the dirty-net batch.
 	pipe      *cost.Pipeline
-	gains     []gainSrc   // per active objective, in aggregation order
-	gainW     [][]float64 // weight tables of the weighted objectives
-	hasScorer bool        // a CellScored objective (delay) is active
+	gains     []gainSrc     // per active objective, in aggregation order
+	gainW     [][]float64   // weight tables of the weighted objectives
+	hasScorer bool          // a CellScored objective (delay/congestion) is active
+	congGrid  *congest.Grid // congestion bin grid (nil unless Congest is active)
 	gainTerms []float64   // per cell × weighted objective: cached goodness terms
 	dirtyNets []netlist.NetID
 
@@ -129,7 +131,12 @@ func (e *Engine) init() {
 	// Wire and power are always evaluated (their raw costs are reported
 	// even when inactive); delay only when the objective set asks for it.
 	// Goodness and allocation weighting draw only on the active set.
-	e.pipe = cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, e.prob.Acts, e.prob.Lv, cfg.TimingModel)
+	var extras []cost.Objective
+	if cfg.Objectives.Has(fuzzy.Congest) {
+		e.congGrid = congest.New(ckt, congestSpec(ckt, cfg), nil)
+		extras = append(extras, e.congGrid)
+	}
+	e.pipe = cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, e.prob.Acts, e.prob.Lv, cfg.TimingModel, extras...)
 	e.pipe.EnableTiming() // surfaced through CostPhases / simevo-bench
 	for _, o := range e.pipe.Objectives() {
 		if !cfg.Objectives.Has(o.Bit()) {
@@ -290,6 +297,18 @@ func (e *Engine) EvaluateCosts() {
 		e.place.Recompute()
 	}
 	cfg := &e.prob.Cfg
+	if e.congGrid != nil {
+		// Rebind the congestion geometry source every evaluation: the
+		// placement object can be replaced between calls (adopt /
+		// broadcast decode), and in incremental mode the cached pin
+		// multisets are the O(1) bounding-box source. Both sources read
+		// the same committed coordinates, so the grids bin identically.
+		if e.inc != nil {
+			e.congGrid.SetSource(e.inc)
+		} else {
+			e.congGrid.SetSource(congest.PlacementSource{P: e.place})
+		}
+	}
 	if e.inc == nil {
 		// Reference mode re-derives everything from scratch, including
 		// every cell's goodness and every objective's full recompute —
@@ -1136,6 +1155,9 @@ func (e *Engine) Telemetry() telemetry.EngineSnapshot {
 	t.CostFull, t.CostDirty, t.CostDirtyFallback = e.pipe.Calls()
 	if sta := e.pipe.Delay(); sta != nil {
 		t.TimingUpdates, t.TimingRebuilds, t.TimingConeCells = sta.Stats()
+	}
+	if e.congGrid != nil {
+		t.CongestBinUpdates, t.CongestRebuilds = e.congGrid.Stats()
 	}
 	return t
 }

@@ -175,7 +175,11 @@ func (p *Pipeline) Calls() (full, dirty, dirtyFallback uint64) {
 // NewPipeline builds the objective set. acts is the per-net switching
 // activity table (shared, not copied); lv and model parameterize the
 // delay substrate and are only consulted when the set includes Delay.
-func NewPipeline(set fuzzy.Objectives, ckt *netlist.Circuit, acts []float64, lv *netlist.Levels, model timing.Model) *Pipeline {
+// extras are externally constructed objectives (congestion's bin grid
+// lives in internal/congest and is handed in by the engine); they are
+// appended after the built-in terms so the canonical wire → power →
+// delay → extras evaluation order holds.
+func NewPipeline(set fuzzy.Objectives, ckt *netlist.Circuit, acts []float64, lv *netlist.Levels, model timing.Model, extras ...Objective) *Pipeline {
 	p := &Pipeline{}
 	nn := ckt.NumNets()
 	if set.Has(fuzzy.Wire) {
@@ -191,6 +195,7 @@ func NewPipeline(set fuzzy.Objectives, ckt *netlist.Circuit, acts []float64, lv 
 	if set.Has(fuzzy.Delay) {
 		p.objs = append(p.objs, &delayObjective{sta: timing.NewInc(ckt, lv, model)})
 	}
+	p.objs = append(p.objs, extras...)
 	p.phases = make([]time.Duration, len(p.objs))
 	return p
 }
@@ -276,6 +281,8 @@ func (p *Pipeline) setCost(bit fuzzy.Objectives, v float64) {
 		p.costs.Power = v
 	case fuzzy.Delay:
 		p.costs.Delay = v
+	case fuzzy.Congest:
+		p.costs.Congest = v
 	default:
 		panic(fmt.Sprintf("cost: objective bit %#x has no Costs field", uint8(bit)))
 	}

@@ -55,6 +55,17 @@ type Baseline struct {
 	// the baseline was recorded with -objectives excluding it).
 	WirePowerDelay *ModeBaseline `json:"wire_power_delay,omitempty"`
 
+	// WirePowerDelayCongest is the four-objective mode: the full cost
+	// pipeline plus the incremental congestion bin grid (nil when the
+	// baseline was recorded with -objectives excluding it).
+	WirePowerDelayCongest *ModeBaseline `json:"wire_power_delay_congest,omitempty"`
+
+	// LargeCircuit is the scale-tier entry: one incremental run on the
+	// generated 100k-cell circuit with congestion active. Its ns/iter is
+	// informational (host wall clock); the best μ is the host-independent
+	// gate — the trajectory on the large tier must stay bitwise stable.
+	LargeCircuit *LargeCircuitBaseline `json:"large_circuit,omitempty"`
+
 	// ScanRates records, per bundled benchmark circuit, how the sharded
 	// vacancy scan disposed of its candidates over a short incremental
 	// run — the deterministic work counters behind the wall-clock numbers
@@ -78,6 +89,21 @@ type CircuitScanRates struct {
 	BailedExact   float64 `json:"bailed_exact"`
 	Scored        float64 `json:"scored"`
 	RowsVisited   uint64  `json:"rows_visited"`
+}
+
+// LargeCircuitBaseline records the scale-tier measurement. BestMu and
+// Congest are deterministic for (cells, gen seed, run seed) and gate the
+// large-circuit trajectory bitwise across hosts; NsPerIter is wall clock.
+type LargeCircuitBaseline struct {
+	Circuit   string  `json:"circuit"`
+	Cells     int     `json:"cells"`
+	GenSeed   uint64  `json:"gen_seed"`
+	Objective string  `json:"objective"`
+	Iters     int     `json:"iters"`
+	Seed      uint64  `json:"seed"`
+	NsPerIter float64 `json:"ns_per_iter"`
+	BestMu    float64 `json:"best_mu"`
+	Congest   float64 `json:"congest"`
 }
 
 // ModeBaseline is one objective set's incremental-vs-scratch measurement.
@@ -251,8 +277,9 @@ func measureObjectiveMode(obj fuzzy.Objectives, evalWorkers int) (*ModeBaseline,
 // ships: EvalWorkers engages the parallel goodness evaluation when the
 // host has more than one CPU (the trajectory is bitwise identical either
 // way — only the wall clock changes). The scratch reference stays serial.
-// objectives holds "wire+power" and/or "wire+power+delay" ("" measures
-// both).
+// objectives selects from "wire+power", "wire+power+delay",
+// "wire+power+delay+congestion", and "large" (the 100k-cell scale-tier
+// entry); "" measures all of them.
 func MeasureBaseline(objectives string) (*Baseline, error) {
 	evalWorkers := runtime.GOMAXPROCS(0)
 	if evalWorkers > 8 {
@@ -264,35 +291,86 @@ func MeasureBaseline(objectives string) (*Baseline, error) {
 	return measureBaselineWith(evalWorkers, objectives)
 }
 
-// parseObjectiveModes maps the -objectives flag to the measured sets.
-func parseObjectiveModes(objectives string) (wp, wpd bool, err error) {
+// baselineModes selects which baseline sections to measure.
+type baselineModes struct {
+	wp, wpd, wpdc bool
+	large         bool
+}
+
+// parseObjectiveModes maps the -objectives flag to the measured sections.
+// "" selects everything.
+func parseObjectiveModes(objectives string) (baselineModes, error) {
 	if objectives == "" {
-		return true, true, nil
+		return baselineModes{wp: true, wpd: true, wpdc: true, large: true}, nil
 	}
+	var m baselineModes
 	for _, o := range strings.Split(objectives, ",") {
 		switch strings.TrimSpace(strings.ToLower(o)) {
 		case "wire+power", "wp":
-			wp = true
+			m.wp = true
 		case "wire+power+delay", "wpd":
-			wpd = true
+			m.wpd = true
+		case "wire+power+delay+congestion", "wpdc":
+			m.wpdc = true
+		case "large":
+			m.large = true
 		case "":
 		default:
-			return false, false, fmt.Errorf("experiments: unknown objective mode %q (have wire+power, wire+power+delay)", o)
+			return baselineModes{}, fmt.Errorf("experiments: unknown objective mode %q (have wire+power, wire+power+delay, wire+power+delay+congestion, large)", o)
 		}
 	}
-	if !wp && !wpd {
-		return false, false, fmt.Errorf("experiments: no objective mode selected")
+	if !m.wp && !m.wpd && !m.wpdc && !m.large {
+		return baselineModes{}, fmt.Errorf("experiments: no objective mode selected")
 	}
-	return wp, wpd, nil
+	return m, nil
+}
+
+/// largeCircuitIters keeps the scale-tier entry affordable: the 100k-cell
+// iteration costs seconds of wall clock, and two iterations exercise both
+// the from-cold first evaluation and a full steady-state step.
+const largeCircuitIters = 2
+
+// measureLargeCircuit runs the incremental engine on the generated
+// 100k-cell tier with congestion active. One rep — the gate consumes the
+// deterministic μ, not the wall clock.
+func measureLargeCircuit(evalWorkers int) (*LargeCircuitBaseline, error) {
+	ckt, err := gen.Generate(gen.ScaledParams("large", gen.LargeCells, 1))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(fuzzy.WirePowerCongest)
+	cfg.MaxIters = largeCircuitIters
+	cfg.Seed = baselineSeed
+	cfg.EvalWorkers = evalWorkers
+	prob, err := core.NewProblem(ckt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := prob.NewEngine(0)
+	start := time.Now()
+	res := eng.Run()
+	total := time.Since(start)
+	return &LargeCircuitBaseline{
+		Circuit:   "large",
+		Cells:     gen.LargeCells,
+		GenSeed:   1,
+		Objective: fuzzy.WirePowerCongest.String(),
+		Iters:     largeCircuitIters,
+		Seed:      baselineSeed,
+		NsPerIter: float64(total.Nanoseconds()) / largeCircuitIters,
+		BestMu:    res.BestMu,
+		Congest:   res.BestCosts.Congest,
+	}, nil
 }
 
 // measureBaselineWith measures at a pinned evaluation fan-out, so the
 // bench gate can reproduce the committed baseline's configuration.
 func measureBaselineWith(evalWorkers int, objectives string) (*Baseline, error) {
-	wp, wpd, err := parseObjectiveModes(objectives)
+	m, err := parseObjectiveModes(objectives)
 	if err != nil {
 		return nil, err
 	}
+	wp, wpd := m.wp, m.wpd
 	b := &Baseline{
 		Circuit:     baselineCircuit,
 		Objective:   "wire+power",
@@ -323,6 +401,20 @@ func measureBaselineWith(evalWorkers int, objectives string) (*Baseline, error) 
 			return nil, err
 		}
 		b.WirePowerDelay = mode
+	}
+	if m.wpdc {
+		mode, err := measureObjectiveMode(fuzzy.WirePowerDelayCongest, evalWorkers)
+		if err != nil {
+			return nil, err
+		}
+		b.WirePowerDelayCongest = mode
+	}
+	if m.large {
+		large, err := measureLargeCircuit(evalWorkers)
+		if err != nil {
+			return nil, err
+		}
+		b.LargeCircuit = large
 	}
 	// Scan-prune rates for the most scan-bound selected mode: wpd when
 	// measured (the mode the delay-aware bounds exist for), wp otherwise.
@@ -370,11 +462,13 @@ const (
 
 // CheckBaseline re-measures the baseline and compares it against the
 // committed JSON at path: the solution trajectories must be unchanged
-// (identical best μ, both modes matching) and the incremental-over-scratch
-// speedups — for wire+power and, when the committed file records it, for
-// wire+power+delay — must not have regressed by more than CheckTolerance.
-// The wpd section additionally carries the allocation tentpole gates (see
-// gateWpdAllocation). The committed file's telemetry key sets must be a
+// (identical best μ, all recorded modes matching) and the
+// incremental-over-scratch speedups — for every objective mode the
+// committed file records — must not have regressed by more than
+// CheckTolerance. The wpd section additionally carries the allocation
+// tentpole gates (see gateWpdAllocation); a recorded large-circuit entry
+// gates the scale-tier trajectory bitwise (see gateLargeCircuit).
+// The committed file's telemetry key sets must be a
 // subset of the current schema: added counters are tolerated, removed
 // ones fail the gate. The measurement is pinned to the committed
 // baseline's parallelism (GOMAXPROCS and EvalWorkers are restored from
@@ -410,6 +504,12 @@ func CheckBaseline(path, outPath string, w io.Writer) error {
 	if ref.WirePowerDelay != nil {
 		modes = append(modes, "wire+power+delay")
 	}
+	if ref.WirePowerDelayCongest != nil {
+		modes = append(modes, "wire+power+delay+congestion")
+	}
+	if ref.LargeCircuit != nil {
+		modes = append(modes, "large")
+	}
 	if len(modes) == 0 {
 		return fmt.Errorf("experiments: %s records no objective mode to gate", path)
 	}
@@ -437,6 +537,16 @@ func CheckBaseline(path, outPath string, w io.Writer) error {
 			return err
 		}
 		if err := gateWpdAllocation(w, ref.WirePowerDelay, got.WirePowerDelay, got.GoMaxProcs); err != nil {
+			return err
+		}
+	}
+	if ref.WirePowerDelayCongest != nil {
+		if err := gateMode(w, ref.WirePowerDelayCongest, got.WirePowerDelayCongest, 0, 0); err != nil {
+			return err
+		}
+	}
+	if ref.LargeCircuit != nil {
+		if err := gateLargeCircuit(w, ref.LargeCircuit, got.LargeCircuit); err != nil {
 			return err
 		}
 	}
@@ -478,6 +588,25 @@ func gateWpdAllocation(w io.Writer, ref, got *ModeBaseline, gotProcs int) error 
 	return nil
 }
 
+// gateLargeCircuit holds the scale-tier trajectory bitwise: μ (and the
+// congestion cost) on the generated 100k circuit are deterministic for the
+// recorded (cells, gen seed, run seed), so any drift means the engine's
+// search behaviour changed at scale. The ns/iter is printed but not gated
+// — it is the recording host's wall clock.
+func gateLargeCircuit(w io.Writer, ref, got *LargeCircuitBaseline) error {
+	fmt.Fprintf(w, "bench gate [large]: %d cells, %d iters; committed %.0f ns/iter, measured %.0f ns/iter (informational); best-mu %.6f\n",
+		ref.Cells, ref.Iters, ref.NsPerIter, got.NsPerIter, got.BestMu)
+	if got.BestMu != ref.BestMu {
+		return fmt.Errorf("experiments: large-circuit best mu changed: committed %v, measured %v",
+			ref.BestMu, got.BestMu)
+	}
+	if got.Congest != ref.Congest {
+		return fmt.Errorf("experiments: large-circuit congestion cost changed: committed %v, measured %v",
+			ref.Congest, got.Congest)
+	}
+	return nil
+}
+
 // checkTelemetryKeys asserts every telemetry key the committed baseline
 // records still exists in the current EngineSnapshot schema. Keys the
 // current schema has that the file lacks are fine — counters are added
@@ -489,13 +618,15 @@ func checkTelemetryKeys(data []byte) error {
 	type section struct {
 		Telemetry map[string]json.RawMessage `json:"telemetry"`
 	}
+	type modeSections struct {
+		Incremental section `json:"incremental"`
+		Scratch     section `json:"scratch"`
+	}
 	var raw struct {
-		Incremental    section `json:"incremental"`
-		Scratch        section `json:"scratch"`
-		WirePowerDelay *struct {
-			Incremental section `json:"incremental"`
-			Scratch     section `json:"scratch"`
-		} `json:"wire_power_delay"`
+		Incremental           section       `json:"incremental"`
+		Scratch               section       `json:"scratch"`
+		WirePowerDelay        *modeSections `json:"wire_power_delay"`
+		WirePowerDelayCongest *modeSections `json:"wire_power_delay_congest"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return fmt.Errorf("experiments: parsing telemetry sections: %w", err)
@@ -536,6 +667,14 @@ func checkTelemetryKeys(data []byte) error {
 			return err
 		}
 	}
+	if raw.WirePowerDelayCongest != nil {
+		if err := check("wire_power_delay_congest.incremental", raw.WirePowerDelayCongest.Incremental.Telemetry); err != nil {
+			return err
+		}
+		if err := check("wire_power_delay_congest.scratch", raw.WirePowerDelayCongest.Scratch.Telemetry); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -565,7 +704,7 @@ func gateMode(w io.Writer, ref, got *ModeBaseline, refProcs, gotProcs int) error
 }
 
 // WriteBaseline measures the baseline for the requested objective modes
-// ("" = both), writes it as JSON to path, and prints a summary table.
+// ("" = all), writes it as JSON to path, and prints a summary table.
 func WriteBaseline(path, objectives string, w io.Writer) error {
 	b, err := MeasureBaseline(objectives)
 	if err != nil {
@@ -601,6 +740,21 @@ func WriteBaseline(path, objectives string, w io.Writer) error {
 			fmt.Fprintf(w, "    %-8s %12.0f %12.0f\n", name,
 				m.Incremental.ObjectivePhases[name], m.Scratch.ObjectivePhases[name])
 		}
+	}
+	if m := b.WirePowerDelayCongest; m != nil {
+		row("wpdc incremental", m.Incremental)
+		row("wpdc scratch", m.Scratch)
+		fmt.Fprintf(w, "  wire+power+delay+congestion: total speedup %.2fx, trajectory match %v\n",
+			m.TotalSpeedup, m.TrajectoryMatch)
+		fmt.Fprintf(w, "  wpdc objective phases (ns/iter, incremental vs scratch):\n")
+		for _, name := range []string{"wire", "power", "delay", "congestion"} {
+			fmt.Fprintf(w, "    %-12s %12.0f %12.0f\n", name,
+				m.Incremental.ObjectivePhases[name], m.Scratch.ObjectivePhases[name])
+		}
+	}
+	if l := b.LargeCircuit; l != nil {
+		fmt.Fprintf(w, "  large circuit: %d cells (%s), %d iters, %.0f ns/iter, best μ %.6f, congestion %.2f\n",
+			l.Cells, l.Objective, l.Iters, l.NsPerIter, l.BestMu, l.Congest)
 	}
 	if len(b.ScanRates) > 0 {
 		fmt.Fprintf(w, "  scan prune rates (%d iters, fraction of candidates):\n", scanRateIters)

@@ -1,0 +1,161 @@
+package format
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simevo/internal/core"
+	"simevo/internal/fuzzy"
+	"simevo/internal/layout"
+	"simevo/internal/netlist"
+	"simevo/internal/rng"
+)
+
+func loadFixture(t testing.TB) (*Design, *layout.Placement) {
+	t.Helper()
+	d, p, err := LoadAux(filepath.Join("testdata", "tiny.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p
+}
+
+func TestBookshelfLoadFixture(t *testing.T) {
+	d, p := loadFixture(t)
+	ckt := d.Ckt
+
+	if got, want := ckt.NumCells(), 16; got != want {
+		t.Errorf("cells = %d, want %d", got, want)
+	}
+	if got, want := ckt.NumNets(), 14; got != want {
+		t.Errorf("nets = %d, want %d", got, want)
+	}
+	if got, want := ckt.NumMovable(), 12; got != want {
+		t.Errorf("movable = %d, want %d", got, want)
+	}
+	if got, want := len(ckt.PIs), 2; got != want {
+		t.Errorf("PIs = %d, want %d (p1, p2 drive and sink nothing)", got, want)
+	}
+	if got, want := len(ckt.POs), 2; got != want {
+		t.Errorf("POs = %d, want %d (p3, p4 sink exactly one net)", got, want)
+	}
+	if got, want := d.NumRows(), 4; got != want {
+		t.Errorf("rows = %d, want %d", got, want)
+	}
+	for _, id := range ckt.Movable() {
+		if ckt.Cells[id].Type != netlist.Macro {
+			t.Errorf("movable %q has type %v, want MACRO", ckt.Cells[id].Name, ckt.Cells[id].Type)
+		}
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The .pl row assignment: a,b,c in row 0 in x order.
+	want := []string{"a", "b", "c"}
+	row := p.Row(0)
+	if len(row) != len(want) {
+		t.Fatalf("row 0 has %d cells, want %d", len(row), len(want))
+	}
+	for i, id := range row {
+		if ckt.Cells[id].Name != want[i] {
+			t.Errorf("row 0 slot %d = %q, want %q", i, ckt.Cells[id].Name, want[i])
+		}
+	}
+	// Width conversion: Sitewidth 6, node a is 12 units -> 2 sites.
+	if w := ckt.Cells[row[0]].Width; w != 2 {
+		t.Errorf("cell a width = %d sites, want 2", w)
+	}
+}
+
+func TestBookshelfWritePlGolden(t *testing.T) {
+	d, p := loadFixture(t)
+	var buf bytes.Buffer
+	if err := d.WritePl(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "tiny.golden.pl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("WritePl output deviates from testdata/tiny.golden.pl:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), golden)
+	}
+}
+
+// TestBookshelfRoundTripFixedPoint verifies the parse→write cycle
+// converges immediately: writing the loaded placement, re-ingesting the
+// written .pl with the original .nodes/.nets/.scl, and writing again must
+// produce byte-identical output.
+func TestBookshelfRoundTripFixedPoint(t *testing.T) {
+	d, p := loadFixture(t)
+	var first bytes.Buffer
+	if err := d.WritePl(&first, p); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for _, f := range []string{"tiny.aux", "tiny.nodes", "tiny.nets", "tiny.scl"} {
+		blob, err := os.ReadFile(filepath.Join("testdata", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, f), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tiny.pl"), first.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, p2, err := LoadAux(filepath.Join(dir, "tiny.aux"))
+	if err != nil {
+		t.Fatalf("re-ingesting written .pl: %v", err)
+	}
+	var second bytes.Buffer
+	if err := d2.WritePl(&second, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("write→parse→write is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+			first.Bytes(), second.Bytes())
+	}
+}
+
+// TestBookshelfIngestionSmoke is the CI ingestion gate: a Bookshelf
+// design must load, run a few SimE iterations with the congestion
+// objective active, and surface congestion telemetry.
+func TestBookshelfIngestionSmoke(t *testing.T) {
+	d, p := loadFixture(t)
+	cfg := core.DefaultConfig(fuzzy.WirePowerCongest)
+	cfg.MaxIters = 5
+	cfg.Seed = 8
+	cfg.NumRows = d.NumRows()
+	prob, err := core.NewProblem(d.Ckt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := prob.EngineFrom(p, rng.New(cfg.Seed))
+	res := eng.Run()
+	if res.Iters != 5 {
+		t.Fatalf("ran %d iterations, want 5", res.Iters)
+	}
+	if res.BestCosts.Wire <= 0 {
+		t.Errorf("wire cost = %v, want > 0", res.BestCosts.Wire)
+	}
+	tel := eng.Telemetry()
+	if tel.CongestBinUpdates == 0 {
+		t.Error("telemetry: congestion grid recorded no bin updates")
+	}
+	counters := tel.Counters()
+	for _, key := range []string{"congest_bin_updates", "congest_rebuilds"} {
+		if _, ok := counters[key]; !ok {
+			t.Errorf("telemetry counters missing %q (have %v)", key, counters)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+UCLA pl 1.0
+# simevo placement for tiny
+
+a	0	0	: N
+b	12	0	: N
+c	30	0	: N
+d	0	12	: N
+e	12	12	: N
+f	24	12	: N
+g	0	24	: N
+h	18	24	: N
+i	30	24	: N
+j	0	36	: N
+k	12	36	: N
+l	18	36	: N
+p1	-12	6	: N /FIXED
+p2	-12	30	: N /FIXED
+p3	246	6	: N /FIXED
+p4	246	30	: N /FIXED

@@ -1,0 +1,18 @@
+UCLA pl 1.0
+
+a	0	0	: N
+b	24	0	: N
+c	48	0	: N
+d	0	12	: N
+e	30	12	: N
+f	60	12	: N
+g	0	24	: N
+h	18	24	: N
+i	36	24	: N
+j	0	36	: N
+k	30	36	: N
+l	60	36	: N
+p1	-12	6	: N /FIXED
+p2	-12	30	: N /FIXED
+p3	246	6	: N /FIXED
+p4	246	30	: N /FIXED

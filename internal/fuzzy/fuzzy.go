@@ -24,17 +24,21 @@ import (
 type Objectives uint8
 
 // Objective bits. The paper evaluates two combinations: wirelength+power
-// (Tables 1, 2) and wirelength+power+delay (Table 3).
+// (Tables 1, 2) and wirelength+power+delay (Table 3). Congest is the
+// post-paper routability term (RUDY bin-grid overflow, internal/congest).
 const (
 	Wire Objectives = 1 << iota
 	Power
 	Delay
+	Congest
 )
 
-// The paper's two objective sets.
+// The paper's two objective sets, plus the congestion-extended variants.
 const (
-	WirePower      = Wire | Power
-	WirePowerDelay = Wire | Power | Delay
+	WirePower             = Wire | Power
+	WirePowerDelay        = Wire | Power | Delay
+	WirePowerCongest      = Wire | Power | Congest
+	WirePowerDelayCongest = Wire | Power | Delay | Congest
 )
 
 // Has reports whether all bits of x are active.
@@ -43,7 +47,7 @@ func (o Objectives) Has(x Objectives) bool { return o&x == x }
 // Count returns the number of active objectives.
 func (o Objectives) Count() int {
 	n := 0
-	for b := Objectives(1); b != 0 && b <= Delay; b <<= 1 {
+	for b := Objectives(1); b != 0 && b <= Congest; b <<= 1 {
 		if o&b != 0 {
 			n++
 		}
@@ -60,10 +64,16 @@ func (o Objectives) String() string {
 		return "power"
 	case Delay:
 		return "delay"
+	case Congest:
+		return "congestion"
 	case WirePower:
 		return "wire+power"
 	case WirePowerDelay:
 		return "wire+power+delay"
+	case WirePowerCongest:
+		return "wire+power+congestion"
+	case WirePowerDelayCongest:
+		return "wire+power+delay+congestion"
 	}
 	return fmt.Sprintf("Objectives(%#x)", uint8(o))
 }
@@ -113,7 +123,7 @@ func (o OWA) Aggregate(vals ...float64) float64 {
 
 // Goals holds the per-objective membership goal ratios.
 type Goals struct {
-	Wire, Power, Delay Membership
+	Wire, Power, Delay, Congest Membership
 }
 
 // DefaultGoals returns the goal factors used to normalize μ(s). The engine
@@ -127,12 +137,16 @@ func DefaultGoals() Goals {
 		Wire:  Membership{Goal: 4.0},
 		Power: Membership{Goal: 4.0},
 		Delay: Membership{Goal: 3.2},
+		// Congestion overflow starts far above its converged value on a
+		// random placement (hot bins dissolve as wirelength spreads), so
+		// its goal ratio is the loosest.
+		Congest: Membership{Goal: 6.0},
 	}
 }
 
 // Costs carries a solution's raw objective costs.
 type Costs struct {
-	Wire, Power, Delay float64
+	Wire, Power, Delay, Congest float64
 }
 
 // Ratio divides costs by lower bounds component-wise. Zero bounds yield
@@ -145,9 +159,10 @@ func Ratio(c, lower Costs) Costs {
 		return a / b
 	}
 	return Costs{
-		Wire:  div(c.Wire, lower.Wire),
-		Power: div(c.Power, lower.Power),
-		Delay: div(c.Delay, lower.Delay),
+		Wire:    div(c.Wire, lower.Wire),
+		Power:   div(c.Power, lower.Power),
+		Delay:   div(c.Delay, lower.Delay),
+		Congest: div(c.Congest, lower.Congest),
 	}
 }
 
@@ -166,6 +181,9 @@ func Eval(obj Objectives, ratios Costs, goals Goals, owa OWA, widthViolation flo
 	}
 	if obj.Has(Delay) {
 		ms = append(ms, goals.Delay.Eval(ratios.Delay))
+	}
+	if obj.Has(Congest) {
+		ms = append(ms, goals.Congest.Eval(ratios.Congest))
 	}
 	mu := owa.Aggregate(ms...)
 	if widthViolation > 0 {

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"simevo/internal/netlist"
@@ -54,4 +55,37 @@ func Benchmark(name string) (*netlist.Circuit, error) {
 		return nil, err
 	}
 	return Generate(p)
+}
+
+// LargeCells is the cell count of the "large" scale-tier preset
+// (cmd/circuitgen -preset large, the experiments large-circuit baseline).
+const LargeCells = 100_000
+
+// ScaledParams derives generation parameters for an arbitrary cell count,
+// extrapolating the ISCAS-89 profile the catalog entries follow: ~7% of
+// cells are flip-flops, pad counts grow with the perimeter (√cells), and
+// the depth stays in the ISCAS band so width — the placement-relevant
+// dimension — absorbs the scale. The tier is deliberately NOT part of
+// Catalog(): catalog iteration (service validation, the scan-rate
+// baseline sweep) must stay cheap. Generation is deterministic in
+// (cells, seed); byte-for-byte reproducibility is pinned by a golden
+// hash test.
+func ScaledParams(name string, cells int, seed uint64) Params {
+	if cells < 64 {
+		cells = 64
+	}
+	dffs := cells / 14
+	io := int(math.Round(math.Sqrt(float64(cells))))
+	if io < 8 {
+		io = 8
+	}
+	return Params{
+		Name:  name,
+		Gates: cells - dffs,
+		DFFs:  dffs,
+		PIs:   io,
+		POs:   io,
+		Depth: 18,
+		Seed:  seed,
+	}
 }

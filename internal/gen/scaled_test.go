@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"simevo/internal/netlist"
+)
+
+// benchHash generates the circuit and hashes its .bench serialization.
+func benchHash(t *testing.T, p Params) string {
+	t.Helper()
+	ckt, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netlist.WriteBench(&buf, ckt); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestScaledParamsGoldenHash pins scale-tier generation byte-for-byte:
+// the same (cells, seed) must serialize to the same .bench forever. A
+// failure here means generated "benchmarks" silently changed identity —
+// every recorded baseline number against them becomes incomparable.
+func TestScaledParamsGoldenHash(t *testing.T) {
+	if got, want := benchHash(t, ScaledParams("c1000", 1000, 7)),
+		"4ee3e6054ca357483a643fc146f81627a5e76a4e23a05e76071bb9f8c251ca5c"; got != want {
+		t.Errorf("ScaledParams(c1000, 1000, 7) hash = %s, want %s", got, want)
+	}
+	if testing.Short() {
+		t.Skip("large-preset hash skipped in -short mode")
+	}
+	if got, want := benchHash(t, ScaledParams("large", LargeCells, 1)),
+		"bdfb6d564c05f77eae589f9bd63786dc167f750566710b268a55c82295d0ddae"; got != want {
+		t.Errorf("large preset hash = %s, want %s", got, want)
+	}
+}
+
+// TestScaledParamsShape checks the profile extrapolation invariants.
+func TestScaledParamsShape(t *testing.T) {
+	p := ScaledParams("x", 10_000, 3)
+	if p.Gates+p.DFFs != 10_000 {
+		t.Errorf("gates+dffs = %d, want 10000", p.Gates+p.DFFs)
+	}
+	if p.DFFs != 10_000/14 {
+		t.Errorf("dffs = %d, want %d", p.DFFs, 10_000/14)
+	}
+	if p.PIs != 100 || p.POs != 100 {
+		t.Errorf("io = %d/%d, want 100/100 (√cells)", p.PIs, p.POs)
+	}
+	// Tiny requests clamp to a placeable minimum.
+	if p := ScaledParams("y", 1, 1); p.Gates+p.DFFs != 64 {
+		t.Errorf("clamped cells = %d, want 64", p.Gates+p.DFFs)
+	}
+}

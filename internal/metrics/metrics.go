@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"math"
 
+	"simevo/internal/congest"
 	"simevo/internal/layout"
-	"simevo/internal/netlist"
 	"simevo/internal/wire"
 )
 
@@ -18,7 +18,8 @@ import (
 // into a grid of bins; every net spreads its half-perimeter wirelength
 // uniformly over the bins its bounding box overlaps (a standard
 // probabilistic routing-demand model). Total demand therefore equals total
-// HPWL, and per-bin demand is a wiring-density estimate.
+// HPWL (up to the grid's fixed-point quantization, below one part in 10^6
+// per net), and per-bin demand is a wiring-density estimate.
 type Congestion struct {
 	NX, NY int
 	// Demand[y*NX+x] is the estimated routing demand of bin (x, y).
@@ -41,75 +42,31 @@ func (c *Congestion) String() string {
 
 // EstimateCongestion builds the congestion map with roughly nx bins across
 // the die width (nx <= 0 selects 16).
+//
+// This is a thin adapter over internal/congest — the same integer
+// fixed-point bin grid the congestion cost objective maintains
+// incrementally inside the engine — so the diagnostic and the objective
+// can never disagree on binning. That includes the boundary convention:
+// bins are half-open with floor indexing (a pin exactly on a bin boundary
+// belongs to the higher-indexed bin; the old implementation truncated
+// toward zero, which handled out-of-die pad overhang differently from
+// interior boundaries).
 func EstimateCongestion(p *layout.Placement, nx int) *Congestion {
-	if nx <= 0 {
-		nx = 16
-	}
-	ckt := p.Circuit()
 	width := float64(p.MaxRowWidth())
-	if width <= 0 {
-		width = 1
-	}
 	height := float64(p.NumRows()) * layout.RowPitch
-	ny := int(math.Max(1, math.Round(float64(nx)*height/width)))
+	spec := congest.SpecSized(width, height, nx)
+	g := congest.New(p.Circuit(), spec, congest.PlacementSource{P: p})
+	g.Silence() // diagnostic call: keep the engine gauges clean
+	g.Full(nil)
 
-	c := &Congestion{NX: nx, NY: ny, Demand: make([]float64, nx*ny)}
-	binW := width / float64(nx)
-	binH := height / float64(ny)
-
-	clampInt := func(v, lo, hi int) int {
-		if v < lo {
-			return lo
-		}
-		if v > hi {
-			return hi
-		}
-		return v
+	return &Congestion{
+		NX:       spec.NX,
+		NY:       spec.NY,
+		Demand:   g.Demand(nil),
+		Peak:     g.Peak(),
+		Avg:      g.Avg(),
+		Overflow: g.Overflow(),
 	}
-
-	for i := range ckt.Nets {
-		net := &ckt.Nets[i]
-		if net.Degree() < 2 {
-			continue
-		}
-		minX, minY := math.Inf(1), math.Inf(1)
-		maxX, maxY := math.Inf(-1), math.Inf(-1)
-		visit := func(id netlist.CellID) {
-			x, y := p.Coord(id)
-			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
-			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
-		}
-		visit(net.Driver)
-		for _, s := range net.Sinks {
-			visit(s)
-		}
-		x0 := clampInt(int(minX/binW), 0, nx-1)
-		x1 := clampInt(int(maxX/binW), 0, nx-1)
-		y0 := clampInt(int(minY/binH), 0, ny-1)
-		y1 := clampInt(int(maxY/binH), 0, ny-1)
-		bins := float64((x1 - x0 + 1) * (y1 - y0 + 1))
-		hp := (maxX - minX) + (maxY - minY)
-		for y := y0; y <= y1; y++ {
-			for x := x0; x <= x1; x++ {
-				c.Demand[y*nx+x] += hp / bins
-			}
-		}
-	}
-
-	sum := 0.0
-	for _, d := range c.Demand {
-		sum += d
-		if d > c.Peak {
-			c.Peak = d
-		}
-	}
-	c.Avg = sum / float64(len(c.Demand))
-	for _, d := range c.Demand {
-		if d > 2*c.Avg {
-			c.Overflow += d - 2*c.Avg
-		}
-	}
-	return c
 }
 
 // RowStats summarizes row utilization.

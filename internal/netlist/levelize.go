@@ -28,9 +28,11 @@ func (c *Circuit) Levelize() (*Levels, error) {
 	// a DFF do not count toward its sinks' level... no: DFF output is a
 	// *source*, so edges out of DFFs exist; edges INTO a DFF (its data
 	// input) terminate — the DFF itself has level 0 regardless of fan-in.
+	// Macro cells have no known truth function, so like DFFs they cut
+	// combinational paths: their outputs are sources, their inputs sinks.
 	isSource := func(id CellID) bool {
 		t := c.Cells[id].Type
-		return t == Input || t == DFF
+		return t == Input || t == DFF || t == Macro
 	}
 
 	for i := range c.Cells {

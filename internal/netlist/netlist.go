@@ -17,7 +17,10 @@ import "fmt"
 type GateType uint8
 
 // Gate types. Input and Output are I/O pads (fixed, not placed in rows);
-// all other types are movable cells.
+// all other types are movable cells. Macro is a movable cell of unknown
+// logic function — physical formats (Bookshelf) describe geometry and
+// connectivity but not truth tables, so Macro cells act as combinational
+// path endpoints (like DFFs) and carry a neutral 0.5 signal probability.
 const (
 	Input GateType = iota
 	Output
@@ -30,6 +33,7 @@ const (
 	Xor
 	Xnor
 	Buf
+	Macro
 	numGateTypes
 )
 
@@ -37,6 +41,7 @@ var gateNames = [...]string{
 	Input: "INPUT", Output: "OUTPUT", DFF: "DFF",
 	And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
 	Not: "NOT", Xor: "XOR", Xnor: "XNOR", Buf: "BUFF",
+	Macro: "MACRO",
 }
 
 // String returns the ISCAS-89 spelling of the gate type.

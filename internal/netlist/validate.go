@@ -30,6 +30,16 @@ func (c *Circuit) Validate() error {
 			if cell.Out != NoNet {
 				return fmt.Errorf("netlist: output pad %q drives a net", cell.Name)
 			}
+		case Macro:
+			// Function-unknown cells (Bookshelf ingestion) have free pin
+			// shape: they may only sink nets, only drive one, or both.
+			// Physical width is the one invariant placement needs.
+			if cell.Width <= 0 {
+				return fmt.Errorf("netlist: macro %q has non-positive width %d", cell.Name, cell.Width)
+			}
+			if cell.Out == NoNet && len(cell.In) == 0 {
+				return fmt.Errorf("netlist: macro %q is disconnected", cell.Name)
+			}
 		default:
 			if len(cell.In) == 0 {
 				return fmt.Errorf("netlist: gate %q has no inputs", cell.Name)

@@ -80,12 +80,20 @@ func Probabilities(ckt *netlist.Circuit, cfg Config) ([]float64, error) {
 	for _, ff := range ckt.DFFs {
 		prob[ckt.Cells[ff].Out] = 0.5
 	}
+	// Macro outputs have no truth function to propagate through; they keep
+	// the neutral probability (maximum switching activity S = 0.5).
+	for i := range ckt.Cells {
+		if cell := &ckt.Cells[i]; cell.Type == netlist.Macro && cell.Out != netlist.NoNet {
+			prob[cell.Out] = 0.5
+		}
+	}
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		// Combinational propagation in topological order.
 		for _, id := range lv.Order {
 			cell := &ckt.Cells[id]
-			if cell.Type == netlist.Input || cell.Type == netlist.Output || cell.Type == netlist.DFF {
+			if cell.Type == netlist.Input || cell.Type == netlist.Output ||
+				cell.Type == netlist.DFF || cell.Type == netlist.Macro {
 				continue
 			}
 			prob[cell.Out] = gateProb(cell.Type, cell.In, prob)

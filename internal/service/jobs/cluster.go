@@ -106,6 +106,7 @@ func convertParallel(res *parallel.Result, prob *core.Problem, start time.Time) 
 		Wire:          res.BestCosts.Wire,
 		Power:         res.BestCosts.Power,
 		Delay:         res.BestCosts.Delay,
+		Congest:       res.BestCosts.Congest,
 		Iters:         res.Iters,
 		RuntimeMS:     msSince(start),
 		VirtualTimeMS: float64(res.VirtualTime) / float64(time.Millisecond),

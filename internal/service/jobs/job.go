@@ -42,6 +42,7 @@ type Result struct {
 	Wire     float64 `json:"wire"`
 	Power    float64 `json:"power,omitempty"`
 	Delay    float64 `json:"delay,omitempty"`
+	Congest  float64 `json:"congest,omitempty"`
 	Iters    int     `json:"iters"`
 	BestIter int     `json:"best_iter,omitempty"`
 	// RuntimeMS is wall-clock time of the run on the service host.

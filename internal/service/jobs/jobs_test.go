@@ -436,3 +436,41 @@ func TestSpecRejectsTransportOnInProcessStrategies(t *testing.T) {
 		}
 	}
 }
+
+// TestSpecObjectivesParsing covers the plus-separated objective parser:
+// aliases and term order normalize to the canonical spelling; unknown
+// terms and unsupported combinations fail fast.
+func TestSpecObjectivesParsing(t *testing.T) {
+	accept := map[string]string{
+		"wire":                        "wire",
+		"wire+power":                  "wire+power",
+		"power+wire":                  "wire+power",
+		"wire+power+delay":            "wire+power+delay",
+		"wire+power+congestion":       "wire+power+congestion",
+		"congest+power+wire":          "wire+power+congestion",
+		"wire+power+delay+congestion": "wire+power+delay+congestion",
+		"Congestion+Delay+Power+Wire": "wire+power+delay+congestion",
+	}
+	for in, want := range accept {
+		norm, err := (Spec{Circuit: "s1196", Strategy: "serial", Objectives: in}).Normalize()
+		if err != nil {
+			t.Errorf("objectives %q rejected: %v", in, err)
+			continue
+		}
+		if norm.Objectives != want {
+			t.Errorf("objectives %q normalized to %q, want %q", in, norm.Objectives, want)
+		}
+	}
+	for _, in := range []string{"wires", "wire+hpwl", "congestion+delay", "power", "wire++power", ""} {
+		if in == "" {
+			continue // empty selects the default, covered elsewhere
+		}
+		if _, err := (Spec{Circuit: "s1196", Strategy: "serial", Objectives: in}).Normalize(); err == nil {
+			t.Errorf("objectives %q accepted, want fail-fast error", in)
+		}
+	}
+	// Metaheuristics stay wire+power only.
+	if _, err := (Spec{Circuit: "s1196", Strategy: "sa", Objectives: "wire+power+congestion"}).Normalize(); err == nil {
+		t.Error("sa accepted congestion objectives")
+	}
+}

@@ -126,6 +126,7 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress, hub *transp
 			Wire:      res.BestCosts.Wire,
 			Power:     res.BestCosts.Power,
 			Delay:     res.BestCosts.Delay,
+			Congest:   res.BestCosts.Congest,
 			Iters:     res.Iters,
 			BestIter:  res.BestIter,
 			RuntimeMS: msSince(start),

@@ -52,8 +52,12 @@ type Spec struct {
 	// Strategy selects the optimizer: serial | type1 | type2 | type3 for
 	// SimE, sa | ga | ts for the comparison metaheuristics.
 	Strategy string `json:"strategy"`
-	// Objectives is the cost term set: "wire", "wire+power" (default), or
-	// "wire+power+delay". The metaheuristics support only "wire+power".
+	// Objectives is the cost term set as a plus-separated term list:
+	// "wire", "wire+power" (default), "wire+power+delay",
+	// "wire+power+congestion", or "wire+power+delay+congestion"
+	// ("congest" is accepted for "congestion"; term order is free and
+	// normalizes to the canonical spelling). The metaheuristics support
+	// only "wire+power".
 	Objectives string `json:"objectives,omitempty"`
 	// MaxIters bounds SimE iterations, TS iterations, or GA generations
 	// (default 350, GA 100). SA ignores it — see Moves.
@@ -103,11 +107,54 @@ var strategyAliases = map[string]string{
 	"sa": StrategySA, "ga": StrategyGA, "ts": StrategyTS,
 }
 
-// objectiveSets maps objective strings to fuzzy objective sets.
-var objectiveSets = map[string]fuzzy.Objectives{
-	"wire":             fuzzy.Wire,
-	"wire+power":       fuzzy.WirePower,
-	"wire+power+delay": fuzzy.WirePowerDelay,
+// objectiveTerms maps accepted objective term spellings to their bits.
+var objectiveTerms = map[string]fuzzy.Objectives{
+	"wire":       fuzzy.Wire,
+	"power":      fuzzy.Power,
+	"delay":      fuzzy.Delay,
+	"congestion": fuzzy.Congest,
+	"congest":    fuzzy.Congest, // common short spelling
+}
+
+// objectiveSets lists the supported term combinations, keyed by set. The
+// canonical spelling (the fuzzy.Objectives String) is what a normalized
+// spec carries, so any term order or alias hits the same cache key.
+var objectiveSets = map[fuzzy.Objectives]string{
+	fuzzy.Wire:                  fuzzy.Wire.String(),
+	fuzzy.WirePower:             fuzzy.WirePower.String(),
+	fuzzy.WirePowerDelay:        fuzzy.WirePowerDelay.String(),
+	fuzzy.WirePowerCongest:      fuzzy.WirePowerCongest.String(),
+	fuzzy.WirePowerDelayCongest: fuzzy.WirePowerDelayCongest.String(),
+}
+
+// supportedObjectives lists the canonical combination spellings for error
+// messages, in increasing-set order.
+func supportedObjectives() []string {
+	return []string{
+		fuzzy.Wire.String(), fuzzy.WirePower.String(), fuzzy.WirePowerDelay.String(),
+		fuzzy.WirePowerCongest.String(), fuzzy.WirePowerDelayCongest.String(),
+	}
+}
+
+// parseObjectives resolves a plus-separated objective list to its set and
+// canonical spelling. Unknown terms and unsupported combinations fail
+// fast with the accepted vocabulary in the error.
+func parseObjectives(s string) (fuzzy.Objectives, string, error) {
+	var set fuzzy.Objectives
+	for _, term := range strings.Split(strings.ToLower(s), "+") {
+		term = strings.TrimSpace(term)
+		bits, ok := objectiveTerms[term]
+		if !ok {
+			return 0, "", fmt.Errorf("jobs: unknown objective term %q in %q (have wire, power, delay, congestion)", term, s)
+		}
+		set |= bits
+	}
+	canon, ok := objectiveSets[set]
+	if !ok {
+		return 0, "", fmt.Errorf("jobs: unsupported objective combination %q (have %s)",
+			s, strings.Join(supportedObjectives(), ", "))
+	}
+	return set, canon, nil
 }
 
 func (s Spec) isParallel() bool {
@@ -119,7 +166,10 @@ func (s Spec) isMetaheuristic() bool {
 }
 
 // objectives returns the parsed objective set of a normalized spec.
-func (s Spec) objectives() fuzzy.Objectives { return objectiveSets[s.Objectives] }
+func (s Spec) objectives() fuzzy.Objectives {
+	set, _, _ := parseObjectives(s.Objectives)
+	return set
+}
 
 // total returns the progress denominator: the iteration/generation budget,
 // or the move budget for SA.
@@ -150,11 +200,12 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Objectives == "" {
 		s.Objectives = "wire+power"
 	}
-	s.Objectives = strings.ToLower(s.Objectives)
-	if _, ok := objectiveSets[s.Objectives]; !ok {
-		return Spec{}, fmt.Errorf("jobs: unknown objectives %q (have wire, wire+power, wire+power+delay)", s.Objectives)
+	set, canon, err := parseObjectives(s.Objectives)
+	if err != nil {
+		return Spec{}, err
 	}
-	if s.isMetaheuristic() && s.Objectives != "wire+power" {
+	s.Objectives = canon
+	if s.isMetaheuristic() && set != fuzzy.WirePower {
 		return Spec{}, fmt.Errorf("jobs: strategy %s supports only wire+power objectives", s.Strategy)
 	}
 

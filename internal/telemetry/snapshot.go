@@ -43,6 +43,11 @@ type EngineSnapshot struct {
 	TimingUpdates   uint64 `json:"timing_updates"`
 	TimingRebuilds  uint64 `json:"timing_rebuilds"`
 	TimingConeCells uint64 `json:"timing_cone_cells"`
+
+	// Congestion grid activity (zero unless the objective set includes
+	// Congest): individual bin add/subtract writes and full grid rebuilds.
+	CongestBinUpdates uint64 `json:"congest_bin_updates"`
+	CongestRebuilds   uint64 `json:"congest_rebuilds"`
 }
 
 // Counters flattens the snapshot into a name → value map, matching the
@@ -75,5 +80,7 @@ func (s *EngineSnapshot) Counters() map[string]uint64 {
 		"timing_updates":      s.TimingUpdates,
 		"timing_rebuilds":     s.TimingRebuilds,
 		"timing_cone_cells":   s.TimingConeCells,
+		"congest_bin_updates": s.CongestBinUpdates,
+		"congest_rebuilds":    s.CongestRebuilds,
 	}
 }

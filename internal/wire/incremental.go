@@ -208,6 +208,20 @@ func (inc *Incremental) Coord(id netlist.CellID) (x, y float64) {
 	return inc.cx[id], inc.cy[id]
 }
 
+// NetBBox returns the bounding box of a net's pins from the cached sorted
+// multisets in O(1). ok is false for a degenerate net with no pins or
+// while some of its pins are lifted out by RemoveCell. The box is exact
+// for the committed coordinates of the last Sync/Rebuild, which makes it
+// the congestion grid's geometry source: identical coordinates on the
+// reference path yield the identical box.
+func (inc *Incremental) NetBBox(n netlist.NetID) (minX, minY, maxX, maxY float64, ok bool) {
+	g := &inc.geoms[n]
+	if len(g.xv) == 0 || inc.netDegree(n) != len(g.xv) {
+		return 0, 0, 0, 0, false
+	}
+	return g.xv[0], g.yv[0], g.xv[len(g.xv)-1], g.yv[len(g.yv)-1], true
+}
+
 // needPrefix reports whether the estimator uses the prefix-sum branch math.
 func (inc *Incremental) needPrefix() bool { return inc.est == Steiner }
 

@@ -42,13 +42,15 @@ import (
 	"io"
 	"os"
 
+	"simevo/internal/format"
 	"simevo/internal/gen"
 	"simevo/internal/netlist"
 )
 
 // Circuit is a gate-level design ready for placement.
 type Circuit struct {
-	ckt *netlist.Circuit
+	ckt      *netlist.Circuit
+	rowsHint int
 }
 
 // Name returns the circuit's name.
@@ -115,6 +117,33 @@ func Generate(p GenerateParams) (*Circuit, error) {
 	}
 	return &Circuit{ckt: ckt}, nil
 }
+
+// LargeCells is the movable-cell count of the "large" scale-tier preset
+// (circuitgen -preset large, the benchmark harness's large-circuit entry).
+const LargeCells = gen.LargeCells
+
+// ScaledParams derives generation parameters for an arbitrary cell count,
+// extrapolating the ISCAS-89 structural profile of the bundled benchmarks.
+// Generation from the result is deterministic in (cells, seed).
+func ScaledParams(name string, cells int, seed uint64) GenerateParams {
+	return gen.ScaledParams(name, cells, seed)
+}
+
+// LoadBookshelf ingests a Bookshelf/ISPD placement benchmark (.aux naming
+// the .nodes/.nets/.pl/.scl set). Movable nodes become function-unknown
+// Macro cells, terminals become I/O pads where their pin shape allows, and
+// the .scl core rows fix the placement row count (see RowsHint).
+func LoadBookshelf(auxPath string) (*Circuit, error) {
+	d, _, err := format.LoadAux(auxPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{ckt: d.Ckt, rowsHint: d.NumRows()}, nil
+}
+
+// RowsHint returns the row count the circuit's source format prescribes
+// (Bookshelf .scl core rows), or 0 when the format leaves it free.
+func (c *Circuit) RowsHint() int { return c.rowsHint }
 
 // MustBenchmark is Benchmark for tests and examples; it panics on error.
 func MustBenchmark(name string) *Circuit {
