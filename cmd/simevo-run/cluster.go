@@ -101,6 +101,9 @@ func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, 
 	group.Close()
 	fatal(err)
 
+	if res.Degraded {
+		fmt.Printf("degraded: ranks %v failed mid-run; finished on survivors\n", res.FailedRanks)
+	}
 	fmt.Printf("best μ(s) = %.3f\n", res.BestMu)
 	fmt.Printf("best costs: wire %.0f  power %.1f  delay %.1f  congestion %.2f\n",
 		res.Wire, res.Power, res.Delay, res.Congest)

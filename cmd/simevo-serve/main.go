@@ -56,12 +56,20 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records")
 	clusterAddr := flag.String("cluster-listen", "", "TCP address for simevo-worker registration (empty disables cluster jobs)")
 	clusterToken := flag.String("cluster-token", "", "shared-secret join token workers must present (empty leaves the coordinator open)")
+	joinTimeout := flag.Duration("cluster-join-timeout", 10*time.Second, "deadline for a worker's join handshake")
+	hbInterval := flag.Duration("cluster-heartbeat-interval", 3*time.Second, "liveness ping period to parked and working ranks (negative disables)")
+	hbTimeout := flag.Duration("cluster-heartbeat-timeout", 12*time.Second, "silence after which a worker counts as hung and is dropped (negative disables)")
+	journalPath := flag.String("journal", "", "append-only JSONL job journal replayed on restart (empty disables)")
 	flag.Parse()
 
 	var hub *transport.Hub
 	if *clusterAddr != "" {
 		var err error
-		hub, err = transport.Listen(*clusterAddr, *clusterToken)
+		hub, err = transport.ListenConfig(*clusterAddr, *clusterToken, transport.Config{
+			JoinTimeout:       *joinTimeout,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatTimeout:  *hbTimeout,
+		})
 		if err != nil {
 			log.Fatalf("simevo-serve: cluster listener: %v", err)
 		}
@@ -72,12 +80,23 @@ func main() {
 			"Idle simevo-worker processes parked at the cluster hub.",
 			func() float64 { return float64(len(h.WorkerDetails())) })
 	}
+	var journal *jobs.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = jobs.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("simevo-serve: %v", err)
+		}
+		defer journal.Close()
+		log.Printf("simevo-serve job journal at %s", *journalPath)
+	}
 	mgr := jobs.NewManager(jobs.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
 		MaxJobs:    *maxJobs,
 		Hub:        hub,
+		Journal:    journal,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", api.New(mgr).Handler())

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterSmokeWorkerFailure is the end-to-end degraded-mode check: a
+// real coordinator with three worker processes starts a Type II run, one
+// worker is SIGKILLed mid-run, and the coordinator must still finish with
+// a valid placement, reporting the lost rank on stdout. CI runs it in the
+// multi-process smoke job.
+func TestClusterSmokeWorkerFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runBin := filepath.Join(dir, "simevo-run")
+	workerBin := filepath.Join(dir, "simevo-worker")
+	for bin, pkg := range map[string]string{runBin: "simevo/cmd/simevo-run", workerBin: "simevo/cmd/simevo-worker"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Enough iterations that the run is still in flight when the worker
+	// dies a few hundred milliseconds after the cluster forms.
+	args := []string{"-ckt", "s1196", "-strategy", "type2", "-procs", "4", "-iters", "800", "-seed", "2006",
+		"-cluster", "listen=127.0.0.1:0"}
+	coord := exec.Command(runBin, args...)
+	coord.Stderr = os.Stderr
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(120 * time.Second)
+	waitLine := func(prefix string) string {
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("coordinator exited before printing %q", prefix)
+				}
+				if strings.HasPrefix(line, prefix) {
+					return line
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q", prefix)
+			}
+		}
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(waitLine("coordinator listening on "), "coordinator listening on "))
+
+	workers := make([]*exec.Cmd, 3)
+	for i := range workers {
+		w := exec.Command(workerBin, "-join", addr)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		defer w.Process.Kill()
+		go w.Wait()
+		workers[i] = w
+	}
+
+	waitLine("cluster formed")
+	// Let the run get going, then kill one rank outright (no clean
+	// shutdown, no dying breath on the socket).
+	time.Sleep(200 * time.Millisecond)
+	if err := workers[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain stdout to EOF before calling Wait: Wait closes the pipe and
+	// would race the scanner out of the output tail.
+	var out []string
+	for open := true; open; {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				open = false
+				break
+			}
+			out = append(out, line)
+		case <-deadline:
+			t.Fatal("timed out waiting for the degraded run to finish")
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator failed after losing a worker: %v\n%s", err, strings.Join(out, "\n"))
+	}
+
+	joined := strings.Join(out, "\n")
+	if !strings.Contains(joined, "degraded: ranks") {
+		t.Fatalf("no degradation report in output:\n%s", joined)
+	}
+	if !strings.Contains(joined, "best μ(s)") || !strings.Contains(joined, "best costs") {
+		t.Fatalf("degraded run produced no result lines:\n%s", joined)
+	}
+	t.Logf("degraded cluster run finished: %s", joined[strings.Index(joined, "degraded"):])
+}

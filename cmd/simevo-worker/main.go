@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	simevo-worker -join host:9090 [-token SECRET] [-retry 5s] [-metrics-addr :9091]
+//	simevo-worker -join host:9090 [-token SECRET] [-retry 5s] [-retry-max 1m] [-metrics-addr :9091]
 //
 // -metrics-addr starts a debug HTTP listener serving GET /metrics
 // (Prometheus text exposition) and /debug/pprof/ so each rank's engine
@@ -16,7 +16,10 @@
 //
 // The worker keeps serving jobs on one connection until the coordinator
 // dismisses it or the connection drops; with -retry it then re-joins,
-// which lets workers outlive coordinator restarts. -token presents the
+// which lets workers outlive coordinator restarts. Consecutive failed
+// attempts back off exponentially from -retry up to -retry-max, with
+// jitter so a worker fleet does not stampede a restarting coordinator;
+// a successful join resets the backoff. -token presents the
 // coordinator's shared-secret join token (required whenever the
 // coordinator was started with one); a mismatch is rejected without a
 // response, surfacing here as a dropped connection.
@@ -26,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"math/rand"
 	"os/signal"
 	"syscall"
 	"time"
@@ -38,7 +42,8 @@ import (
 func main() {
 	join := flag.String("join", "", "coordinator address (host:port), required")
 	token := flag.String("token", "", "shared-secret join token (must match the coordinator's)")
-	retry := flag.Duration("retry", 0, "re-join after connection loss, waiting this long between attempts (0 = exit)")
+	retry := flag.Duration("retry", 0, "re-join after connection loss, starting from this wait and backing off exponentially (0 = exit)")
+	retryMax := flag.Duration("retry-max", time.Minute, "cap on the exponential re-join backoff")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address for /metrics and /debug/pprof/ (empty disables)")
 	flag.Parse()
 	if *join == "" {
@@ -55,8 +60,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	attempt := 0
 	for {
-		err := serveOnce(ctx, *join, *token)
+		joined, err := serveOnce(ctx, *join, *token)
 		switch {
 		case err == nil:
 			log.Print("simevo-worker: dismissed by coordinator")
@@ -67,22 +73,32 @@ func main() {
 		case *retry <= 0:
 			log.Fatalf("simevo-worker: %v", err)
 		}
-		log.Printf("simevo-worker: %v; re-joining in %v", err, *retry)
+		if joined {
+			// The handshake worked and the connection lived for a while:
+			// this failure starts a fresh backoff ladder.
+			attempt = 0
+		}
+		attempt++
+		wait := transport.Backoff(attempt, *retry, *retryMax, rand.Float64)
+		log.Printf("simevo-worker: %v; re-joining in %v", err, wait.Round(time.Millisecond))
 		select {
-		case <-time.After(*retry):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return
 		}
 	}
 }
 
-func serveOnce(ctx context.Context, addr, token string) error {
+// serveOnce joins the coordinator and serves jobs until dismissal or
+// connection loss; joined reports whether the handshake succeeded, which
+// resets the caller's backoff ladder.
+func serveOnce(ctx context.Context, addr, token string) (joined bool, _ error) {
 	w, err := transport.Join(ctx, addr, token)
 	if err != nil {
-		return err
+		return false, err
 	}
 	log.Printf("simevo-worker: joined coordinator at %s", addr)
-	return w.Serve(ctx, func(t transport.Transport) error {
+	return true, w.Serve(ctx, func(t transport.Transport) error {
 		log.Printf("simevo-worker: serving rank %d/%d", t.Rank(), t.Size())
 		err := jobs.ServeRank(ctx, t)
 		if err != nil {

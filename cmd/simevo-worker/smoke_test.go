@@ -81,27 +81,22 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 		go w.Wait()
 	}
 
-	done := make(chan error, 1)
-	go func() { done <- coord.Wait() }()
-	for {
+	// Drain stdout to EOF before calling Wait: Wait closes the pipe and
+	// would race the scanner out of the output tail.
+	for open := true; open; {
 		select {
 		case line, ok := <-lines:
 			if !ok {
-				goto drained
+				open = false
+				break
 			}
 			clusterOut = append(clusterOut, line)
 		case <-deadline:
 			t.Fatal("timed out waiting for the cluster run")
 		}
 	}
-drained:
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("coordinator failed: %v\n%s", err, strings.Join(clusterOut, "\n"))
-		}
-	case <-deadline:
-		t.Fatal("timed out waiting for the coordinator to exit")
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator failed: %v\n%s", err, strings.Join(clusterOut, "\n"))
 	}
 
 	// Reference: the same seed on the in-process simulated transport.

@@ -46,14 +46,21 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 	var out *Result
 	err := cl.Run(func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
-			res, err := typeIIIStore(prob, c)
+			res, err := typeIIIStore(prob, c, nil)
 			if err != nil {
 				return err
 			}
 			out = res
 			return nil
 		}
+		// A corrupt store reply is an error of this rank, not a process
+		// crash: remember it, let the worker finish on its own solution,
+		// and surface it at the rank boundary after the Done handshake.
+		var exchErr error
 		exchange := func(mu float64, best *layout.Placement) (bool, float64, *layout.Placement) {
+			if exchErr != nil {
+				return false, 0, nil
+			}
 			c.Send(0, tagT3Request, encodeSolution(mu, best))
 			reply, _ := c.Recv(0, tagT3Reply)
 			if len(reply) == 0 {
@@ -61,7 +68,8 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 			}
 			storeMu, place, err := decodeSolution(prob, reply)
 			if err != nil {
-				panic(fmt.Sprintf("parallel: corrupt store reply: %v", err))
+				exchErr = fmt.Errorf("parallel: rank %d: corrupt store reply: %w", c.Rank(), err)
+				return false, 0, nil
 			}
 			return true, storeMu, place
 		}
@@ -72,7 +80,7 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 		// Coop workers track their own budgets; the store's iteration
 		// count is unused here (Iters is cleared below).
 		c.Send(0, tagT3Done, encodeDone(0, mu, best))
-		return nil
+		return exchErr
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"sort"
+
+	"simevo/internal/mpi"
+	"simevo/internal/transport"
+)
+
+// FaultComm is the degraded-execution contract a real transport's rank-0
+// handle offers on top of Comm: non-panicking send/receive variants that
+// attribute failures to ranks, root-half collectives that skip dead ranks,
+// and expulsion of ranks whose frames arrive corrupt. The TCP
+// transport.Group implements it; the simulated cluster does not (simulated
+// ranks cannot fail), so sim runs always take the plain code path and
+// their trajectories are untouched by the fault machinery.
+type FaultComm interface {
+	Comm
+	TrySend(dst, tag int, data []byte) error
+	TryRecv(src, tag int) ([]byte, mpi.Status, error)
+	BcastRoot(data []byte)
+	GatherRoot(own []byte) [][]byte
+	DropRank(rank int, err error)
+	FailedRanks() map[int]error
+}
+
+var _ FaultComm = (*transport.Group)(nil)
+
+// tolerantComm returns the fault-tolerant view of c when the options ask
+// for degraded execution and the transport supports it; nil otherwise.
+func tolerantComm(c Comm, opt Options) FaultComm {
+	if !opt.Tolerate {
+		return nil
+	}
+	fc, _ := c.(FaultComm)
+	return fc
+}
+
+// failedRankList flattens a FaultComm's failure map into the ascending
+// rank list a Result reports.
+func failedRankList(fc FaultComm) []int {
+	failed := fc.FailedRanks()
+	if len(failed) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(failed))
+	for r := range failed {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// redistributeRows moves failed ranks' row shares onto the survivors
+// (rank 0 included), round-robin so no survivor inherits a pathological
+// share. Surviving ranks keep their own share unchanged — their view of
+// the exchange pattern is exactly the no-fault one plus inherited rows.
+func redistributeRows(assign [][]int, failed map[int]error) {
+	if len(failed) == 0 {
+		return
+	}
+	live := make([]int, 0, len(assign))
+	for r := range assign {
+		if failed[r] == nil {
+			live = append(live, r)
+		}
+	}
+	i := 0
+	for r := range assign {
+		if failed[r] == nil {
+			continue
+		}
+		for _, row := range assign[r] {
+			dst := live[i%len(live)]
+			assign[dst] = append(assign[dst], row)
+			i++
+		}
+		assign[r] = nil
+	}
+}

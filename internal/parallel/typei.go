@@ -88,12 +88,17 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 	eng := prob.NewEngine(0) // identical construction to the serial run
 	movable := prob.Ckt.Movable()
 	chunk := cellChunk(movable, 0, c.Size())
-	var goodsBuf []float64
+	fc := tolerantComm(c, opt)
+	var goodsBuf, lostBuf []float64
 
 	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
 		roundStart := time.Now()
 		// Broadcast the current placement to the slaves.
-		c.Bcast(0, eng.Placement().Encode())
+		if fc != nil {
+			fc.BcastRoot(eng.Placement().Encode())
+		} else {
+			c.Bcast(0, eng.Placement().Encode())
+		}
 
 		// Local evaluation: full costs (duplicated on every rank) plus the
 		// master's goodness chunk.
@@ -101,13 +106,32 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 		goodsBuf = eng.ComputeGoodness(chunk, goodsBuf)
 
 		// Gather the slaves' goodness chunks.
-		parts := c.Gather(0, encodeF64s(goodsBuf))
+		var parts [][]byte
+		if fc != nil {
+			parts = fc.GatherRoot(encodeF64s(goodsBuf))
+		} else {
+			parts = c.Gather(0, encodeF64s(goodsBuf))
+		}
 		for r := 1; r < c.Size(); r++ {
+			rchunk := cellChunk(movable, r, c.Size())
 			vals, err := decodeF64s(parts[r])
+			bad := err != nil || len(vals) != len(rchunk)
+			if fc != nil && (parts[r] == nil || bad) {
+				if parts[r] != nil {
+					fc.DropRank(r, fmt.Errorf("parallel: corrupt goodness chunk: err=%v len=%d want=%d",
+						err, len(vals), len(rchunk)))
+				}
+				// Degraded: recompute the lost chunk locally. Goodness is a
+				// pure function of the placement, so the trajectory equals
+				// the no-fault run — a Type I failure costs time, never
+				// quality.
+				lostBuf = eng.ComputeGoodness(rchunk, lostBuf)
+				eng.SetGoodness(rchunk, lostBuf)
+				continue
+			}
 			if err != nil {
 				return nil, err
 			}
-			rchunk := cellChunk(movable, r, c.Size())
 			if len(vals) != len(rchunk) {
 				return nil, fmt.Errorf("parallel: rank %d sent %d goodness values for %d cells",
 					r, len(vals), len(rchunk))
@@ -120,18 +144,26 @@ func typeIMaster(prob *core.Problem, c Comm, opt Options) (*Result, error) {
 		telemetry.ExchangeRoundType1Ns.Observe(int64(time.Since(roundStart)))
 	}
 	// Terminal broadcast: zero-length placement signals the slaves to stop.
-	c.Bcast(0, nil)
+	if fc != nil {
+		fc.BcastRoot(nil)
+	} else {
+		c.Bcast(0, nil)
+	}
 	eng.EvaluateCosts()
 
 	res := eng.Result()
-	return &Result{
+	out := &Result{
 		BestMu:    res.BestMu,
 		BestCosts: res.BestCosts,
 		Best:      res.Best,
 		Iters:     res.Iters,
 		MuTrace:   res.MuTrace,
 		Telemetry: res.Telemetry,
-	}, nil
+	}
+	if fc != nil {
+		out.FailedRanks = failedRankList(fc)
+	}
+	return out, nil
 }
 
 func typeISlave(prob *core.Problem, c Comm) error {

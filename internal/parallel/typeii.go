@@ -81,12 +81,19 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 	var prevSlots []layout.SlotRef
 	var deltaBuf []layout.SlotDelta
 
+	fc := tolerantComm(c, opt)
 	res := &Result{}
 	for iter := 0; iter < prob.Cfg.MaxIters && !opt.cancelled(); iter++ {
 		roundStart := time.Now()
 		assign := pattern.Assign(iter, numRows, c.Size())
 		if err := validateAssignment(assign, numRows); err != nil {
 			return nil, err
+		}
+		if fc != nil {
+			// Degraded: dead ranks' row shares move onto the survivors, so
+			// every row keeps being optimized. With no failures this is a
+			// no-op and the assignment (hence the trajectory) is untouched.
+			redistributeRows(assign, fc.FailedRanks())
 		}
 
 		// Broadcast assignment + placement in one message: the full
@@ -108,7 +115,11 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 			msg = append(msg, place.Encode()...)
 		}
 		prevSlots = place.SnapshotSlots(prevSlots)
-		c.Bcast(0, msg)
+		if fc != nil {
+			fc.BcastRoot(msg)
+		} else {
+			c.Bcast(0, msg)
+		}
 
 		// The master works its own partition like any slave. Step's
 		// evaluation sees the previous iteration's merged solution, so μ
@@ -118,6 +129,23 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 
 		// Merge the slaves' rows into the master's placement.
 		for r := 1; r < c.Size(); r++ {
+			if fc != nil {
+				if len(assign[r]) == 0 {
+					continue // dead this iteration: its rows went to survivors
+				}
+				data, _, err := fc.TryRecv(r, tagT2Rows)
+				if err != nil {
+					// The rank died between broadcast and merge. Its rows
+					// simply keep their pre-iteration positions (still a
+					// valid placement) and move to survivors next round.
+					continue
+				}
+				if err := eng.Placement().ApplyRows(data); err != nil {
+					fc.DropRank(r, fmt.Errorf("parallel: corrupt row merge: %w", err))
+					continue
+				}
+				continue
+			}
 			data, _ := c.Recv(r, tagT2Rows)
 			if err := eng.Placement().ApplyRows(data); err != nil {
 				return nil, fmt.Errorf("parallel: merging rank %d rows: %w", r, err)
@@ -132,7 +160,11 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 			break
 		}
 	}
-	c.Bcast(0, nil) // stop signal
+	if fc != nil {
+		fc.BcastRoot(nil) // stop signal, skipping dead ranks
+	} else {
+		c.Bcast(0, nil) // stop signal
+	}
 
 	// Evaluate the final merged solution (Step never saw the last merge)
 	// and check its integrity once.
@@ -148,6 +180,9 @@ func typeIIMaster(prob *core.Problem, c Comm, pattern RowPattern, opt Options) (
 	res.Iters = er.Iters
 	res.MuTrace = er.MuTrace
 	res.Telemetry = er.Telemetry
+	if fc != nil {
+		res.FailedRanks = failedRankList(fc)
+	}
 	return res, nil
 }
 

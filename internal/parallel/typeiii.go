@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"simevo/internal/layout"
 	"simevo/internal/mpi"
 	"simevo/internal/telemetry"
+	"simevo/internal/transport"
 )
 
 // Type III protocol tags.
@@ -68,9 +70,13 @@ func TypeIIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 	if c.Rank() != 0 {
 		return nil, typeIIISearcher(prob, c, retry, opt)
 	}
-	out, err := typeIIIStore(prob, c)
+	fc := tolerantComm(c, opt)
+	out, err := typeIIIStore(prob, c, fc)
 	if err != nil {
 		return nil, err
+	}
+	if fc != nil {
+		out.FailedRanks = failedRankList(fc)
 	}
 	// The store tracks only μ; recover the cost breakdown of the winner.
 	if out.Best != nil {
@@ -109,20 +115,60 @@ func decodeSolution(prob *core.Problem, data []byte) (float64, *layout.Placement
 	return mu, place, nil
 }
 
-func typeIIIStore(prob *core.Problem, c Comm) (*Result, error) {
+// typeIIIStore runs the central best-solution store on rank 0. With a
+// non-nil fc the store degrades instead of failing: a searcher that dies
+// or sends corrupt frames counts as done (its contributions so far are
+// kept), and the run errors only if every searcher is lost before any
+// solution arrived.
+func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm) (*Result, error) {
 	bestMu := -1.0
 	var bestData []byte // encoded solution, kept serialized for cheap replies
 	var best *layout.Placement
 	done := 0
 	iters := 0 // max iterations any searcher executed (cancellation may cut runs short)
 
+	var doneRanks, deadRanks map[int]bool
+	if fc != nil {
+		doneRanks = make(map[int]bool)
+		deadRanks = make(map[int]bool)
+	}
+	// rankDown counts a failed searcher toward completion exactly once —
+	// and not at all if its Done already arrived.
+	rankDown := func(r int) {
+		if r <= 0 || doneRanks[r] || deadRanks[r] {
+			return
+		}
+		deadRanks[r] = true
+		done++
+	}
+
 	for done < c.Size()-1 {
-		data, st := c.Recv(mpi.AnySource, mpi.AnyTag)
+		var data []byte
+		var st mpi.Status
+		if fc != nil {
+			var err error
+			data, st, err = fc.TryRecv(mpi.AnySource, mpi.AnyTag)
+			if err != nil {
+				var re *transport.RankError
+				if errors.As(err, &re) {
+					rankDown(re.Rank)
+					continue
+				}
+				return nil, err
+			}
+		} else {
+			data, st = c.Recv(mpi.AnySource, mpi.AnyTag)
+		}
 		switch st.Tag {
 		case tagT3Report, tagT3Done:
 			if st.Tag == tagT3Done {
 				// Done wire format: 8-byte iteration count, then the solution.
 				if len(data) < 8 {
+					if fc != nil {
+						fc.DropRank(st.Source, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data)))
+						rankDown(st.Source)
+						continue
+					}
 					return nil, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data))
 				}
 				if n := int(binary.LittleEndian.Uint64(data)); n > iters {
@@ -130,9 +176,17 @@ func typeIIIStore(prob *core.Problem, c Comm) (*Result, error) {
 				}
 				data = data[8:]
 				done++
+				if fc != nil {
+					doneRanks[st.Source] = true
+				}
 			}
 			mu, place, err := decodeSolution(prob, data)
 			if err != nil {
+				if fc != nil {
+					fc.DropRank(st.Source, fmt.Errorf("parallel: corrupt solution frame: %w", err))
+					rankDown(st.Source) // no-op if this was its Done
+					continue
+				}
 				return nil, err
 			}
 			if mu > bestMu {
@@ -141,23 +195,41 @@ func typeIIIStore(prob *core.Problem, c Comm) (*Result, error) {
 		case tagT3Request:
 			mu, place, err := decodeSolution(prob, data)
 			if err != nil {
+				if fc != nil {
+					fc.DropRank(st.Source, fmt.Errorf("parallel: corrupt request frame: %w", err))
+					rankDown(st.Source)
+					continue
+				}
 				return nil, err
 			}
+			var reply []byte
 			if mu > bestMu {
 				// The requester's solution is better than the store's:
 				// adopt it and tell the requester to keep going.
 				bestMu, best, bestData = mu, place, data
-				c.Send(st.Source, tagT3Reply, nil)
 			} else if bestMu > mu {
-				c.Send(st.Source, tagT3Reply, bestData)
+				reply = bestData
+			}
+			if fc != nil {
+				if err := fc.TrySend(st.Source, tagT3Reply, reply); err != nil {
+					rankDown(st.Source)
+				}
 			} else {
-				c.Send(st.Source, tagT3Reply, nil)
+				c.Send(st.Source, tagT3Reply, reply)
 			}
 		default:
+			if fc != nil {
+				fc.DropRank(st.Source, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag))
+				rankDown(st.Source)
+				continue
+			}
 			return nil, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag)
 		}
 	}
 
+	if best == nil {
+		return nil, fmt.Errorf("parallel: every searcher failed before reporting a solution")
+	}
 	res := &Result{BestMu: bestMu, Best: best, Iters: iters}
 	return res, nil
 }

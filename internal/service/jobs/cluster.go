@@ -67,8 +67,12 @@ func RunSpecOn(ctx context.Context, t transport.Transport, spec Spec, progress c
 	var res *parallel.Result
 	err = transport.Run(t, func(t transport.Transport) error {
 		t.Bcast(0, blob)
+		opt := specOptions(ctx, spec, progress)
+		// Real clusters lose workers; degrade instead of failing. The
+		// fault-free trajectory is bitwise identical either way.
+		opt.Tolerate = true
 		var err error
-		res, err = runRank(t, spec, prob, specOptions(ctx, spec, progress))
+		res, err = runRank(t, spec, prob, opt)
 		return err
 	})
 	if err != nil {
@@ -82,6 +86,23 @@ func RunSpecOn(ctx context.Context, t transport.Transport, spec Spec, progress c
 // the problem, and run this rank's role in the strategy. It is the
 // function simevo-worker passes to transport.Worker.Serve.
 func ServeRank(ctx context.Context, t transport.Transport) error {
+	if cn, ok := t.(transport.CancelNotifier); ok {
+		// The coordinator's out-of-band cancel frame reaches this rank even
+		// while it is deep in the strategy protocol; surface it as context
+		// cancellation so the rank winds down at the next iteration check.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cn.CancelRequested():
+				cancel()
+			case <-done:
+			}
+		}()
+	}
 	blob := t.Bcast(0, nil)
 	var spec Spec
 	if err := json.Unmarshal(blob, &spec); err != nil {
@@ -102,6 +123,8 @@ func ServeRank(ctx context.Context, t transport.Transport) error {
 // convertParallel maps a strategy result into the service result shape.
 func convertParallel(res *parallel.Result, prob *core.Problem, start time.Time) *Result {
 	return &Result{
+		Degraded:      len(res.FailedRanks) > 0,
+		FailedRanks:   res.FailedRanks,
 		BestMu:        res.BestMu,
 		Wire:          res.BestCosts.Wire,
 		Power:         res.BestCosts.Power,

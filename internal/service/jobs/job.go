@@ -54,6 +54,14 @@ type Result struct {
 	Placement [][]string `json:"placement,omitempty"`
 	// Cached marks a result served from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
+	// Degraded marks a cluster run that lost ranks mid-flight and finished
+	// on the survivors; FailedRanks lists the casualties. Degraded results
+	// are valid placements but are never cached.
+	Degraded    bool  `json:"degraded,omitempty"`
+	FailedRanks []int `json:"failed_ranks,omitempty"`
+	// TransportFallback marks a tcp job that ran on the in-process
+	// simulated cluster because no workers were registered with the hub.
+	TransportFallback bool `json:"transport_fallback,omitempty"`
 }
 
 // View is the externally visible job snapshot (the JSON wire format).

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -40,6 +42,13 @@ type Options struct {
 	// Nil rejects such jobs at submission. The manager does not own the
 	// hub; the caller closes it.
 	Hub *transport.Hub
+	// Journal, when non-nil, is the append-only job log. Every submission
+	// and state transition is recorded, and NewManager replays the log:
+	// finished jobs reappear as terminal history (warming the result
+	// cache), unfinished ones are re-enqueued under their original IDs.
+	// The manager does not own the journal; the caller closes it after
+	// Close.
+	Journal *Journal
 }
 
 func (o *Options) defaults() {
@@ -103,11 +112,110 @@ func NewManager(opt Options) *Manager {
 		cache:      newLRUCache(opt.CacheSize),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if opt.Journal != nil {
+		// Replay before the pool starts: re-enqueued jobs must already be
+		// pending when the first worker looks at the queue.
+		m.restore(opt.Journal.Replayed())
+	}
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// journal appends one record to the configured journal, if any. Append
+// errors (full disk, yanked volume) are logged, not propagated: losing
+// durability must not take the in-memory queue down.
+func (m *Manager) journal(rec journalRecord) {
+	if m.opt.Journal == nil {
+		return
+	}
+	if err := m.opt.Journal.append(rec); err != nil {
+		log.Printf("jobs: journal append failed: %v", err)
+	}
+}
+
+// restore rebuilds the manager's state from replayed journal records.
+// Runs once from NewManager, before the worker pool starts.
+func (m *Manager) restore(recs []journalRecord) {
+	type hist struct {
+		spec     *Spec
+		created  time.Time
+		started  time.Time
+		finished time.Time
+		state    State
+		result   *Result
+		errMsg   string
+	}
+	byID := make(map[string]*hist)
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Type {
+		case "submit":
+			if rec.ID == "" || rec.Spec == nil {
+				continue
+			}
+			if _, dup := byID[rec.ID]; dup {
+				continue
+			}
+			byID[rec.ID] = &hist{spec: rec.Spec, created: rec.Time}
+			order = append(order, rec.ID)
+		case "start":
+			if h := byID[rec.ID]; h != nil {
+				h.started = rec.Time
+			}
+		case "finish":
+			if h := byID[rec.ID]; h != nil && h.state == "" {
+				h.state = rec.State
+				h.finished = rec.Time
+				h.result = rec.Result
+				h.errMsg = rec.Error
+			}
+		}
+	}
+	replayed := 0
+	for _, id := range order {
+		h := byID[id]
+		var n int
+		if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+		job := &Job{id: id, spec: *h.spec, fp: h.spec.Fingerprint(), created: h.created}
+		if h.spec.Bench != "" {
+			sum := sha256.Sum256([]byte(h.spec.Bench))
+			job.benchDigest = "sha256:" + hex.EncodeToString(sum[:8])
+		}
+		if h.state.Terminal() {
+			job.state = h.state
+			job.started = h.started
+			job.finished = h.finished
+			job.result = h.result
+			job.err = h.errMsg
+			if job.spec.Bench != "" {
+				job.spec.Bench = job.benchDigest
+			}
+			if h.state == StateDone && h.result != nil &&
+				!h.result.Degraded && !h.result.TransportFallback {
+				m.cache.put(job.fp, *h.result)
+			}
+			m.storeLocked(job)
+			continue
+		}
+		// Submitted (or even started) but never finished: the process died
+		// under it. Re-enqueue under the original id; a half-done run
+		// restarts from scratch — placement runs are idempotent.
+		job.state = StateQueued
+		m.pending = append(m.pending, job)
+		m.storeLocked(job)
+		replayed++
+		telemetry.JobsReplayed.Inc()
+	}
+	telemetry.JobQueueDepth.Set(int64(len(m.pending)))
+	if replayed > 0 {
+		log.Printf("jobs: journal replay re-enqueued %d unfinished job(s)", replayed)
+	}
 }
 
 // Close cancels every running job, drains the pool, and rejects further
@@ -163,6 +271,8 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		job.result = &res
 		job.spec.Bench = job.benchDigest // payload not needed, keep the digest
 		m.storeLocked(job)
+		m.journal(journalRecord{Type: "submit", ID: job.id, Time: job.created, Spec: &norm})
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: job.finished, State: StateDone, Result: job.result})
 		return job.view(), nil
 	}
 	if len(m.pending) >= m.opt.QueueDepth {
@@ -176,6 +286,7 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	m.pending = append(m.pending, job)
 	telemetry.JobQueueDepth.Set(int64(len(m.pending)))
 	m.storeLocked(job)
+	m.journal(journalRecord{Type: "submit", ID: job.id, Time: job.created, Spec: &norm})
 	m.cond.Signal()
 	return job.view(), nil
 }
@@ -262,6 +373,7 @@ func (m *Manager) Cancel(id string) (View, error) {
 			job.spec.Bench = job.benchDigest
 		}
 		job.notifyLocked()
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: job.finished, State: StateCanceled})
 	case StateRunning:
 		job.cancelReq = true
 		if job.cancel != nil {
@@ -352,6 +464,7 @@ func (m *Manager) runJob(job *Job) {
 		// Manager closing: drop the queued job without building it.
 		job.mu.Unlock()
 		job.finish(StateCanceled, nil, "")
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: time.Now(), State: StateCanceled})
 		return
 	}
 	job.state = StateRunning
@@ -360,6 +473,7 @@ func (m *Manager) runJob(job *Job) {
 	job.notifyLocked()
 	spec := job.spec
 	job.mu.Unlock()
+	m.journal(journalRecord{Type: "start", ID: job.id, Time: job.started})
 	telemetry.JobsRunning.Add(1)
 	defer telemetry.JobsRunning.Add(-1)
 
@@ -374,18 +488,49 @@ func (m *Manager) runJob(job *Job) {
 		}
 	}
 
-	res, err := runSpec(ctx, spec, progress, m.opt.Hub)
+	// Retry failed attempts with capped exponential backoff and jitter.
+	// Transient cluster trouble — a worker fleet mid-restart, a run that
+	// lost every rank — usually clears within a few backoff steps.
+	var res *Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = runSpec(ctx, spec, progress, m.opt.Hub)
+		if err == nil || ctx.Err() != nil || attempt >= spec.MaxRetries {
+			break
+		}
+		telemetry.JobsRetries.Inc()
+		wait := transport.Backoff(attempt+1, retryBackoffBase, retryBackoffMax, rand.Float64)
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
 	switch {
 	case err != nil:
 		job.finish(StateFailed, nil, err.Error())
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: time.Now(), State: StateFailed, Error: err.Error()})
 	case ctx.Err() != nil:
 		// Cooperative cancellation: keep the best-so-far result but do
 		// not cache a truncated run.
 		job.finish(StateCanceled, res, "")
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: time.Now(), State: StateCanceled, Result: res})
 	default:
 		job.finish(StateDone, res, "")
-		m.mu.Lock()
-		m.cache.put(job.fp, *res)
-		m.mu.Unlock()
+		m.journal(journalRecord{Type: "finish", ID: job.id, Time: time.Now(), State: StateDone, Result: res})
+		if !res.Degraded && !res.TransportFallback {
+			// Degraded and fallback results are honest outcomes for this
+			// run but not canonical for the spec: do not cache them.
+			m.mu.Lock()
+			m.cache.put(job.fp, *res)
+			m.mu.Unlock()
+		}
 	}
 }
+
+// Retry backoff bounds (see transport.Backoff).
+const (
+	retryBackoffBase = 500 * time.Millisecond
+	retryBackoffMax  = 8 * time.Second
+)

@@ -88,6 +88,17 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress, hub *transp
 		if hub == nil {
 			return nil, fmt.Errorf("jobs: tcp transport requested but the service has no cluster listener")
 		}
+		if hub.Workers() == 0 {
+			// No workers have joined (yet, or at all): rather than wait out
+			// the acquire timeout and fail, degrade to the in-process
+			// simulated cluster — same strategy, same spec, flagged so the
+			// caller knows where it ran.
+			res, err := runSpecLocal(ctx, spec, progress)
+			if res != nil {
+				res.TransportFallback = true
+			}
+			return res, err
+		}
 		acquireCtx, cancel := context.WithTimeout(ctx, clusterAcquireTimeout)
 		group, err := hub.Acquire(acquireCtx, spec.Procs-1)
 		cancel()
@@ -95,14 +106,16 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress, hub *transp
 			return nil, fmt.Errorf("jobs: acquiring %d cluster workers: %w", spec.Procs-1, err)
 		}
 		defer group.Release()
-		// Cancellation is cooperative first: the master winds the run down
-		// between iterations and keeps the best-so-far result. A master
+		// Cancellation is cooperative first: an out-of-band cancel frame
+		// tells every worker immediately, and the master winds the run down
+		// between iterations keeping the best-so-far result. A master
 		// wedged in a blocking receive (stalled or failed worker) cannot
 		// observe the context, so past a grace period the group is
 		// interrupted outright — the job fails but the pool slot is freed.
 		finished := make(chan struct{})
 		defer close(finished)
 		stop := context.AfterFunc(ctx, func() {
+			group.Cancel()
 			select {
 			case <-finished:
 			case <-time.After(clusterCancelGrace):
@@ -112,6 +125,12 @@ func runSpec(ctx context.Context, spec Spec, progress core.Progress, hub *transp
 		defer stop()
 		return RunSpecOn(ctx, group, spec, progress)
 	}
+	return runSpecLocal(ctx, spec, progress)
+}
+
+// runSpecLocal executes a spec in-process: serial and metaheuristic
+// strategies directly, parallel strategies on the simulated cluster.
+func runSpecLocal(ctx context.Context, spec Spec, progress core.Progress) (*Result, error) {
 	prob, err := buildProblem(spec)
 	if err != nil {
 		return nil, err

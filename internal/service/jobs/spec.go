@@ -87,6 +87,11 @@ type Spec struct {
 	Retry int `json:"retry,omitempty"`
 	// Diversify gives each Type III searcher a distinct allocation order.
 	Diversify bool `json:"diversify,omitempty"`
+	// MaxRetries is how many times a failed run is retried (with capped
+	// exponential backoff between attempts) before the job is marked
+	// failed. It shapes scheduling, not the search, so like
+	// IncludePlacement it is excluded from the cache key.
+	MaxRetries int `json:"max_retries,omitempty"`
 	// DisableIncremental forces the from-scratch reference evaluation
 	// instead of the incremental cost pipeline. The search trajectory is
 	// bitwise identical either way — this is the escape hatch / A-B knob
@@ -209,7 +214,7 @@ func (s Spec) Normalize() (Spec, error) {
 		return Spec{}, fmt.Errorf("jobs: strategy %s supports only wire+power objectives", s.Strategy)
 	}
 
-	if s.MaxIters < 0 || s.Moves < 0 || s.Rows < 0 || s.Procs < 0 || s.Retry < 0 {
+	if s.MaxIters < 0 || s.Moves < 0 || s.Rows < 0 || s.Procs < 0 || s.Retry < 0 || s.MaxRetries < 0 {
 		return Spec{}, fmt.Errorf("jobs: negative budgets are invalid")
 	}
 	switch {
@@ -282,11 +287,13 @@ func (s Spec) Normalize() (Spec, error) {
 }
 
 // Fingerprint is the result-cache key: a digest of every normalized field
-// that influences the search outcome. IncludePlacement is deliberately
-// excluded — it shapes the response payload, not the result.
+// that influences the search outcome. IncludePlacement and MaxRetries are
+// deliberately excluded — they shape the response payload and the
+// scheduling, not the result.
 func (s Spec) Fingerprint() string {
 	key := s
 	key.IncludePlacement = false
+	key.MaxRetries = 0
 	if key.Bench != "" {
 		// Uploaded netlists can be large; key on their digest.
 		sum := sha256.Sum256([]byte(key.Bench))

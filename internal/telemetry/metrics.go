@@ -74,6 +74,15 @@ var (
 	TransportSentBytes  = Default.Counter("simevo_transport_bytes_total", "TCP transport bytes (incl. frame headers), by direction.", "dir", "sent")
 	TransportRecvBytes  = Default.Counter("simevo_transport_bytes_total", "TCP transport bytes (incl. frame headers), by direction.", "dir", "recv")
 
+	// Transport liveness (heartbeat frames are out-of-band: they never
+	// enter rank traffic accounting).
+	HeartbeatPingsSent  = Default.Counter("simevo_transport_heartbeat_frames_total", "Heartbeat frames by kind.", "kind", "ping_sent")
+	HeartbeatPingsRecv  = Default.Counter("simevo_transport_heartbeat_frames_total", "Heartbeat frames by kind.", "kind", "ping_recv")
+	HeartbeatPongsSent  = Default.Counter("simevo_transport_heartbeat_frames_total", "Heartbeat frames by kind.", "kind", "pong_sent")
+	HeartbeatPongsRecv  = Default.Counter("simevo_transport_heartbeat_frames_total", "Heartbeat frames by kind.", "kind", "pong_recv")
+	HeartbeatTimeouts   = Default.Counter("simevo_transport_heartbeat_timeouts_total", "Connections declared dead after a heartbeat-silence window.")
+	ClusterRankFailures = Default.Counter("simevo_cluster_rank_failures_total", "Cluster ranks lost mid-job (connection loss, heartbeat timeout, protocol abandonment).")
+
 	// Parallel-strategy exchange rounds (one iteration of the Type I/II
 	// master loop, or one store round-trip for a Type III searcher).
 	ExchangeRoundType1Ns = Default.Histogram("simevo_exchange_round_ns", "Parallel-strategy exchange round latency in nanoseconds.", "strategy", "type1")
@@ -89,6 +98,8 @@ var (
 	JobsCanceled   = Default.Counter("simevo_jobs_finished_total", "Jobs finished, by terminal state.", "state", "canceled")
 	JobQueueDepth  = Default.Gauge("simevo_jobs_queue_depth", "Jobs waiting in the service queue.")
 	JobsRunning    = Default.Gauge("simevo_jobs_running", "Jobs currently executing.")
+	JobsRetries    = Default.Counter("simevo_jobs_retries_total", "Failed-job re-runs scheduled by Spec.MaxRetries.")
+	JobsReplayed   = Default.Counter("simevo_jobs_journal_replays_total", "Unfinished jobs re-enqueued from the journal at startup.")
 	SSESubscribers = Default.Gauge("simevo_sse_subscribers", "Open SSE event-stream subscriptions.")
 )
 

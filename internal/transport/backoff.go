@@ -1,0 +1,30 @@
+package transport
+
+import "time"
+
+// Backoff returns the wait before retry attempt (1-based): base doubled
+// per attempt and capped at max, then scaled by a jitter factor in
+// [0.5, 1.5) drawn from jitter, a source of uniform values in [0, 1).
+// The jitter spreads a fleet of workers that lost the same hub so their
+// reconnects do not arrive as a thundering herd; nil disables it (useful
+// in deterministic tests). A non-positive base returns 0 (retry
+// immediately); a non-positive max leaves the growth uncapped.
+func Backoff(attempt int, base, max time.Duration, jitter func() float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		if max > 0 && d >= max {
+			break
+		}
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	if jitter != nil {
+		d = time.Duration(float64(d) * (0.5 + jitter()))
+	}
+	return d
+}

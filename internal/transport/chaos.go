@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Chaos-testing support: a frame-aware net.Conn wrapper that injects one
+// fault at a deterministic point in a worker's outbound frame stream.
+// Install it with Config.WrapConn on JoinConfig; the wrapped connection
+// parses the length-prefixed frames the worker writes toward the hub and
+// triggers the configured fault when the chosen frame index crosses.
+//
+// Heartbeat pongs are excluded from the frame count — their timing depends
+// on the hub's ping clock, so counting them would make the trigger point
+// nondeterministic. Everything else the worker writes counts, starting
+// with the join handshake at index 0; on a worker that serves exactly one
+// job, index 1 is therefore the first data frame of that job's protocol.
+
+// ChaosAction selects what happens to the targeted frame.
+type ChaosAction int
+
+const (
+	// ChaosDrop swallows the frame: the hub never sees it.
+	ChaosDrop ChaosAction = iota
+	// ChaosDelay stalls the frame by Fault.Delay, then forwards it.
+	ChaosDelay
+	// ChaosCorrupt scrambles the frame's payload bytes (framing stays
+	// valid, so the hub routes the frame and the decode fails at the
+	// receiving rank). Frames without a payload pass through unharmed.
+	ChaosCorrupt
+	// ChaosSever closes the connection before the frame is written — the
+	// clean crash: both sides observe a closed socket.
+	ChaosSever
+	// ChaosHang blocks this and every later write forever (until the
+	// connection is closed locally) — the hung peer: the socket stays
+	// open, pong writes wedge behind the stuck frame, and only the hub's
+	// heartbeat timeout can detect it.
+	ChaosHang
+)
+
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosDrop:
+		return "drop"
+	case ChaosDelay:
+		return "delay"
+	case ChaosCorrupt:
+		return "corrupt"
+	case ChaosSever:
+		return "sever"
+	case ChaosHang:
+		return "hang"
+	}
+	return fmt.Sprintf("ChaosAction(%d)", int(a))
+}
+
+// ChaosFault is one scheduled fault.
+type ChaosFault struct {
+	// AtFrame is the 0-based index, among counted outbound frames, at
+	// which the fault fires (the join handshake is frame 0).
+	AtFrame int
+	Action  ChaosAction
+	// Delay is the stall for ChaosDelay.
+	Delay time.Duration
+}
+
+// Chaos is the fault-injecting connection. Construct with NewChaos and
+// install via Config.WrapConn.
+type Chaos struct {
+	net.Conn
+
+	mu     sync.Mutex
+	faults []ChaosFault
+	seed   uint64
+	frames int    // counted outbound frames completed or in progress
+	buf    []byte // accumulated outbound bytes of the incomplete frame
+	hung   bool
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewChaos wraps conn with the given fault schedule. seed drives the
+// corrupt action's scramble keystream, so corrupted payloads are
+// reproducible.
+func NewChaos(conn net.Conn, seed uint64, faults ...ChaosFault) *Chaos {
+	return &Chaos{Conn: conn, faults: faults, seed: seed, closed: make(chan struct{})}
+}
+
+// Wrap returns the Config.WrapConn hook form of NewChaos, capturing the
+// constructed Chaos through the pointer for test assertions.
+func Wrap(out **Chaos, seed uint64, faults ...ChaosFault) func(net.Conn) net.Conn {
+	return func(conn net.Conn) net.Conn {
+		c := NewChaos(conn, seed, faults...)
+		if out != nil {
+			*out = c
+		}
+		return c
+	}
+}
+
+// Write parses the outbound byte stream into frames and applies the fault
+// schedule. The transport writes each frame under one connWriter lock, so
+// frames arrive here contiguous and in order; partial frames are buffered
+// until complete, then forwarded (or faulted) as a unit.
+func (c *Chaos) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hung {
+		c.mu.Unlock()
+		<-c.closed
+		c.mu.Lock()
+		return 0, net.ErrClosed
+	}
+	c.buf = append(c.buf, p...)
+	for {
+		f, rest, complete := splitFrame(c.buf)
+		if !complete {
+			break
+		}
+		c.buf = rest
+		if err := c.emitLocked(f); err != nil {
+			return 0, err
+		}
+	}
+	// Report the caller's bytes as written: buffered or forwarded, the
+	// transport above must believe the write succeeded.
+	return len(p), nil
+}
+
+// splitFrame cuts one complete length-prefixed frame off the front of buf.
+func splitFrame(buf []byte) (f, rest []byte, complete bool) {
+	if len(buf) < 4 {
+		return nil, buf, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return nil, buf, false
+	}
+	return buf[:4+n], buf[4+n:], true
+}
+
+// emitLocked counts one complete frame and forwards it, applying at most
+// one scheduled fault. Callers hold c.mu.
+func (c *Chaos) emitLocked(f []byte) error {
+	tag := int(int32(binary.LittleEndian.Uint32(f[12:])))
+	if tag == tagCtrlPong {
+		_, err := c.Conn.Write(f)
+		return err
+	}
+	idx := c.frames
+	c.frames++
+	for _, fault := range c.faults {
+		if fault.AtFrame != idx {
+			continue
+		}
+		switch fault.Action {
+		case ChaosDrop:
+			return nil
+		case ChaosDelay:
+			time.Sleep(fault.Delay)
+		case ChaosCorrupt:
+			f = c.corrupt(f)
+		case ChaosSever:
+			c.closeOnce()
+			c.Conn.Close()
+			return net.ErrClosed
+		case ChaosHang:
+			c.hung = true
+			c.mu.Unlock()
+			<-c.closed
+			c.mu.Lock()
+			return net.ErrClosed
+		}
+		break
+	}
+	_, err := c.Conn.Write(f)
+	return err
+}
+
+// corrupt XORs the frame payload with a seeded keystream, leaving the
+// length prefix and header intact so the hub still routes the frame.
+func (c *Chaos) corrupt(f []byte) []byte {
+	out := append([]byte(nil), f...)
+	x := c.seed | 1
+	for i := 16; i < len(out); i++ {
+		// xorshift64 keystream: deterministic per seed.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] ^= byte(x) | 1 // never a zero mask: every byte really flips
+	}
+	return out
+}
+
+// Close releases hung writers along with the underlying connection.
+func (c *Chaos) Close() error {
+	c.closeOnce()
+	return c.Conn.Close()
+}
+
+func (c *Chaos) closeOnce() {
+	c.once.Do(func() { close(c.closed) })
+}
+
+// Frames reports how many counted (non-pong) frames have crossed so far.
+func (c *Chaos) Frames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}

@@ -1,0 +1,355 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"simevo/internal/mpi"
+)
+
+func TestBackoff(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second}, // capped
+		{50, time.Second},
+		{0, 100 * time.Millisecond}, // clamped to first attempt
+	} {
+		if got := Backoff(tc.attempt, base, max, nil); got != tc.want {
+			t.Errorf("Backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	if got := Backoff(3, 0, max, nil); got != 0 {
+		t.Errorf("zero base: got %v, want 0", got)
+	}
+	// No cap: keeps doubling.
+	if got := Backoff(6, base, 0, nil); got != 3200*time.Millisecond {
+		t.Errorf("uncapped Backoff(6) = %v", got)
+	}
+	// Jitter scales into [0.5, 1.5).
+	if got := Backoff(1, base, max, func() float64 { return 0 }); got != 50*time.Millisecond {
+		t.Errorf("jitter 0: got %v, want 50ms", got)
+	}
+	if got := Backoff(1, base, max, func() float64 { return 0.5 }); got != 100*time.Millisecond {
+		t.Errorf("jitter 0.5: got %v, want 100ms", got)
+	}
+}
+
+// chaosPipe wires a Chaos wrapper to one end of an in-memory pipe and
+// drains frames from the other end into a channel.
+func chaosPipe(t *testing.T, seed uint64, faults ...ChaosFault) (*Chaos, <-chan frame) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	ch := NewChaos(client, seed, faults...)
+	frames := make(chan frame, 16)
+	go func() {
+		r := bufio.NewReader(server)
+		for {
+			f, err := readFrame(r)
+			if err != nil {
+				close(frames)
+				return
+			}
+			frames <- f
+		}
+	}()
+	return ch, frames
+}
+
+func recvFrame(t *testing.T, frames <-chan frame) frame {
+	t.Helper()
+	select {
+	case f, ok := <-frames:
+		if !ok {
+			t.Fatal("pipe closed before the expected frame arrived")
+		}
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a frame")
+	}
+	return frame{}
+}
+
+// TestChaosCountsAndCorrupts pins the deterministic frame accounting:
+// pongs pass through uncounted, the fault fires at the chosen index, and
+// corruption scrambles the payload while leaving the header routable.
+func TestChaosCountsAndCorrupts(t *testing.T) {
+	ch, frames := chaosPipe(t, 7, ChaosFault{AtFrame: 1, Action: ChaosCorrupt})
+	cw := &connWriter{w: ch}
+
+	payload := []byte("healthy payload")
+	if err := cw.write(frame{src: 1, dst: 0, tag: 5, data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f := recvFrame(t, frames)
+	if !bytes.Equal(f.data, payload) || f.tag != 5 {
+		t.Fatalf("frame 0 altered: %+v", f)
+	}
+
+	// A pong between the two data frames must not consume frame index 1.
+	if err := cw.writeQuiet(frame{tag: tagCtrlPong}); err != nil {
+		t.Fatal(err)
+	}
+	if f := recvFrame(t, frames); f.tag != tagCtrlPong {
+		t.Fatalf("expected pong, got %+v", f)
+	}
+
+	if err := cw.write(frame{src: 1, dst: 0, tag: 6, data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f = recvFrame(t, frames)
+	if f.src != 1 || f.dst != 0 || f.tag != 6 {
+		t.Fatalf("corrupted frame header changed: %+v", f)
+	}
+	if bytes.Equal(f.data, payload) {
+		t.Fatal("frame 1 payload not corrupted")
+	}
+	for i := range f.data {
+		if f.data[i] == payload[i] {
+			t.Fatalf("payload byte %d survived the keystream", i)
+		}
+	}
+	if ch.Frames() != 2 {
+		t.Fatalf("counted %d frames, want 2 (pong excluded)", ch.Frames())
+	}
+}
+
+// TestChaosDropAndSever pins the two loss actions: a dropped frame never
+// reaches the peer but later frames do; a sever closes the connection.
+func TestChaosDropAndSever(t *testing.T) {
+	ch, frames := chaosPipe(t, 1,
+		ChaosFault{AtFrame: 1, Action: ChaosDrop},
+		ChaosFault{AtFrame: 3, Action: ChaosSever})
+	cw := &connWriter{w: ch}
+
+	for i := 0; i < 3; i++ {
+		if err := cw.write(frame{tag: 10 + i, data: []byte{byte(i)}}); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if f := recvFrame(t, frames); f.tag != 10 {
+		t.Fatalf("first delivered frame tag %d, want 10", f.tag)
+	}
+	if f := recvFrame(t, frames); f.tag != 12 {
+		t.Fatalf("frame after drop tag %d, want 12 (11 dropped)", f.tag)
+	}
+	if err := cw.write(frame{tag: 13}); err == nil {
+		t.Fatal("write after sever succeeded")
+	}
+	if _, ok := <-frames; ok {
+		t.Fatal("peer still received frames after sever")
+	}
+}
+
+// TestHeartbeatDropsHungWorker is the hung-not-closed detection check: a
+// worker whose writes wedge (socket open, nothing flowing, pongs stuck
+// behind the jam) must be expelled by the hub's heartbeat timeout, and a
+// coordinator waiting on its traffic must get the rank failure instead of
+// blocking forever.
+func TestHeartbeatDropsHungWorker(t *testing.T) {
+	h, err := ListenConfig("127.0.0.1:0", "", Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var ch *Chaos
+	w, err := JoinConfig(context.Background(), h.Addr().String(), "", Config{
+		WrapConn: Wrap(&ch, 1, ChaosFault{AtFrame: 1, Action: ChaosHang}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close() // releases the wedged writer at the end of the test
+	served := make(chan error, 1)
+	go func() {
+		served <- w.Serve(context.Background(), func(tr Transport) error {
+			tr.Send(0, 9, []byte("this frame hangs")) // frame 1: wedges here
+			return nil
+		})
+	}()
+
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	_, _, err = g.TryRecv(1, 9)
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("TryRecv after hang: err = %v, want *RankError{Rank: 1}", err)
+	}
+	if g.FailedRanks()[1] == nil {
+		t.Fatal("hung rank missing from FailedRanks")
+	}
+	ch.Close()
+	<-served // worker's Serve ends once the chaos conn releases its writer
+}
+
+// TestGroupCancelReachesWorker delivers the out-of-band soft-cancel frame:
+// the worker's CancelRequested channel closes mid-job while the protocol
+// stays intact (the rank still reports and re-parks).
+func TestGroupCancelReachesWorker(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 1, func(tr Transport) error {
+		cn, ok := tr.(CancelNotifier)
+		if !ok {
+			return errors.New("remote transport lacks CancelRequested")
+		}
+		select {
+		case <-cn.CancelRequested():
+		case <-time.After(10 * time.Second):
+			return errors.New("cancel frame never arrived")
+		}
+		tr.Send(0, 4, []byte("stopped"))
+		return nil
+	})
+	g, err := h.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cancel()
+	data, _, err := g.TryRecv(1, 4)
+	if err != nil || string(data) != "stopped" {
+		t.Fatalf("after cancel: data=%q err=%v", data, err)
+	}
+	g.Release()
+	h.Close()
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTrySendTryRecvFailedRank pins the degraded-mode primitives: a rank
+// whose function fails surfaces as a typed *RankError on TryRecv, and
+// TrySend to it reports the failure instead of panicking.
+func TestTrySendTryRecvFailedRank(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 2, func(tr Transport) error {
+		if tr.Rank() == 1 {
+			return errors.New("rank 1 gives up before sending")
+		}
+		tr.Send(0, 3, []byte("rank 2 alive"))
+		tr.Bcast(0, nil) // hold until the master finishes its checks
+		return nil
+	})
+	g, err := h.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = g.TryRecv(1, 3)
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("TryRecv(1) = %v, want *RankError{Rank: 1}", err)
+	}
+	if err := g.TrySend(1, 3, []byte("x")); !errors.As(err, &re) {
+		t.Fatalf("TrySend to failed rank = %v, want *RankError", err)
+	}
+	// The survivor's traffic still flows, by name and by wildcard.
+	data, st, err := g.TryRecv(2, 3)
+	if err != nil || string(data) != "rank 2 alive" || st.Source != 2 {
+		t.Fatalf("survivor TryRecv: %q %+v %v", data, st, err)
+	}
+	g.BcastRoot([]byte("done")) // skips rank 1, releases rank 2
+	g.Release()
+	h.Close()
+	// A failing rank function is reported to the hub in the done status and
+	// the worker re-parks; Serve itself returns nil once dismissed.
+	for i, err := range wait() {
+		if err != nil {
+			t.Fatalf("worker %d Serve: %v", i, err)
+		}
+	}
+}
+
+// TestWildcardTryRecvSurfacesEachFailureOnce mirrors the store pattern:
+// an AnySource loop sees one *RankError per lost rank, then keeps
+// serving the survivors.
+func TestWildcardTryRecvSurfacesEachFailureOnce(t *testing.T) {
+	h := mustHub(t)
+	wait := startWorkers(t, h, 2, func(tr Transport) error {
+		if tr.Rank() == 1 {
+			return fmt.Errorf("rank %d gives up", tr.Rank())
+		}
+		tr.Send(0, 8, []byte{2})
+		tr.Bcast(0, nil)
+		return nil
+	})
+	g, err := h.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotErr, gotData := 0, 0
+	for i := 0; i < 2; i++ {
+		data, _, err := g.TryRecv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			var re *RankError
+			if !errors.As(err, &re) || re.Rank != 1 {
+				t.Fatalf("wildcard error %v, want rank 1 RankError", err)
+			}
+			gotErr++
+			continue
+		}
+		if data[0] != 2 {
+			t.Fatalf("wildcard data from unexpected rank: %v", data)
+		}
+		gotData++
+	}
+	if gotErr != 1 || gotData != 1 {
+		t.Fatalf("wildcard loop saw %d errors / %d messages, want 1 / 1", gotErr, gotData)
+	}
+	g.BcastRoot(nil)
+	g.Release()
+	h.Close()
+	wait()
+}
+
+// TestWorkerDetailLastBeat asserts the /healthz liveness age: a parked
+// worker under active heartbeats reports a recent last-beat timestamp.
+func TestWorkerDetailLastBeat(t *testing.T) {
+	h, err := ListenConfig("127.0.0.1:0", "", Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	w, err := Join(context.Background(), h.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(context.Background(), func(Transport) error { return nil })
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Workers() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let a few ping/pong rounds happen
+	details := h.WorkerDetails()
+	if len(details) != 1 {
+		t.Fatalf("WorkerDetails len %d, want 1", len(details))
+	}
+	if age := details[0].LastBeatMS; age < 0 || age > 5000 {
+		t.Fatalf("last_beat_ms = %v, want a recent beat", age)
+	}
+}

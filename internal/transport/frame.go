@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"simevo/internal/mpi"
 	"simevo/internal/telemetry"
@@ -30,11 +32,14 @@ const (
 
 // Control tags of the coordinator/worker protocol.
 const (
-	tagCtrlJoin  = -(3001 + iota) // worker -> hub: join handshake (payload: magic)
-	tagCtrlStart                  // hub -> worker: job start (payload: rank, size)
-	tagCtrlDone                   // worker -> hub: rank function returned (payload: status byte)
-	tagCtrlEnd                    // hub -> worker: job closed, return to the pool
-	tagCtrlBye                    // hub -> worker: shut down for good
+	tagCtrlJoin   = -(3001 + iota) // worker -> hub: join handshake (payload: magic)
+	tagCtrlStart                   // hub -> worker: job start (payload: rank, size)
+	tagCtrlDone                    // worker -> hub: rank function returned (payload: status byte)
+	tagCtrlEnd                     // hub -> worker: job closed, return to the pool
+	tagCtrlBye                     // hub -> worker: shut down for good
+	tagCtrlPing                    // hub -> worker: liveness probe
+	tagCtrlPong                    // worker -> hub: liveness reply
+	tagCtrlCancel                  // hub -> worker: stop the current job (payload: 0 soft / 1 hard)
 )
 
 // joinMagic identifies (and versions) the join handshake.
@@ -96,19 +101,21 @@ func readFrame(r *bufio.Reader) (frame, error) {
 // connWriter serializes frame writes to one connection: the coordinator
 // writes to a worker from the rank-0 strategy goroutine and from relay
 // readers concurrently. It keeps per-connection traffic totals (frames
-// and payload bytes) for the hub's worker detail report.
+// and payload bytes) for the hub's worker detail report. With a timeout
+// configured, every frame write carries a deadline so a peer that stopped
+// reading cannot wedge the writer (and the goroutine holding its lock)
+// forever.
 type connWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	timeout time.Duration // per-frame write deadline; 0 disables
 
 	msgs  atomic.Int64 // frames successfully written
 	bytes atomic.Int64 // payload bytes successfully written
 }
 
 func (cw *connWriter) write(f frame) error {
-	cw.mu.Lock()
-	defer cw.mu.Unlock()
-	if err := writeFrame(cw.w, f); err != nil {
+	if err := cw.writeQuiet(f); err != nil {
 		return err
 	}
 	cw.msgs.Add(1)
@@ -116,13 +123,33 @@ func (cw *connWriter) write(f frame) error {
 	return nil
 }
 
+// writeQuiet writes a frame without touching the per-connection traffic
+// totals — heartbeat pings/pongs are out-of-band and must not skew the
+// worker-detail accounting the totals feed.
+func (cw *connWriter) writeQuiet(f frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.timeout > 0 {
+		if c, ok := cw.w.(net.Conn); ok {
+			c.SetWriteDeadline(time.Now().Add(cw.timeout))
+		}
+	}
+	return writeFrame(cw.w, f)
+}
+
 // inbox is a rank's received-message queue: FIFO per (src, tag) match,
-// blocking receive, poisoned by the first connection failure.
+// blocking receive. Failures come in two scopes: fail poisons the whole
+// inbox (the rank's own connection is gone), while failRank marks one peer
+// rank dead — receives awaiting that rank abort with a *RankError, traffic
+// from surviving ranks keeps flowing.
 type inbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []frame
 	err  error
+
+	rankErr     map[int]error // per-source failures (coordinator inbox)
+	rankPending []int         // failed ranks not yet surfaced to a wildcard recv
 }
 
 func newInbox() *inbox {
@@ -148,6 +175,23 @@ func (ib *inbox) fail(err error) {
 	ib.cond.Broadcast()
 }
 
+// failRank marks one source rank dead. The first call per rank wins;
+// queued messages from the rank still deliver (they arrived before the
+// failure), then receives naming it — or wildcard receives, once each —
+// report err.
+func (ib *inbox) failRank(rank int, err error) {
+	ib.mu.Lock()
+	if ib.rankErr == nil {
+		ib.rankErr = make(map[int]error)
+	}
+	if _, dup := ib.rankErr[rank]; !dup {
+		ib.rankErr[rank] = err
+		ib.rankPending = append(ib.rankPending, rank)
+	}
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
 // matches mirrors the simulator's matching rule: wildcards match only
 // non-internal (>= 0) tags.
 func frameMatches(f *frame, src, tag int) bool {
@@ -160,9 +204,13 @@ func frameMatches(f *frame, src, tag int) bool {
 	return f.tag == tag
 }
 
-// recv blocks until a matching message arrives, in arrival order.
-func (ib *inbox) recv(src, tag int) ([]byte, mpi.Status) {
+// recvErr blocks until a matching message arrives, in arrival order,
+// returning an error when the inbox is poisoned or the awaited rank has
+// failed. A wildcard (AnySource) receive surfaces each rank failure once,
+// so a loop over AnySource observes every lost peer exactly one time.
+func (ib *inbox) recvErr(src, tag int) ([]byte, mpi.Status, error) {
 	ib.mu.Lock()
+	defer ib.mu.Unlock()
 	for {
 		for i := range ib.msgs {
 			f := ib.msgs[i]
@@ -170,14 +218,30 @@ func (ib *inbox) recv(src, tag int) ([]byte, mpi.Status) {
 				continue
 			}
 			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
-			ib.mu.Unlock()
-			return f.data, mpi.Status{Source: f.src, Tag: f.tag}
+			return f.data, mpi.Status{Source: f.src, Tag: f.tag}, nil
 		}
 		if ib.err != nil {
-			err := ib.err
-			ib.mu.Unlock()
-			panic(&Fatal{Err: err})
+			return nil, mpi.Status{}, ib.err
+		}
+		if src != mpi.AnySource {
+			if err, ok := ib.rankErr[src]; ok {
+				return nil, mpi.Status{}, err
+			}
+		} else if len(ib.rankPending) > 0 {
+			r := ib.rankPending[0]
+			ib.rankPending = ib.rankPending[1:]
+			return nil, mpi.Status{}, ib.rankErr[r]
 		}
 		ib.cond.Wait()
 	}
+}
+
+// recv blocks until a matching message arrives; failures panic with *Fatal
+// (the Transport contract — Run converts them to errors).
+func (ib *inbox) recv(src, tag int) ([]byte, mpi.Status) {
+	data, st, err := ib.recvErr(src, tag)
+	if err != nil {
+		panic(&Fatal{Err: err})
+	}
+	return data, st
 }

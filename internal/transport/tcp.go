@@ -30,11 +30,61 @@ import (
 type Hub struct {
 	ln    net.Listener
 	token string
+	cfg   Config
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	parked []*wconn
 	closed bool
+}
+
+// Config tunes the failure-detection timings of both TCP endpoints. The
+// zero value selects the defaults; a negative duration disables that
+// mechanism outright.
+type Config struct {
+	// JoinTimeout bounds the join handshake: the hub's read of the first
+	// frame, and the worker's dial plus handshake write. Default 10s.
+	JoinTimeout time.Duration
+	// HeartbeatInterval is the hub's ping cadence per worker connection.
+	// Workers answer each ping with a pong. Default 3s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence window after which a peer is declared
+	// dead even though its connection is still open: the hub expects pongs
+	// (or any traffic) within it, the worker expects pings. It must exceed
+	// HeartbeatInterval with margin. Default 12s.
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds every frame write, so a peer that stopped reading
+	// cannot wedge the writer forever. Default 30s.
+	WriteTimeout time.Duration
+	// WrapConn, when non-nil, wraps the worker's dialed connection before
+	// the handshake — the hook fault-injection tests use to interpose a
+	// Chaos conn. Hub-side connections are never wrapped.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c Config) withDefaults() Config {
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 10 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 12 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// dur maps a defaulted Config duration to its effective value: negative
+// settings mean "disabled" and collapse to zero.
+func dur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // wconn is one worker connection, alive from join handshake to disconnect.
@@ -47,24 +97,35 @@ type wconn struct {
 	dead     atomic.Bool
 	reported atomic.Bool // end-of-job notice already counted
 
-	inMsgs  atomic.Int64 // frames read from this worker over its lifetime
-	inBytes atomic.Int64 // payload bytes read from this worker
+	inMsgs   atomic.Int64 // frames read from this worker over its lifetime
+	inBytes  atomic.Int64 // payload bytes read from this worker
+	lastBeat atomic.Int64 // unix nanos of the last frame read (incl. pongs)
 }
 
-// Listen starts a hub on addr ("host:port"; ":0" picks a free port).
-// token is the shared-secret join token workers must present ("" leaves
-// the hub open).
+// Listen starts a hub on addr ("host:port"; ":0" picks a free port) with
+// default failure-detection timings. token is the shared-secret join token
+// workers must present ("" leaves the hub open).
 func Listen(addr, token string) (*Hub, error) {
+	return ListenConfig(addr, token, Config{})
+}
+
+// ListenConfig is Listen with explicit failure-detection timings.
+func ListenConfig(addr, token string, cfg Config) (*Hub, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewHub(ln, token), nil
+	return NewHubConfig(ln, token, cfg), nil
 }
 
 // NewHub starts a hub on an existing listener, taking ownership of it.
 func NewHub(ln net.Listener, token string) *Hub {
-	h := &Hub{ln: ln, token: token}
+	return NewHubConfig(ln, token, Config{})
+}
+
+// NewHubConfig is NewHub with explicit failure-detection timings.
+func NewHubConfig(ln net.Listener, token string, cfg Config) *Hub {
+	h := &Hub{ln: ln, token: token, cfg: cfg.withDefaults()}
 	h.cond = sync.NewCond(&h.mu)
 	go h.acceptLoop()
 	return h
@@ -89,6 +150,10 @@ type WorkerDetail struct {
 	SentBytes int64  `json:"sent_bytes"`
 	RecvMsgs  int64  `json:"recv_msgs"`
 	RecvBytes int64  `json:"recv_bytes"`
+	// LastBeatMS is the age, in milliseconds, of the last frame read from
+	// the worker (heartbeat pongs included) — a live connection under the
+	// default config keeps this below the heartbeat interval.
+	LastBeatMS float64 `json:"last_beat_ms"`
 }
 
 // WorkerDetails reports every parked worker, in park (rank-assignment)
@@ -101,11 +166,12 @@ func (h *Hub) WorkerDetails() []WorkerDetail {
 	out := make([]WorkerDetail, len(h.parked))
 	for i, w := range h.parked {
 		out[i] = WorkerDetail{
-			Addr:      w.conn.RemoteAddr().String(),
-			SentMsgs:  w.w.msgs.Load(),
-			SentBytes: w.w.bytes.Load(),
-			RecvMsgs:  w.inMsgs.Load(),
-			RecvBytes: w.inBytes.Load(),
+			Addr:       w.conn.RemoteAddr().String(),
+			SentMsgs:   w.w.msgs.Load(),
+			SentBytes:  w.w.bytes.Load(),
+			RecvMsgs:   w.inMsgs.Load(),
+			RecvBytes:  w.inBytes.Load(),
+			LastBeatMS: float64(time.Now().UnixNano()-w.lastBeat.Load()) / float64(time.Millisecond),
 		}
 	}
 	return out
@@ -149,7 +215,10 @@ func (h *Hub) acceptLoop() {
 func (h *Hub) admit(conn net.Conn) {
 	w := &wconn{conn: conn, r: bufio.NewReader(conn)}
 	w.w.w = conn
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	w.w.timeout = dur(h.cfg.WriteTimeout)
+	if to := dur(h.cfg.JoinTimeout); to > 0 {
+		conn.SetReadDeadline(time.Now().Add(to))
+	}
 	f, err := readFrame(w.r)
 	ok := err == nil && f.tag == tagCtrlJoin &&
 		len(f.data) >= len(joinMagic) && string(f.data[:len(joinMagic)]) == joinMagic
@@ -161,6 +230,7 @@ func (h *Hub) admit(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	w.lastBeat.Store(time.Now().UnixNano())
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -170,16 +240,55 @@ func (h *Hub) admit(conn net.Conn) {
 	h.parked = append(h.parked, w)
 	h.cond.Broadcast()
 	h.mu.Unlock()
+	if iv := dur(h.cfg.HeartbeatInterval); iv > 0 {
+		go pingLoop(w, iv)
+	}
 	go h.serveConn(w)
+}
+
+// pingLoop probes one worker connection for liveness until the connection
+// dies: the worker answers each ping with a pong, refreshing the hub's
+// heartbeat read deadline in serveConn. A hung worker stops answering, the
+// deadline fires, and the rank is declared dead even though the TCP
+// connection never closed.
+func pingLoop(w *wconn, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		if w.dead.Load() {
+			return
+		}
+		if w.w.writeQuiet(frame{tag: tagCtrlPing}) != nil {
+			return // the reader notices the broken connection
+		}
+		telemetry.HeartbeatPingsSent.Inc()
+	}
 }
 
 // serveConn reads one worker's frames for the connection's whole life,
 // dispatching them into whatever group the worker currently belongs to.
-// Frames between two workers are relayed here.
+// Frames between two workers are relayed here. Each read carries the
+// heartbeat-timeout deadline: any frame (data or pong) refreshes it, so a
+// worker that hangs — stops reading and writing without closing its socket
+// — is detected within one window instead of wedging its group forever.
 func (h *Hub) serveConn(w *wconn) {
+	hbTimeout := dur(h.cfg.HeartbeatTimeout)
+	if dur(h.cfg.HeartbeatInterval) == 0 {
+		// Without pings a parked worker is legitimately silent; a read
+		// deadline would misread that silence as death.
+		hbTimeout = 0
+	}
 	for {
+		if hbTimeout > 0 {
+			w.conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		}
 		f, err := readFrame(w.r)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				telemetry.HeartbeatTimeouts.Inc()
+				err = fmt.Errorf("no heartbeat for %v: %w", hbTimeout, err)
+			}
 			w.dead.Store(true)
 			h.unpark(w)
 			if g := w.group.Load(); g != nil {
@@ -187,6 +296,11 @@ func (h *Hub) serveConn(w *wconn) {
 			}
 			w.conn.Close()
 			return
+		}
+		w.lastBeat.Store(time.Now().UnixNano())
+		if f.tag == tagCtrlPong {
+			telemetry.HeartbeatPongsRecv.Inc()
+			continue // out-of-band: no traffic accounting, no dispatch
 		}
 		w.inMsgs.Add(1)
 		w.inBytes.Add(int64(len(f.data)))
@@ -196,11 +310,12 @@ func (h *Hub) serveConn(w *wconn) {
 			// A parked worker has nothing to say; drop stray frames.
 		case f.tag == tagCtrlDone:
 			// A failed rank function means the rank abandoned the strategy
-			// protocol: poison rank 0 so a master blocked on that rank's
-			// traffic aborts instead of deadlocking. The connection itself
-			// is healthy — the worker re-parks and serves the next job.
+			// protocol: mark the rank failed so a master blocked on its
+			// traffic aborts (or, in degraded mode, drops it) instead of
+			// deadlocking. The connection itself is healthy — the worker
+			// re-parks and serves the next job.
 			if len(f.data) > 0 && f.data[0] != 0 {
-				g.in.fail(fmt.Errorf("rank %d reported a failed rank function", w.rank))
+				g.noteFailure(int(w.rank), errors.New("rank reported a failed rank function"))
 			}
 			g.workerDone(w)
 		// Counting precedes delivery so that anything observable through a
@@ -260,14 +375,15 @@ func (h *Hub) Acquire(ctx context.Context, workers int) (*Group, error) {
 	h.mu.Unlock()
 
 	g := &Group{
-		hub:   h,
-		ws:    ws,
-		size:  workers + 1,
-		start: time.Now(),
-		in:    newInbox(),
-		done:  make(chan *wconn, workers),
-		stats: make([]rankCounters, workers+1),
-		tel:   make([]rankTelemetry, workers+1),
+		hub:    h,
+		ws:     ws,
+		size:   workers + 1,
+		start:  time.Now(),
+		in:     newInbox(),
+		done:   make(chan *wconn, workers),
+		stats:  make([]rankCounters, workers+1),
+		tel:    make([]rankTelemetry, workers+1),
+		failed: make(map[int]error),
 	}
 	for r := range g.tel {
 		t := &g.tel[r]
@@ -303,6 +419,9 @@ type Group struct {
 	done  chan *wconn
 	stats []rankCounters  // per rank; see RankStats
 	tel   []rankTelemetry // per rank: process-wide registry counters
+
+	failedMu sync.Mutex
+	failed   map[int]error // ranks lost this job, with their first cause
 
 	closeOnce sync.Once
 }
@@ -386,7 +505,101 @@ func (g *Group) Send(dst, tag int, data []byte) {
 	g.countFrame(0, dst, len(data))
 	if err := w.w.write(frame{src: 0, dst: dst, tag: tag, data: data}); err != nil {
 		g.workerLost(w, err)
-		fatalf("send to rank %d: %v", dst, err)
+		panic(&Fatal{Err: &RankError{Rank: dst, Err: fmt.Errorf("send: %w", err)}})
+	}
+}
+
+// TrySend posts a message to dst like Send, but reports a failed (or
+// just-failing) destination as a *RankError instead of panicking — the
+// primitive degraded masters build on. Sends to already-failed ranks are
+// counted like ordinary sends and then skipped, so a fault-free run and a
+// faulty one emit identical traffic statistics for the surviving ranks.
+func (g *Group) TrySend(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= g.size {
+		return fmt.Errorf("transport: send to invalid rank %d", dst)
+	}
+	if dst == 0 {
+		g.Send(dst, tag, data) // local enqueue cannot fail
+		return nil
+	}
+	g.failedMu.Lock()
+	err := g.failed[dst]
+	g.failedMu.Unlock()
+	g.countFrame(0, dst, len(data))
+	if err != nil {
+		return err
+	}
+	w := g.ws[dst-1]
+	if werr := w.w.write(frame{src: 0, dst: dst, tag: tag, data: data}); werr != nil {
+		g.workerLost(w, werr)
+		return &RankError{Rank: dst, Err: fmt.Errorf("send: %w", werr)}
+	}
+	return nil
+}
+
+// TryRecv blocks like Recv but returns an error instead of panicking when
+// the group is poisoned or the awaited rank fails. A wildcard receive
+// (mpi.AnySource) surfaces each failed rank once, as a *RankError.
+func (g *Group) TryRecv(src, tag int) ([]byte, mpi.Status, error) {
+	return g.in.recvErr(src, tag)
+}
+
+// BcastRoot performs rank 0's half of a broadcast to every live rank —
+// the degraded master's replacement for Bcast. Failed ranks are skipped;
+// a send that fails mid-broadcast records the rank (FailedRanks) and the
+// broadcast continues. On a fault-free run the emitted frames are
+// identical to Bcast's.
+func (g *Group) BcastRoot(data []byte) {
+	for dst := 1; dst < g.size; dst++ {
+		_ = g.TrySend(dst, tagBcast, data)
+	}
+}
+
+// GatherRoot performs rank 0's half of a gather over live ranks: entry r
+// is nil when rank r had failed (before or during the wait); entry 0 is
+// the root's own payload. On a fault-free run the traffic is identical to
+// Gather's root half.
+func (g *Group) GatherRoot(own []byte) [][]byte {
+	out := make([][]byte, g.size)
+	cp := make([]byte, len(own))
+	copy(cp, own)
+	out[0] = cp
+	for r := 1; r < g.size; r++ {
+		data, _, err := g.in.recvErr(r, tagGather)
+		if err != nil {
+			continue
+		}
+		out[r] = data
+	}
+	return out
+}
+
+// Cancel sends an out-of-band soft-cancel frame to every live worker: the
+// remote rank's CancelRequested channel closes, and a cooperative rank
+// function stops at its next iteration check. The job protocol is left
+// intact — ranks still report done and re-park.
+func (g *Group) Cancel() {
+	for _, w := range g.ws {
+		if w.dead.Load() {
+			continue
+		}
+		_ = w.w.writeQuiet(frame{dst: int(w.rank), tag: tagCtrlCancel, data: []byte{0}})
+	}
+}
+
+// DropRank expels a live rank from the current job: the master records it
+// failed (its pending and future traffic is ignored) and the worker is
+// told to abandon the job with a hard cancel — its rank function aborts,
+// reports a failed status, and the worker survives to serve the next job.
+// Degraded masters use it when a rank's frames arrive corrupt. Dropping
+// rank 0, an out-of-range rank, or an already-failed rank is a no-op.
+func (g *Group) DropRank(rank int, err error) {
+	if rank <= 0 || rank >= g.size {
+		return
+	}
+	g.noteFailure(rank, err)
+	if w := g.ws[rank-1]; !w.dead.Load() {
+		_ = w.w.writeQuiet(frame{dst: rank, tag: tagCtrlCancel, data: []byte{1}})
 	}
 }
 
@@ -426,12 +639,43 @@ func (g *Group) workerDone(w *wconn) {
 	}
 }
 
-// workerLost poisons the group when a member connection fails: rank 0's
-// pending receives abort with *Fatal.
+// workerLost marks a member rank dead after its connection failed: rank
+// 0's receives awaiting that rank abort with a *Fatal-wrapped *RankError,
+// while traffic from the surviving ranks keeps flowing (degraded masters
+// rely on this to finish the run on the survivors).
 func (g *Group) workerLost(w *wconn, err error) {
 	w.dead.Store(true)
-	g.in.fail(fmt.Errorf("rank %d connection: %w", w.rank, err))
+	g.noteFailure(int(w.rank), fmt.Errorf("connection: %w", err))
 	g.workerDone(w) // unblock Release/Close waiting on the worker
+}
+
+// noteFailure records a rank failure exactly once and propagates it to the
+// inbox so blocked receives naming the rank abort.
+func (g *Group) noteFailure(rank int, err error) {
+	re := &RankError{Rank: rank, Err: err}
+	g.failedMu.Lock()
+	_, dup := g.failed[rank]
+	if !dup {
+		g.failed[rank] = re
+	}
+	g.failedMu.Unlock()
+	if !dup {
+		telemetry.ClusterRankFailures.Inc()
+	}
+	g.in.failRank(rank, re)
+}
+
+// FailedRanks returns the ranks lost so far this job — connection
+// failures, heartbeat timeouts, failed rank functions, DropRank — keyed to
+// the first recorded cause (always a *RankError).
+func (g *Group) FailedRanks() map[int]error {
+	g.failedMu.Lock()
+	defer g.failedMu.Unlock()
+	out := make(map[int]error, len(g.failed))
+	for r, err := range g.failed {
+		out[r] = err
+	}
+	return out
 }
 
 // drain waits until every worker reported done (or died), bounded by the
@@ -521,21 +765,39 @@ type Worker struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    connWriter
+	cfg  Config
 }
 
-// Join dials the hub at addr and performs the join handshake, presenting
-// the shared-secret token (which must equal the hub's; "" for an open
-// hub). A rejected token surfaces as a closed connection on the first
-// Serve read, not here — the hub does not answer bad handshakes.
+// Join dials the hub at addr and performs the join handshake with default
+// timings, presenting the shared-secret token (which must equal the
+// hub's; "" for an open hub). A rejected token surfaces as a closed
+// connection on the first Serve read, not here — the hub does not answer
+// bad handshakes.
 func Join(ctx context.Context, addr, token string) (*Worker, error) {
-	var d net.Dialer
+	return JoinConfig(ctx, addr, token, Config{})
+}
+
+// JoinConfig is Join with explicit failure-detection timings (and the
+// WrapConn fault-injection hook).
+func JoinConfig(ctx context.Context, addr, token string, cfg Config) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	d := net.Dialer{Timeout: dur(cfg.JoinTimeout)}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{conn: conn, r: bufio.NewReader(conn)}
+	if cfg.WrapConn != nil {
+		conn = cfg.WrapConn(conn)
+	}
+	w := &Worker{conn: conn, r: bufio.NewReader(conn), cfg: cfg}
 	w.w.w = conn
-	if err := w.w.write(frame{tag: tagCtrlJoin, data: []byte(joinMagic + token)}); err != nil {
+	w.w.timeout = dur(cfg.WriteTimeout)
+	if to := dur(cfg.JoinTimeout); to > 0 {
+		conn.SetWriteDeadline(time.Now().Add(to))
+	}
+	err = w.w.write(frame{tag: tagCtrlJoin, data: []byte(joinMagic + token)})
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: join handshake: %w", err)
 	}
@@ -549,6 +811,24 @@ type remote struct {
 	size  int
 	start time.Time
 	in    *inbox
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+}
+
+// CancelRequested implements CancelNotifier: the channel closes when the
+// coordinator cancels the job out-of-band (Group.Cancel or DropRank).
+func (r *remote) CancelRequested() <-chan struct{} { return r.cancelCh }
+
+// cancelJob delivers a coordinator cancel frame. A soft cancel only closes
+// the notification channel (cooperative rank functions stop at their next
+// check); a hard cancel also poisons the inbox so a rank wedged mid-
+// protocol aborts, reports failure, and the worker survives to re-park.
+func (r *remote) cancelJob(hard bool) {
+	r.cancelOnce.Do(func() { close(r.cancelCh) })
+	if hard {
+		r.in.fail(errors.New("job canceled by coordinator"))
+	}
 }
 
 func (r *remote) Rank() int              { return r.rank }
@@ -601,9 +881,22 @@ func (w *Worker) Serve(ctx context.Context, fn func(Transport) error) error {
 	ctrl := make(chan ctrlMsg, 16)
 	var cur atomic.Pointer[remote]
 	go func() {
+		// The heartbeat read deadline arms only after the first ping: a hub
+		// that does not ping (heartbeats disabled) keeps a worker that would
+		// otherwise misread the idle silence as a dead coordinator.
+		hbTimeout := dur(w.cfg.HeartbeatTimeout)
+		armed := false
 		for {
+			if armed && hbTimeout > 0 {
+				w.conn.SetReadDeadline(time.Now().Add(hbTimeout))
+			}
 			f, err := readFrame(w.r)
 			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					telemetry.HeartbeatTimeouts.Inc()
+					err = fmt.Errorf("no heartbeat for %v: %w", hbTimeout, err)
+				}
 				if r := cur.Load(); r != nil {
 					r.in.fail(err)
 				}
@@ -611,6 +904,18 @@ func (w *Worker) Serve(ctx context.Context, fn func(Transport) error) error {
 				return
 			}
 			switch f.tag {
+			case tagCtrlPing:
+				telemetry.HeartbeatPingsRecv.Inc()
+				armed = true
+				if w.w.writeQuiet(frame{tag: tagCtrlPong}) == nil {
+					telemetry.HeartbeatPongsSent.Inc()
+				}
+				// A failed pong write means the connection is going down;
+				// the next read surfaces it.
+			case tagCtrlCancel:
+				if r := cur.Load(); r != nil {
+					r.cancelJob(len(f.data) > 0 && f.data[0] != 0)
+				}
 			case tagCtrlStart:
 				if len(f.data) < 8 {
 					ctrl <- ctrlMsg{err: errors.New("malformed start notice")}
@@ -622,7 +927,8 @@ func (w *Worker) Serve(ctx context.Context, fn func(Transport) error) error {
 					ctrl <- ctrlMsg{err: fmt.Errorf("invalid rank assignment %d/%d", rank, size)}
 					return
 				}
-				r := &remote{w: w, rank: rank, size: size, start: time.Now(), in: newInbox()}
+				r := &remote{w: w, rank: rank, size: size, start: time.Now(),
+					in: newInbox(), cancelCh: make(chan struct{})}
 				cur.Store(r)
 				ctrl <- ctrlMsg{tag: tagCtrlStart, job: r}
 			case tagCtrlEnd, tagCtrlBye:

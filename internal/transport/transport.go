@@ -73,6 +73,27 @@ type Fatal struct {
 func (f *Fatal) Error() string { return "transport: " + f.Err.Error() }
 func (f *Fatal) Unwrap() error { return f.Err }
 
+// RankError attributes a transport failure to one cluster rank: the worker
+// connection holding that rank died, timed out its heartbeats, abandoned
+// the strategy protocol, or was expelled with DropRank. It travels inside
+// *Fatal on the panicking primitives and bare on the Try* variants; callers
+// recover the rank with errors.As.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+func (e *RankError) Unwrap() error { return e.Err }
+
+// CancelNotifier is implemented by worker-side transports that can receive
+// an out-of-band cancel frame from the coordinator (Group.Cancel /
+// Group.DropRank). The channel closes at the first cancel frame; rank
+// functions select on it (or wire it to a context) to stop mid-budget.
+type CancelNotifier interface {
+	CancelRequested() <-chan struct{}
+}
+
 // fatalf panics with a formatted *Fatal.
 func fatalf(format string, args ...any) {
 	panic(&Fatal{Err: fmt.Errorf(format, args...)})
