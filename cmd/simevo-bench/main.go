@@ -43,7 +43,7 @@ func main() {
 	scale := flag.String("scale", "quick", `experiment scale: "paper", "quick", or "tiny"`)
 	baseline := flag.String("baseline", "", "write the incremental-engine perf baseline JSON to this path and exit")
 	objectives := flag.String("objectives", "",
-		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay, wire+power+delay+congestion, large; empty = all)")
+		"objective modes the -baseline measurement covers (comma-separated: wire+power, wire+power+delay, wire+power+delay+congestion, large, exchange; empty = all)")
 	check := flag.String("check-baseline", "", "re-measure and fail if the incremental/scratch speedup regressed >15% against the baseline JSON at this path (covers every mode the file records)")
 	outBaseline := flag.String("out-baseline", "", "with -check-baseline: also write the freshly measured baseline JSON to this path (uploaded as a CI artifact)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")

@@ -27,15 +27,16 @@ func runWorker(addr, token string) {
 
 // runCluster executes a parallel strategy with real worker processes: this
 // process is the coordinator and rank 0; the remaining ranks join over TCP.
-func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, procs int, pattern string, retry int, token string) {
+func runCluster(mode, ckt, strategy, objectives string, iters int, seed uint64, procs int, pattern string, retry int, syncExchange bool, token string) {
 	spec := jobs.Spec{
-		Strategy:  strategy,
-		MaxIters:  iters,
-		Seed:      seed,
-		Procs:     procs,
-		Pattern:   pattern,
-		Retry:     retry,
-		Transport: jobs.TransportTCP,
+		Strategy:     strategy,
+		MaxIters:     iters,
+		Seed:         seed,
+		Procs:        procs,
+		Pattern:      pattern,
+		Retry:        retry,
+		SyncExchange: syncExchange,
+		Transport:    jobs.TransportTCP,
 	}
 	switch objectives {
 	case "wp":

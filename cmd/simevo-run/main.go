@@ -44,6 +44,9 @@ func main() {
 	procs := flag.Int("procs", 3, "cluster size for parallel strategies")
 	pattern := flag.String("pattern", "fixed", "type2 row pattern: fixed | random")
 	retry := flag.Int("retry", 100, "type3 retry threshold")
+	syncExchange := flag.Bool("sync-exchange", false, "type3: use the legacy blocking exchange protocol instead of the async epoch-tagged one")
+	diversify := flag.Bool("diversify", false, "type3: give each searcher a distinct allocation order")
+	clustered := flag.Bool("clustered-start", false, "start from the connectivity-clustered placement instead of the uniform-random deal")
 	ideal := flag.Bool("ideal-net", false, "use a zero-cost interconnect instead of fast Ethernet")
 	cluster := flag.String("cluster", "", `run parallel ranks as real processes: "spawn" or "listen=ADDR"`)
 	join := flag.String("join", "", "run as a cluster worker joining this coordinator address, then exit")
@@ -63,7 +66,7 @@ func main() {
 		return
 	}
 	if *cluster != "" {
-		runCluster(*cluster, *ckt, *strategy, *objectives, *iters, *seed, *procs, *pattern, *retry, *token)
+		runCluster(*cluster, *ckt, *strategy, *objectives, *iters, *seed, *procs, *pattern, *retry, *syncExchange, *token)
 		return
 	}
 
@@ -93,6 +96,7 @@ func main() {
 	cfg := simevo.DefaultConfig(obj)
 	cfg.MaxIters = *iters
 	cfg.Seed = *seed
+	cfg.ClusteredStart = *clustered
 	if rows := circuit.RowsHint(); rows > 0 {
 		cfg.NumRows = rows
 	}
@@ -103,7 +107,8 @@ func main() {
 	if *ideal {
 		net = simevo.IdealNet()
 	}
-	opt := simevo.ParallelOptions{Procs: *procs, Net: &net, Retry: *retry}
+	opt := simevo.ParallelOptions{Procs: *procs, Net: &net, Retry: *retry,
+		SyncExchange: *syncExchange, Diversify: *diversify}
 	if *pattern == "random" {
 		opt.Pattern = simevo.RandomRows(*seed)
 	} else {

@@ -30,7 +30,7 @@ const refStream = 0
 // the problem's cached ones — they are placement-independent.
 func referenceCosts(ckt *netlist.Circuit, cfg *Config, lv *netlist.Levels, acts []float64) fuzzy.Costs {
 	rnd := rng.NewStream(cfg.Seed, refStream)
-	place := layout.NewRandom(ckt, cfg.NumRows, rnd)
+	place := initialPlacement(ckt, cfg, rnd)
 	ev := wire.NewEvaluator(ckt, cfg.WireEstimator)
 	lengths := ev.Lengths(place, nil)
 
@@ -44,6 +44,18 @@ func referenceCosts(ckt *netlist.Circuit, cfg *Config, lv *netlist.Levels, acts 
 	}
 	pipe := cost.NewPipeline(cfg.Objectives|fuzzy.WirePower, ckt, acts, lv, cfg.TimingModel, extras...)
 	return pipe.Full(lengths)
+}
+
+// initialPlacement builds a run's starting placement: uniform-random by
+// default, connectivity-clustered with Config.ClusteredStart. Every
+// consumer of the canonical start (reference costs, NewEngine,
+// EngineFromReference) routes through here so the normalization and the
+// searches always agree on the construction.
+func initialPlacement(ckt *netlist.Circuit, cfg *Config, rnd *rng.R) *layout.Placement {
+	if cfg.ClusteredStart {
+		return layout.NewClustered(ckt, cfg.NumRows, rnd)
+	}
+	return layout.NewRandom(ckt, cfg.NumRows, rnd)
 }
 
 // congestSpec derives the congestion grid geometry for a run: the same

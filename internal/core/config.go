@@ -70,6 +70,15 @@ type Config struct {
 	// Seed drives all stochastic decisions; runs are reproducible.
 	Seed uint64
 
+	// ClusteredStart builds the initial placement (and the reference
+	// placement μ is normalized against) with layout.NewClustered instead
+	// of layout.NewRandom: connected cells are dealt into adjacent slots,
+	// concentrating routing demand into hotspots. A uniform-random start
+	// spreads demand so evenly that the congestion objective has nearly
+	// zero overflow to discriminate on at scale; the clustered start is the
+	// configuration the large-tier congestion gate measures.
+	ClusteredStart bool
+
 	// WireEstimator selects the net-length model (default wire.Steiner,
 	// as in the paper).
 	WireEstimator wire.Estimator

@@ -113,6 +113,9 @@ type Engine struct {
 	goodsBuf []float64     // per-objective goodness scratch (cellGoodness)
 	goodsOut []float64     // per-domain goodness scratch (Step)
 	vacRef   []layout.SlotRef
+	// speculative-exchange scratch (SnapshotSearch / AdoptPlacementPatched)
+	patchSlots  []layout.SlotRef
+	patchDeltas []layout.SlotDelta
 	vacs     []wire.Vacancy
 	vacUsed  []bool
 	buckets  wire.VacancyBuckets // row-sharded x-sorted occupancy of vacs

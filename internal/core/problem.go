@@ -118,7 +118,7 @@ func (p *Problem) buildAttach() {
 // from the problem seed combined with the given stream (rank) number.
 func (p *Problem) NewEngine(stream uint64) *Engine {
 	rnd := rng.NewStream(p.Cfg.Seed, stream)
-	place := layout.NewRandom(p.Ckt, p.Cfg.NumRows, rnd)
+	place := initialPlacement(p.Ckt, &p.Cfg, rnd)
 	return p.EngineFrom(place, rnd)
 }
 
@@ -129,7 +129,7 @@ func (p *Problem) NewEngine(stream uint64) *Engine {
 // randomization seeds" — this is that construction.
 func (p *Problem) EngineFromReference(stream uint64) *Engine {
 	refRnd := rng.NewStream(p.Cfg.Seed, refStream)
-	place := layout.NewRandom(p.Ckt, p.Cfg.NumRows, refRnd)
+	place := initialPlacement(p.Ckt, &p.Cfg, refRnd)
 	return p.EngineFrom(place, rng.NewStream(p.Cfg.Seed, stream))
 }
 

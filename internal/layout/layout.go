@@ -134,6 +134,79 @@ func NewRandom(ckt *netlist.Circuit, numRows int, r *rng.R) *Placement {
 	return p
 }
 
+// NewClustered creates a clustered (non-uniform) initial placement: cells
+// are ordered by a breadth-first traversal of the netlist connectivity
+// graph from shuffled seeds and dealt row-major, filling each row to the
+// balanced width before moving to the next. Connected cells land in
+// adjacent slots, so net bounding boxes start small and heavily
+// overlapping — routing demand concentrates into hotspots instead of the
+// near-uniform spread the random deal produces. This is the start the
+// large-tier congestion gate needs: a uniform-random 100k-cell start has
+// essentially zero bin overflow, so a congestion objective has nothing to
+// discriminate on.
+func NewClustered(ckt *netlist.Circuit, numRows int, r *rng.R) *Placement {
+	p := New(ckt, numRows)
+	movable := append([]netlist.CellID(nil), ckt.Movable()...)
+	r.Shuffle(len(movable), func(i, j int) { movable[i], movable[j] = movable[j], movable[i] })
+
+	isMovable := make([]bool, len(ckt.Cells))
+	for _, id := range movable {
+		isMovable[id] = true
+	}
+	// BFS over net incidence: a visited cell pulls every unvisited movable
+	// cell sharing a net with it into the same cluster. The shuffled seed
+	// order (and the deterministic net/pin order below) makes the traversal
+	// reproducible for a given rng stream.
+	order := make([]netlist.CellID, 0, len(movable))
+	visited := make([]bool, len(ckt.Cells))
+	queue := make([]netlist.CellID, 0, 64)
+	var nets []netlist.NetID
+	for _, seed := range movable {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			order = append(order, id)
+			nets = ckt.CellNets(id, nets[:0])
+			for _, n := range nets {
+				net := &ckt.Nets[n]
+				visit := func(c netlist.CellID) {
+					if c != netlist.NoCell && isMovable[c] && !visited[c] {
+						visited[c] = true
+						queue = append(queue, c)
+					}
+				}
+				visit(net.Driver)
+				for _, s := range net.Sinks {
+					visit(s)
+				}
+			}
+		}
+	}
+
+	// Deal the traversal order row-major against the balanced row width, so
+	// each BFS cluster occupies a contiguous band of adjacent slots (and
+	// adjacent rows, for clusters wider than a row).
+	target := (ckt.TotalWidth() + p.numRows - 1) / p.numRows
+	row, width := 0, 0
+	for _, id := range order {
+		if width >= target && row < p.numRows-1 {
+			row++
+			width = 0
+		}
+		p.rows[row] = append(p.rows[row], id)
+		p.slotOf[id] = SlotRef{Row: int32(row), Idx: int32(len(p.rows[row]) - 1)}
+		width += ckt.Cells[id].Width
+	}
+	p.dirty = true
+	p.Recompute()
+	return p
+}
+
 // Circuit returns the circuit being placed.
 func (p *Placement) Circuit() *netlist.Circuit { return p.ckt }
 
@@ -298,6 +371,21 @@ func (p *Placement) DiffSlots(prev []SlotRef, dst []SlotDelta) []SlotDelta {
 	for id, ref := range p.slotOf {
 		if ref != prev[id] {
 			dst = append(dst, SlotDelta{Cell: netlist.CellID(id), Row: ref.Row, Idx: ref.Idx})
+		}
+	}
+	return dst
+}
+
+// DiffSlotsTo appends a delta for every cell whose slot differs from the
+// target assignment and returns the extended slice — the inverse direction
+// of DiffSlots: applying the result to THIS placement moves it into the
+// target state. Both assignments must be full (hole-free) slot assignments
+// over identical row shapes; then the differing cells form a permutation
+// of their slots and the batch satisfies the ApplySlotDeltas contract.
+func (p *Placement) DiffSlotsTo(target []SlotRef, dst []SlotDelta) []SlotDelta {
+	for id, ref := range p.slotOf {
+		if t := target[id]; ref != t && t != NoSlot {
+			dst = append(dst, SlotDelta{Cell: netlist.CellID(id), Row: t.Row, Idx: t.Idx})
 		}
 	}
 	return dst

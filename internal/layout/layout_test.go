@@ -469,3 +469,81 @@ func TestApplySlotDeltasRejectsCorrupt(t *testing.T) {
 		t.Fatal("occupied target accepted")
 	}
 }
+
+func TestNewClusteredValid(t *testing.T) {
+	ckt := testCircuit(t)
+	p := NewClustered(ckt, 0, rng.New(1))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumRows() < 8 {
+		t.Fatalf("NumRows = %d, want >= 8 (numRows 0 must default like NewRandom)", p.NumRows())
+	}
+	// Deterministic for a given rng stream, and genuinely different from
+	// the uniform deal — otherwise the clustered start gates nothing.
+	if p.Fingerprint() != NewClustered(ckt, 0, rng.New(1)).Fingerprint() {
+		t.Fatal("NewClustered is not deterministic for a fixed seed")
+	}
+	if p.Fingerprint() == NewRandom(ckt, 0, rng.New(1)).Fingerprint() {
+		t.Fatal("NewClustered degenerated to the uniform-random deal")
+	}
+}
+
+func TestNewClusteredPacksConnectedCells(t *testing.T) {
+	// The 130-cell testCircuit fits in a single BFS cluster, where the
+	// clustered deal degenerates to a connectivity-ordered shuffle; the
+	// packing effect only shows once the circuit spans many clusters, so
+	// this check runs at a few thousand cells.
+	ckt, err := gen.Generate(gen.ScaledParams("layclust", 4000, 1))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	// Summed half-perimeter of every net under each start: the BFS deal
+	// places connected cells in adjacent slots, so its total net span must
+	// come in well under the uniform shuffle's.
+	span := func(p *Placement) float64 {
+		total := 0.0
+		for n := range ckt.Nets {
+			net := &ckt.Nets[n]
+			minX, maxX := 0.0, 0.0
+			minY, maxY := 0.0, 0.0
+			first := true
+			visit := func(c netlist.CellID) {
+				if c == netlist.NoCell {
+					return
+				}
+				x, y := p.Coord(c)
+				if first {
+					minX, maxX, minY, maxY = x, x, y, y
+					first = false
+					return
+				}
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+			visit(net.Driver)
+			for _, s := range net.Sinks {
+				visit(s)
+			}
+			if !first {
+				total += (maxX - minX) + (maxY - minY)
+			}
+		}
+		return total
+	}
+	clustered := span(NewClustered(ckt, 0, rng.New(7)))
+	uniform := span(NewRandom(ckt, 0, rng.New(7)))
+	if clustered >= uniform*0.8 {
+		t.Fatalf("clustered start total net span %.0f not well under uniform %.0f", clustered, uniform)
+	}
+}

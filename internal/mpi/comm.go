@@ -107,6 +107,39 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	}
 }
 
+// Poll is a non-blocking Recv: it consumes and returns a message matching
+// (src, tag) if one is pending, and returns ok=false without blocking
+// otherwise. Before inspecting the inbox the caller yields to every
+// runnable rank with a smaller virtual clock, so the set of messages a
+// poll can see is a pure function of the virtual-time schedule — with
+// MeasureCompute=false this makes polling loops (the async Type III
+// exchange) fully deterministic, the simulator's reference schedule. A
+// hit charges the receive overhead and advances the clock to the
+// message's arrival exactly as Recv would; a miss charges nothing.
+func (c *Comm) Poll(src, tag int) ([]byte, Status, bool) {
+	cl := c.cl
+	cl.mu.Lock()
+	cl.chargeComputeLocked(c.rs)
+	cl.yieldLocked(c.rs)
+	if i := findMatchLocked(c.rs, src, tag); i >= 0 {
+		msg := c.rs.inbox[i]
+		c.rs.inbox = append(c.rs.inbox[:i], c.rs.inbox[i+1:]...)
+		if msg.arrival > c.rs.clock {
+			c.rs.clock = msg.arrival
+		}
+		c.rs.clock += cl.opt.Net.RecvOverhead
+		c.rs.stats.MsgsRecv++
+		c.rs.stats.BytesRecv += len(msg.data)
+		cl.yieldLocked(c.rs)
+		c.rs.computeStart = time.Now()
+		cl.mu.Unlock()
+		return msg.data, Status{Source: msg.src, Tag: msg.tag}, true
+	}
+	c.rs.computeStart = time.Now()
+	cl.mu.Unlock()
+	return nil, Status{}, false
+}
+
 // Bcast distributes data from root to every rank; all ranks must call it.
 // It returns the payload (root returns its own data). With a TrueBroadcast
 // network the root pays the wire cost once, as on a shared-medium LAN.

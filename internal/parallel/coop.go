@@ -46,7 +46,7 @@ func RunCoop(prob *core.Problem, opt CoopOptions) (*Result, error) {
 	var out *Result
 	err := cl.Run(func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
-			res, err := typeIIIStore(prob, c, nil)
+			res, err := typeIIIStore(prob, c, nil, 100)
 			if err != nil {
 				return err
 			}

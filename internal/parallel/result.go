@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"simevo/internal/core"
@@ -40,6 +41,20 @@ type Options struct {
 	// Diversify gives each Type III searcher a different allocation order
 	// — the search-diversification idea of the paper's Section 7.
 	Diversify bool
+	// SyncExchange selects the legacy synchronous Type III protocol: a
+	// searcher that consults the store blocks in a request/reply round
+	// trip and rebuilds its cost state on adoption. The default is the
+	// asynchronous epoch-tagged protocol (post/poll/news frames,
+	// speculative adoption with snapshot/restore) — see typeiii.go. The
+	// synchronous mode remains as the exchange-overhead baseline and for
+	// transports without non-blocking receives.
+	SyncExchange bool
+	// Portfolio assigns per-rank searcher configurations for Type III:
+	// searcher rank r runs Portfolio[(r-1) % len(Portfolio)]. Empty runs
+	// the homogeneous SimE configuration (honoring Diversify). The store
+	// keeps per-searcher improvement-rate statistics and reallocates
+	// consultation budgets between winners and losers (see typeiii.go).
+	Portfolio []SearcherConfig
 	// Context cancels a run cooperatively: the master (Type I/II) or every
 	// searcher (Type III) checks it between iterations, winds the cluster
 	// down cleanly, and the best-so-far result is returned. Nil never
@@ -130,4 +145,47 @@ type Result struct {
 	// for Type III, whose rank 0 is the central store and runs no
 	// engine; each searcher's counters feed the process registry).
 	Telemetry telemetry.EngineSnapshot
+	// Exchange reports the Type III exchange protocol's work: posts,
+	// speculative adoptions and rejections, snapshot restores, the
+	// store's final epoch, and the per-exchange overhead distribution.
+	// Nil for strategies without a central store.
+	Exchange *ExchangeStats
+}
+
+// ExchangeStats aggregates the Type III exchange activity of one run.
+// Posted/Adopted/Rejected/Restores sum over searchers; Searchers carries
+// the store's per-rank improvement-rate table (the portfolio racer's
+// cull/clone input). RoundNs are the timed exchange segments — for the
+// synchronous protocol one blocking store round trip each, for the async
+// protocol the non-blocking machinery actually paid per exchange
+// (post encode/send, news decode, speculative snapshot/adopt, restore).
+type ExchangeStats struct {
+	Posted   int
+	Adopted  int
+	Rejected int
+	Restores int
+	// StoreEpoch is the store's final best-solution epoch: the number of
+	// times the global best improved.
+	StoreEpoch uint64
+	RoundNs    []int64
+	Searchers  []SearcherRate
+}
+
+// SearcherRate is the store's view of one searcher's productivity.
+type SearcherRate struct {
+	Rank  int
+	Posts int // improvements posted (or brought by sync requests)
+	Wins  int // posts that improved the global best
+	Retry int // consultation budget the store last granted the rank
+}
+
+// P50RoundNs returns the median timed exchange segment (0 when none were
+// recorded).
+func (s *ExchangeStats) P50RoundNs() int64 {
+	if s == nil || len(s.RoundNs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), s.RoundNs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
 }

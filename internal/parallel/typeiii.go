@@ -14,26 +14,41 @@ import (
 	"simevo/internal/transport"
 )
 
-// Type III protocol tags.
+// Type III protocol tags. The first four are the legacy synchronous
+// protocol (still spoken by Options.SyncExchange mode and by the
+// cooperating-worker drivers in coop.go); the last three are the
+// asynchronous epoch-tagged protocol.
 const (
-	tagT3Report  = 30 + iota // slave -> store: new personal best
-	tagT3Request             // slave -> store: ask for a better solution
-	tagT3Reply               // store -> slave: better solution or keep-yours
+	tagT3Report  = 30 + iota // slave -> store: new personal best (sync)
+	tagT3Request             // slave -> store: ask for a better solution (sync, blocks)
+	tagT3Reply               // store -> slave: better solution or keep-yours (sync)
 	tagT3Done                // slave -> store: final best
+	tagT3Post                // searcher -> store: sequenced improvement post (async, fire-and-forget)
+	tagT3Poll                // searcher -> store: 16-byte best-so-far poll (async, non-blocking)
+	tagT3News                // store -> searcher: epoch + budget + optionally a better solution
 )
 
 // RunTypeIII executes the parallel-search strategy of the paper's Figure 6,
 // modeled on asynchronous multiple-Markov-chain parallel SA [1]: rank 0 is
 // a central store of the best solution found so far; every other rank runs
-// an independent full SimE search from the same starting solution with a
-// different random stream. A slave that improves its best reports it to the
-// store; a slave that fails to improve for Options.Retry consecutive
-// iterations asks the store for a better solution, which it adopts if the
-// store has one (otherwise the store adopts the slave's, if better).
+// an independent search from the same starting solution with a different
+// random stream.
 //
-// There is no workload division, so runtimes track the serial algorithm;
-// the paper's point is that seeds alone do not diversify SimE searches
-// enough for the cooperation to buy speed.
+// By default the exchange protocol is asynchronous and speculative: a
+// searcher that improves posts the solution to the store without waiting,
+// and a searcher that stalls for Options.Retry iterations sends a 16-byte
+// poll and keeps iterating until the store's news frame arrives. A
+// strictly better store solution is adopted speculatively — the searcher
+// snapshots its search state, patches the placement in, runs a short
+// speculation window, and on reject restores the snapshot instead of
+// rebuilding its cost state. Options.SyncExchange selects the legacy
+// blocking request/reply round, the paper-faithful baseline.
+//
+// On the simulated cluster the async protocol is deterministic: polls
+// participate in the virtual-time schedule (mpi.Comm.Poll), so for a
+// fixed seed the exchange interleaving — and the best μ — is bitwise
+// reproducible. On the TCP transport news arrival follows wall-clock
+// order and runs differ; the store's best is monotonic either way.
 func RunTypeIII(prob *core.Problem, opt Options) (*Result, error) {
 	if opt.Procs < 3 {
 		return nil, fmt.Errorf("parallel: Type III needs >= 3 ranks (one is the central store), got %d", opt.Procs)
@@ -68,10 +83,14 @@ func TypeIIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 		retry = 100
 	}
 	if c.Rank() != 0 {
-		return nil, typeIIISearcher(prob, c, retry, opt)
+		poller, ok := c.(transport.Poller)
+		if opt.SyncExchange || !ok {
+			return nil, typeIIISearcherSync(prob, c, retry, opt)
+		}
+		return nil, typeIIISearcherAsync(prob, c, poller, retry, opt)
 	}
 	fc := tolerantComm(c, opt)
-	out, err := typeIIIStore(prob, c, fc)
+	out, err := typeIIIStore(prob, c, fc, retry)
 	if err != nil {
 		return nil, err
 	}
@@ -88,12 +107,69 @@ func TypeIIIRank(c Comm, prob *core.Problem, opt Options) (*Result, error) {
 	return out, nil
 }
 
+// --- wire formats ---
+
 // encodeDone prepends the executed iteration count to a solution encoding
-// — the tagT3Done wire format the store expects.
+// — the tagT3Done wire format the store expects. Searchers append an
+// exchange-stats blob (encodeDoneStats); the bare form is what the
+// cooperating workers of coop.go send.
 func encodeDone(iters int, mu float64, place *layout.Placement) []byte {
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, uint64(iters))
 	return append(buf, encodeSolution(mu, place)...)
+}
+
+// searcherStats is one searcher's exchange accounting, shipped to the
+// store inside the Done frame.
+type searcherStats struct {
+	posted   int
+	adopted  int
+	rejected int
+	restores int
+	roundNs  []int64
+}
+
+// encodeDoneStats is encodeDone plus the searcher's exchange-stats blob:
+// four u32 counters, a u32 sample count, and the timed exchange segments.
+func encodeDoneStats(iters int, mu float64, place *layout.Placement, st *searcherStats) []byte {
+	buf := encodeDone(iters, mu, place)
+	var tail [20]byte
+	binary.LittleEndian.PutUint32(tail[0:], uint32(st.posted))
+	binary.LittleEndian.PutUint32(tail[4:], uint32(st.adopted))
+	binary.LittleEndian.PutUint32(tail[8:], uint32(st.rejected))
+	binary.LittleEndian.PutUint32(tail[12:], uint32(st.restores))
+	binary.LittleEndian.PutUint32(tail[16:], uint32(len(st.roundNs)))
+	buf = append(buf, tail[:]...)
+	for _, ns := range st.roundNs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ns))
+	}
+	return buf
+}
+
+// decodeDoneStats parses the optional exchange-stats blob after a decoded
+// Done solution. Absent (legacy coop frames) means zero stats.
+func decodeDoneStats(rest []byte) (searcherStats, error) {
+	var st searcherStats
+	if len(rest) == 0 {
+		return st, nil
+	}
+	if len(rest) < 20 {
+		return st, fmt.Errorf("parallel: done stats blob too short (%d bytes)", len(rest))
+	}
+	st.posted = int(binary.LittleEndian.Uint32(rest[0:]))
+	st.adopted = int(binary.LittleEndian.Uint32(rest[4:]))
+	st.rejected = int(binary.LittleEndian.Uint32(rest[8:]))
+	st.restores = int(binary.LittleEndian.Uint32(rest[12:]))
+	n := int(binary.LittleEndian.Uint32(rest[16:]))
+	rest = rest[20:]
+	if len(rest) != 8*n {
+		return st, fmt.Errorf("parallel: done stats blob: %d samples announced, %d bytes present", n, len(rest))
+	}
+	st.roundNs = make([]int64, n)
+	for i := 0; i < n; i++ {
+		st.roundNs[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return st, nil
 }
 
 // solution wire format: 8-byte μ followed by the placement encoding.
@@ -115,17 +191,123 @@ func decodeSolution(prob *core.Problem, data []byte) (float64, *layout.Placement
 	return mu, place, nil
 }
 
-// typeIIIStore runs the central best-solution store on rank 0. With a
-// non-nil fc the store degrades instead of failing: a searcher that dies
-// or sends corrupt frames counts as done (its contributions so far are
-// kept), and the run errors only if every searcher is lost before any
-// solution arrived.
-func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm) (*Result, error) {
+// post wire format: 8-byte per-searcher sequence number, then a solution.
+func encodePost(seq uint64, mu float64, place *layout.Placement) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, seq)
+	return append(buf, encodeSolution(mu, place)...)
+}
+
+// poll wire format: the searcher's last-seen store epoch and its current
+// best μ — 16 bytes, no placement. The synchronous protocol shipped a
+// full placement with every consultation; not re-sending solutions the
+// store already saw is most of the async protocol's traffic win.
+func encodePollReq(epoch uint64, mu float64) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], epoch)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(mu))
+	return buf[:]
+}
+
+// news wire format: store epoch (u64), granted consultation budget (u32),
+// and a has-solution flag (u8) followed by the solution when the store's
+// best strictly beats the poller's μ.
+func encodeNews(epoch uint64, retry int, solution []byte) []byte {
+	buf := make([]byte, 13, 13+len(solution))
+	binary.LittleEndian.PutUint64(buf[0:], epoch)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(retry))
+	if len(solution) > 0 {
+		buf[12] = 1
+		buf = append(buf, solution...)
+	}
+	return buf
+}
+
+func decodeNews(prob *core.Problem, data []byte) (epoch uint64, retry int, mu float64, place *layout.Placement, err error) {
+	if len(data) < 13 {
+		return 0, 0, 0, nil, fmt.Errorf("parallel: news payload too short (%d bytes)", len(data))
+	}
+	epoch = binary.LittleEndian.Uint64(data[0:])
+	retry = int(binary.LittleEndian.Uint32(data[8:]))
+	if data[12] == 0 {
+		return epoch, retry, 0, nil, nil
+	}
+	mu, place, err = decodeSolution(prob, data[13:])
+	return epoch, retry, mu, place, err
+}
+
+// --- store ---
+
+// searcherEntry is the store's improvement-rate record for one searcher
+// rank — the portfolio racer's cull/clone input.
+type searcherEntry struct {
+	lastSeq uint64
+	posts   int
+	wins    int
+	retry   int // last granted consultation budget
+}
+
+// typeIIIStore runs the central best-solution store on rank 0. It speaks
+// both protocols at once — sequenced posts and 16-byte polls from async
+// searchers, blocking request/reply rounds from sync searchers and
+// cooperating workers — so mixed clusters and the legacy drivers keep
+// working. With a non-nil fc the store degrades instead of failing: a
+// searcher that dies or sends corrupt frames counts as done (its
+// contributions so far are kept), and the run errors only if every
+// searcher is lost before any solution arrived.
+func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm, baseRetry int) (*Result, error) {
 	bestMu := -1.0
 	var bestData []byte // encoded solution, kept serialized for cheap replies
 	var best *layout.Placement
+	var epoch uint64 // bumps every time the global best improves
 	done := 0
 	iters := 0 // max iterations any searcher executed (cancellation may cut runs short)
+	table := make(map[int]*searcherEntry)
+	exch := &ExchangeStats{}
+
+	entry := func(r int) *searcherEntry {
+		e := table[r]
+		if e == nil {
+			e = &searcherEntry{retry: baseRetry}
+			table[r] = e
+		}
+		return e
+	}
+	// improve installs a new global best and advances the epoch.
+	improve := func(mu float64, place *layout.Placement, data []byte) {
+		bestMu, best, bestData = mu, place, data
+		epoch++
+		telemetry.ExchangeStoreEpoch.Set(int64(epoch))
+	}
+	// budgetFor reallocates consultation budgets between searchers: the
+	// outright winner's budget is cloned (doubled — it explores alone
+	// longer between consultations), a searcher with posts but no wins
+	// while others win is culled (halved — pulled toward the store's best
+	// more often). Pure integer bookkeeping, deterministic on the
+	// simulator's reference schedule.
+	budgetFor := func(r int) int {
+		e := entry(r)
+		maxWins, winners := 0, 0
+		for _, se := range table {
+			if se.wins > maxWins {
+				maxWins, winners = se.wins, 1
+			} else if se.wins == maxWins && se.wins > 0 {
+				winners++
+			}
+		}
+		b := baseRetry
+		switch {
+		case maxWins > 0 && e.wins == maxWins && winners == 1:
+			b = 2 * baseRetry
+		case maxWins > 0 && e.wins == 0 && e.posts > 0:
+			b = baseRetry / 2
+			if b < 1 {
+				b = 1
+			}
+		}
+		e.retry = b
+		return b
+	}
 
 	var doneRanks, deadRanks map[int]bool
 	if fc != nil {
@@ -140,6 +322,25 @@ func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm) (*Result, error) {
 		}
 		deadRanks[r] = true
 		done++
+	}
+	// dropOrFail degrades on a per-rank error when fault tolerance is on
+	// and aborts the run otherwise.
+	dropOrFail := func(src int, err error) error {
+		if fc != nil {
+			fc.DropRank(src, err)
+			rankDown(src)
+			return nil
+		}
+		return err
+	}
+	reply := func(dst int, data []byte) {
+		if fc != nil {
+			if err := fc.TrySend(dst, tagT3News, data); err != nil {
+				rankDown(dst)
+			}
+		} else {
+			c.Send(dst, tagT3News, data)
+		}
 	}
 
 	for done < c.Size()-1 {
@@ -160,16 +361,59 @@ func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm) (*Result, error) {
 			data, st = c.Recv(mpi.AnySource, mpi.AnyTag)
 		}
 		switch st.Tag {
+		case tagT3Post:
+			// Async improvement post: per-searcher sequence numbers make
+			// the merge idempotent under reordering or degraded re-sends —
+			// a post at or below the searcher's high-water mark is stale
+			// and dropped; the best-μ comparison keeps the store monotonic
+			// regardless.
+			if len(data) < 8 {
+				if err := dropOrFail(st.Source, fmt.Errorf("parallel: post payload too short (%d bytes)", len(data))); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			seq := binary.LittleEndian.Uint64(data)
+			e := entry(st.Source)
+			if seq <= e.lastSeq {
+				continue
+			}
+			e.lastSeq = seq
+			mu, place, err := decodeSolution(prob, data[8:])
+			if err != nil {
+				if err := dropOrFail(st.Source, fmt.Errorf("parallel: corrupt post frame: %w", err)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			e.posts++
+			exch.Posted++
+			if mu > bestMu {
+				e.wins++
+				improve(mu, place, data[8:])
+			}
+		case tagT3Poll:
+			if len(data) < 16 {
+				if err := dropOrFail(st.Source, fmt.Errorf("parallel: poll payload too short (%d bytes)", len(data))); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			mu := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+			var solution []byte
+			if bestMu > mu {
+				solution = bestData
+			}
+			reply(st.Source, encodeNews(epoch, budgetFor(st.Source), solution))
 		case tagT3Report, tagT3Done:
 			if st.Tag == tagT3Done {
-				// Done wire format: 8-byte iteration count, then the solution.
+				// Done wire format: 8-byte iteration count, then the
+				// solution, then an optional exchange-stats blob.
 				if len(data) < 8 {
-					if fc != nil {
-						fc.DropRank(st.Source, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data)))
-						rankDown(st.Source)
-						continue
+					if err := dropOrFail(st.Source, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data))); err != nil {
+						return nil, err
 					}
-					return nil, fmt.Errorf("parallel: done payload too short (%d bytes)", len(data))
+					continue
 				}
 				if n := int(binary.LittleEndian.Uint64(data)); n > iters {
 					iters = n
@@ -189,101 +433,262 @@ func typeIIIStore(prob *core.Problem, c Comm, fc FaultComm) (*Result, error) {
 				}
 				return nil, err
 			}
-			if mu > bestMu {
-				bestMu, best, bestData = mu, place, data
-			}
-		case tagT3Request:
-			mu, place, err := decodeSolution(prob, data)
-			if err != nil {
-				if fc != nil {
-					fc.DropRank(st.Source, fmt.Errorf("parallel: corrupt request frame: %w", err))
-					rankDown(st.Source)
+			if st.Tag == tagT3Done {
+				// Re-decode the placement prefix to locate the stats blob.
+				_, rest, _ := layout.DecodePlacementPrefix(prob.Ckt, data[8:])
+				sst, err := decodeDoneStats(rest)
+				if err != nil {
+					if err := dropOrFail(st.Source, err); err != nil {
+						return nil, err
+					}
 					continue
 				}
-				return nil, err
+				exch.Adopted += sst.adopted
+				exch.Rejected += sst.rejected
+				exch.Restores += sst.restores
+				exch.RoundNs = append(exch.RoundNs, sst.roundNs...)
+				data = data[:8+len(data[8:])-len(rest)]
 			}
-			var reply []byte
+			if mu > bestMu {
+				entry(st.Source).wins++
+				improve(mu, place, data)
+			}
+		case tagT3Request:
+			// Legacy synchronous consultation: the request carries the
+			// searcher's best, the reply is the store's better solution or
+			// empty for keep-yours.
+			mu, place, err := decodeSolution(prob, data)
+			if err != nil {
+				if err := dropOrFail(st.Source, fmt.Errorf("parallel: corrupt request frame: %w", err)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			entry(st.Source).posts++
+			var replyData []byte
 			if mu > bestMu {
 				// The requester's solution is better than the store's:
 				// adopt it and tell the requester to keep going.
-				bestMu, best, bestData = mu, place, data
+				entry(st.Source).wins++
+				improve(mu, place, data)
 			} else if bestMu > mu {
-				reply = bestData
+				replyData = bestData
 			}
 			if fc != nil {
-				if err := fc.TrySend(st.Source, tagT3Reply, reply); err != nil {
+				if err := fc.TrySend(st.Source, tagT3Reply, replyData); err != nil {
 					rankDown(st.Source)
 				}
 			} else {
-				c.Send(st.Source, tagT3Reply, reply)
+				c.Send(st.Source, tagT3Reply, replyData)
 			}
 		default:
-			if fc != nil {
-				fc.DropRank(st.Source, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag))
-				rankDown(st.Source)
-				continue
+			if err := dropOrFail(st.Source, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag)); err != nil {
+				return nil, err
 			}
-			return nil, fmt.Errorf("parallel: store received unexpected tag %d", st.Tag)
 		}
 	}
 
 	if best == nil {
 		return nil, fmt.Errorf("parallel: every searcher failed before reporting a solution")
 	}
-	res := &Result{BestMu: bestMu, Best: best, Iters: iters}
+	exch.StoreEpoch = epoch
+	for r := 1; r < c.Size(); r++ {
+		if e, ok := table[r]; ok {
+			exch.Searchers = append(exch.Searchers, SearcherRate{Rank: r, Posts: e.posts, Wins: e.wins, Retry: e.retry})
+		}
+	}
+	res := &Result{BestMu: bestMu, Best: best, Iters: iters, Exchange: exch}
 	return res, nil
 }
 
-func typeIIISearcher(prob *core.Problem, c Comm, retry int, opt Options) error {
-	// Same starting solution on every searcher, different random streams
-	// (the paper's Table 4 setup).
-	eng := prob.EngineFromReference(uint64(c.Rank()))
-	if opt.Diversify {
-		// Section 7's diversification proposal: a different allocation
-		// function per thread steers the searches apart.
-		eng.SetAllocOrder(core.AllocOrder((c.Rank() - 1) % 3))
+// --- searchers ---
+
+// typeIIISearcherSync is the legacy synchronous searcher: improvements
+// are reported fire-and-forget, but a consultation blocks in a
+// request/reply round trip at the store and adopts with a full cost-state
+// rebuild. Kept as the exchange-overhead baseline (Options.SyncExchange)
+// and for transports without non-blocking receives.
+func typeIIISearcherSync(prob *core.Problem, c Comm, retry int, opt Options) error {
+	sc := searcherConfigFor(c.Rank(), opt)
+	s, err := newSearcher(prob, c.Rank(), sc)
+	if err != nil {
+		return err
 	}
+	if sc.Retry > 0 {
+		retry = sc.Retry
+	}
+	var stats searcherStats
 	count := 0
 
 	// Every searcher checks the context (there is no master to wind the
 	// others down); rank 1 doubles as the progress reporter.
 	iters := 0
 	for ; iters < prob.Cfg.MaxIters && !opt.cancelled(); iters++ {
-		prevBest := eng.BestMu()
-		st := eng.Step()
+		prevBest := s.BestMu()
+		st := s.Step()
 		if c.Rank() == 1 {
 			opt.report(st)
 		}
-		if eng.BestMu() > prevBest {
+		if s.BestMu() > prevBest {
 			// Keep the store current so any requesting thread benefits.
-			c.Send(0, tagT3Report, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+			c.Send(0, tagT3Report, encodeSolution(s.BestMu(), s.BestPlacement()))
+			stats.posted++
+			telemetry.ExchangePosted.Inc()
 			count = 0
 			continue
 		}
 		count++
 		if count > retry {
 			exchStart := time.Now()
-			c.Send(0, tagT3Request, encodeSolution(eng.BestMu(), eng.BestPlacement()))
+			c.Send(0, tagT3Request, encodeSolution(s.BestMu(), s.BestPlacement()))
 			reply, _ := c.Recv(0, tagT3Reply)
-			telemetry.ExchangeRoundType3Ns.Observe(int64(time.Since(exchStart)))
 			if len(reply) > 0 {
-				mu, place, err := decodeSolution(prob, reply)
+				_, place, err := decodeSolution(prob, reply)
 				if err != nil {
 					return err
 				}
 				// Adopt the store's better solution and continue evolving
-				// from there.
-				eng.AdoptPlacement(place)
-				_ = mu
+				// from there, rebuilding the cost state from scratch —
+				// the O(n) exchange cost the speculative path eliminates.
+				s.AdoptFull(place)
+				stats.adopted++
+				telemetry.ExchangeAdopted.Inc()
 			}
+			ns := int64(time.Since(exchStart))
+			telemetry.ExchangeRoundType3Ns.Observe(ns)
+			stats.roundNs = append(stats.roundNs, ns)
 			count = 0
 		}
 	}
-	if eng.BestPlacement() == nil {
+	if s.BestPlacement() == nil {
 		// Cancelled before the first iteration: evaluate the starting
 		// solution so the final report carries a real placement.
-		eng.EvaluateCosts()
+		s.EvaluateCosts()
 	}
-	c.Send(0, tagT3Done, encodeDone(iters, eng.BestMu(), eng.BestPlacement()))
+	c.Send(0, tagT3Done, encodeDoneStats(iters, s.BestMu(), s.BestPlacement(), &stats))
+	return nil
+}
+
+// typeIIISearcherAsync is the asynchronous speculative searcher. It never
+// blocks on the store: improvements are posted with a sequence number,
+// stalls send a 16-byte poll and keep iterating, and the store's news is
+// consumed by a non-blocking poll whenever it has arrived. A strictly
+// better remote solution is adopted speculatively — snapshot, patched
+// adoption (no rebuild), a SpecWindow-iteration probe — and rejected by
+// restoring the snapshot if the probe fails to improve on the adopted μ.
+func typeIIISearcherAsync(prob *core.Problem, c Comm, poller transport.Poller, retry int, opt Options) error {
+	sc := searcherConfigFor(c.Rank(), opt)
+	s, err := newSearcher(prob, c.Rank(), sc)
+	if err != nil {
+		return err
+	}
+	if sc.Retry > 0 {
+		retry = sc.Retry
+	}
+
+	var (
+		stats       searcherStats
+		seq         uint64 // post sequence number (high-water mark at the store)
+		epoch       uint64 // last store epoch seen in a news frame
+		count       int    // iterations without improvement since the last event
+		pollPending bool   // a poll is in flight; await its news before sending another
+
+		spec     *core.SearchSnapshot // non-nil while speculating
+		specMu   float64              // μ of the adopted remote solution
+		specLeft int                  // speculation iterations remaining
+	)
+
+	observe := func(start time.Time) int64 {
+		ns := int64(time.Since(start))
+		telemetry.ExchangeAsyncType3Ns.Observe(ns)
+		stats.roundNs = append(stats.roundNs, ns)
+		return ns
+	}
+	post := func() {
+		start := time.Now()
+		seq++
+		c.Send(0, tagT3Post, encodePost(seq, s.BestMu(), s.BestPlacement()))
+		observe(start)
+		stats.posted++
+		telemetry.ExchangePosted.Inc()
+	}
+
+	iters := 0
+	for ; iters < prob.Cfg.MaxIters && !opt.cancelled(); iters++ {
+		prevBest := s.BestMu()
+		st := s.Step()
+		if c.Rank() == 1 {
+			opt.report(st)
+		}
+
+		if spec != nil {
+			// Speculating ahead from an adopted remote best: accept as
+			// soon as the probe improves past the adopted μ, reject by
+			// restoring the pre-adoption state when the window closes.
+			specLeft--
+			if s.BestMu() > specMu {
+				spec = nil
+				stats.adopted++
+				telemetry.ExchangeAdopted.Inc()
+				post() // share the improvement the adoption enabled
+				count = 0
+			} else if specLeft <= 0 {
+				start := time.Now()
+				s.Restore(spec)
+				observe(start)
+				spec = nil
+				stats.rejected++
+				stats.restores++
+				telemetry.ExchangeRejected.Inc()
+				telemetry.SpeculationRestores.Inc()
+				count = 0
+			}
+			continue
+		}
+
+		if s.BestMu() > prevBest {
+			post()
+			count = 0
+			continue
+		}
+		count++
+
+		if pollPending {
+			if news, _, ok := poller.Poll(0, tagT3News); ok {
+				pollPending = false
+				start := time.Now()
+				newsEpoch, grant, mu, place, err := decodeNews(prob, news)
+				if err != nil {
+					return fmt.Errorf("parallel: rank %d: corrupt news frame: %w", c.Rank(), err)
+				}
+				epoch = newsEpoch
+				if grant > 0 {
+					retry = grant
+				}
+				if place != nil && mu > s.BestMu() {
+					spec = s.Snapshot()
+					s.Adopt(place)
+					specMu = mu
+					specLeft = sc.SpecWindow
+				}
+				observe(start)
+				count = 0
+			}
+			continue
+		}
+		if count > retry {
+			start := time.Now()
+			c.Send(0, tagT3Poll, encodePollReq(epoch, s.BestMu()))
+			observe(start)
+			pollPending = true
+			count = 0
+		}
+	}
+	if s.BestPlacement() == nil {
+		// Cancelled before the first iteration: evaluate the starting
+		// solution so the final report carries a real placement.
+		s.EvaluateCosts()
+	}
+	c.Send(0, tagT3Done, encodeDoneStats(iters, s.BestMu(), s.BestPlacement(), &stats))
 	return nil
 }

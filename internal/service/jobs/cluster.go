@@ -22,12 +22,13 @@ import (
 // specOptions assembles the parallel options a normalized spec implies.
 func specOptions(ctx context.Context, spec Spec, progress core.Progress) parallel.Options {
 	opt := parallel.Options{
-		Procs:     spec.Procs,
-		TargetMu:  spec.TargetMu,
-		Retry:     spec.Retry,
-		Diversify: spec.Diversify,
-		Context:   ctx,
-		Progress:  progress,
+		Procs:        spec.Procs,
+		TargetMu:     spec.TargetMu,
+		Retry:        spec.Retry,
+		Diversify:    spec.Diversify,
+		SyncExchange: spec.SyncExchange,
+		Context:      ctx,
+		Progress:     progress,
 	}
 	if spec.Pattern == "random" {
 		opt.Pattern = parallel.NewRandomPattern(spec.Seed)

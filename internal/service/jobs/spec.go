@@ -87,6 +87,11 @@ type Spec struct {
 	Retry int `json:"retry,omitempty"`
 	// Diversify gives each Type III searcher a distinct allocation order.
 	Diversify bool `json:"diversify,omitempty"`
+	// SyncExchange selects the legacy blocking Type III exchange protocol
+	// (request/reply round trips with full cost-state rebuilds on
+	// adoption). Default false: the asynchronous epoch-tagged protocol
+	// with speculative adoption.
+	SyncExchange bool `json:"sync_exchange,omitempty"`
 	// MaxRetries is how many times a failed run is retried (with capped
 	// exponential backoff between attempts) before the job is marked
 	// failed. It shapes scheduling, not the search, so like
@@ -282,6 +287,7 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Strategy != StrategyTypeIII {
 		s.Retry = 0
 		s.Diversify = false
+		s.SyncExchange = false
 	}
 	return s, nil
 }

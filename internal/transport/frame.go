@@ -245,3 +245,25 @@ func (ib *inbox) recv(src, tag int) ([]byte, mpi.Status) {
 	}
 	return data, st
 }
+
+// pollRecv is the non-blocking recv: it consumes and returns a matching
+// message if one is queued and reports ok=false otherwise, never waiting.
+// A poisoned inbox panics with *Fatal exactly like recv — a poll must not
+// silently swallow a dead connection — but per-rank failures stay queued
+// for the blocking receives that know how to degrade on them.
+func (ib *inbox) pollRecv(src, tag int) ([]byte, mpi.Status, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for i := range ib.msgs {
+		f := ib.msgs[i]
+		if !frameMatches(&f, src, tag) {
+			continue
+		}
+		ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+		return f.data, mpi.Status{Source: f.src, Tag: f.tag}, true
+	}
+	if ib.err != nil {
+		panic(&Fatal{Err: ib.err})
+	}
+	return nil, mpi.Status{}, false
+}

@@ -61,6 +61,26 @@ var (
 	_ Transport = (*remote)(nil)
 )
 
+// Poller is the optional non-blocking receive capability asynchronous
+// protocols (the async Type III exchange) build on: Poll consumes and
+// returns a message matching (src, tag) if one is already available and
+// reports ok=false without blocking otherwise. On the simulator a poll
+// participates in the virtual-time schedule (deterministic under
+// MeasureCompute=false); on TCP it inspects the live inbox, so what a
+// poll sees depends on wall-clock arrival order. A strategy that needs a
+// Poller should type-assert and fall back to its synchronous protocol
+// when the transport lacks one.
+type Poller interface {
+	Poll(src, tag int) ([]byte, mpi.Status, bool)
+}
+
+// The simulator rank and both TCP endpoints support non-blocking polls.
+var (
+	_ Poller = (*mpi.Comm)(nil)
+	_ Poller = (*Group)(nil)
+	_ Poller = (*remote)(nil)
+)
+
 // Fatal wraps an unrecoverable transport failure (connection loss, protocol
 // corruption). TCP endpoints panic with *Fatal from inside Send/Recv —
 // blocking primitives have no error return, matching the simulator's

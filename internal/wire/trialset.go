@@ -39,9 +39,14 @@ type TrialSet struct {
 	filled   []bool    // per (item, class)
 
 	// tail[i] = Σ_{j>=i} w_j · storedSpan_j: a lower bound on the weighted
-	// cost of items i.. for ANY candidate, since every bbox/trunk trial is
-	// at least the stored pins' half-perimeter (RMST and empty nets
-	// conservatively contribute 0). ScanBest adds tail[i+1] to the partial
+	// cost of items i.. for ANY candidate, since every trial with stored
+	// pins is at least the stored pins' half-perimeter — bbox and trunk
+	// trials by construction, and RMST trials because any spanning
+	// structure over the merged pin set must cover the merged extent on
+	// each axis (Σ|dx| over the tree's edges is at least the x span along
+	// the leftmost-to-rightmost path, likewise for y), so
+	// RMST(stored ∪ candidate) >= merged half-perimeter >= storedSpan.
+	// Only empty nets contribute 0. ScanBest adds tail[i+1] to the partial
 	// cost when bailing, pruning vacancies whose suffix could never fit
 	// under the bound — deflated by scanSlack so float reassociation
 	// cannot turn the estimate into an over-prune; see scanSlack.
@@ -51,11 +56,14 @@ type TrialSet struct {
 	// per-row sharpening of tail: Σ_{j>=i} w_j · (storedSpan_j + yPen_j(r)),
 	// where yPen_j(r) is the y-extension the row's centerline forces on the
 	// stored pins' bbox — a lower bound on the weighted cost of items i..
-	// for ANY candidate in row r (every bbox/trunk trial is at least the
-	// stored half-perimeter extended by the candidate; RMST and empty nets
-	// conservatively contribute 0). The weights embed the active objective
-	// scores — in wpd mode the cached per-net timing criticality — so the
-	// bound is criticality-aware and wpd scans prune like wp scans.
+	// for ANY candidate in row r (every trial with stored pins is at least
+	// the stored half-perimeter extended by the candidate — see tail for
+	// the RMST argument; empty nets contribute 0). The weights embed the
+	// active objective scores — in wpd mode the cached per-net timing
+	// criticality, in wpc/wpdc mode the congestion grid's per-net demand
+	// score — so the bound is criticality- and congestion-aware: hot nets
+	// carry inflated weights and their bound mass prunes proportionally
+	// harder, which is what keeps wpd/wpdc scans pruning like wp scans.
 	// Columns fill lazily, one row on first walk (ensureRowTail): the
 	// outward row iteration cuts most rows before their suffix column is
 	// ever needed, and the chunked parallel scan partitions rows, so the
@@ -146,9 +154,14 @@ const (
 type compiledTrial struct {
 	kind trialKind
 	oddM bool // trunk: merged pin count (stored+1) is odd
-	w    float64
+	// hasBox marks items whose stored-pin bbox participates in the prune
+	// bounds: bbox and trunk items always, RMST items when any stored pin
+	// remains (an RMST trial is bounded below by the merged bbox
+	// half-perimeter, so the bbox-shaped bound is sound for it too).
+	hasBox bool
+	w      float64
 
-	// Stored pin bounds per axis (bbox and trunk kinds).
+	// Stored pin bounds per axis (hasBox items).
 	minX, maxX, minY, maxY float64
 
 	// Trunk: median anchors around the merged middle. Odd merged count
@@ -188,14 +201,21 @@ func (inc *Incremental) CompileTrials(dst *TrialSet, nets []netlist.NetID, weigh
 		switch {
 		case inc.est == RMST:
 			it.kind = trialRMST
+			if stored > 0 {
+				it.hasBox = true
+				it.minX, it.maxX = g.xv[0], g.xv[stored-1]
+				it.minY, it.maxY = g.yv[0], g.yv[stored-1]
+			}
 		case stored == 0:
 			it.kind = trialZero
 		case inc.est == HPWL || stored <= 2:
 			it.kind = trialBBox
+			it.hasBox = true
 			it.minX, it.maxX = g.xv[0], g.xv[stored-1]
 			it.minY, it.maxY = g.yv[0], g.yv[stored-1]
 		default:
 			it.kind = trialTrunk
+			it.hasBox = true
 			it.minX, it.maxX = g.xv[0], g.xv[stored-1]
 			it.minY, it.maxY = g.yv[0], g.yv[stored-1]
 			it.xv, it.xp, it.yv, it.yp = g.xv, g.xp, g.yv, g.yp
@@ -222,7 +242,7 @@ func (inc *Incremental) CompileTrials(dst *TrialSet, nets []netlist.NetID, weigh
 	dst.tail[len(dst.items)] = 0
 	for i := len(dst.items) - 1; i >= 0; i-- {
 		it := &dst.items[i]
-		if it.kind == trialBBox || it.kind == trialTrunk {
+		if it.hasBox {
 			acc += ((it.maxX - it.minX) + (it.maxY - it.minY)) * it.w
 		}
 		dst.tail[i] = acc
@@ -287,7 +307,7 @@ func (t *TrialSet) PrepareScan(yOf func(class int) float64, rows int) {
 	c := 0.0
 	for i := range t.items {
 		it := &t.items[i]
-		if it.kind != trialBBox && it.kind != trialTrunk {
+		if !it.hasBox {
 			continue
 		}
 		t.xlo = append(t.xlo, it.minX)
@@ -481,7 +501,14 @@ func (t *TrialSet) ensureRowTail(row int) {
 	for i := len(t.items) - 1; i >= 0; i-- {
 		it := &t.items[i]
 		switch it.kind {
-		case trialBBox:
+		case trialBBox, trialRMST:
+			// The bbox formula is exact for bbox items and a valid lower
+			// bound for RMST items with stored pins (merged half-perimeter
+			// <= RMST; see tail). Boxless RMST items (all pins removed)
+			// contribute 0 like empty nets.
+			if !it.hasBox {
+				break
+			}
 			yPen := 0.0
 			if y < it.minY {
 				yPen = it.minY - y
@@ -731,17 +758,17 @@ func (t *TrialSet) ScanBest(view *View, vacs []Vacancy, free []int32,
 	}
 	best, bound := -1, bound0
 	items := t.items
-	// Bbox pre-check on the leading net: a single-trunk (or bbox) trial
-	// is bounded below by the half-perimeter of the stored pins extended
-	// by the candidate, and items 1.. are bounded below by tail[1]. When
-	// even that sum reaches the current bound the vacancy is skipped
-	// before any full evaluation. Pruned vacancies are exactly ones the
-	// bounded scan would have discarded (their true cost is >= the
-	// bound), so the winner — and the trajectory — is untouched.
+	// Bbox pre-check on the leading net: any trial with stored pins —
+	// bbox, trunk, or RMST — is bounded below by the half-perimeter of the
+	// stored pins extended by the candidate, and items 1.. are bounded
+	// below by tail[1]. When even that sum reaches the current bound the
+	// vacancy is skipped before any full evaluation. Pruned vacancies are
+	// exactly ones the bounded scan would have discarded (their true cost
+	// is >= the bound), so the winner — and the trajectory — is untouched.
 	tail := t.tail
 	prune := false
 	var pruneW, tail1, minX0, maxX0, minY0, maxY0 float64
-	if len(items) > 0 && (items[0].kind == trialTrunk || items[0].kind == trialBBox) {
+	if len(items) > 0 && items[0].hasBox {
 		it := &items[0]
 		prune, pruneW, tail1 = true, it.w, tail[1]
 		minX0, maxX0, minY0, maxY0 = it.minX, it.maxX, it.minY, it.maxY
@@ -1121,7 +1148,7 @@ walk:
 			// sit a few ULPs off the true remainder in either direction —
 			// too small only weakens the prune, too large is absorbed by
 			// scanSlack like the reassociation error it already covers.
-			if it.kind == trialBBox || it.kind == trialTrunk {
+			if it.hasBox {
 				if x < it.minX {
 					xRem -= it.w * (it.minX - x)
 				} else if x > it.maxX {
